@@ -1,0 +1,55 @@
+"""Ablation: the asynchronous concurrency-window count.
+
+DESIGN.md §5: our batched-asynchrony models true asynchrony with
+``async_windows`` snapshots per iteration.  One window degenerates to the
+synchronous setting (worst objective); many windows approach sequential
+semantics (best symmetry breaking).  This bench sweeps the knob and
+verifies the quality monotonicity that justifies the default of 32.
+"""
+
+from repro.bench.datasets import benchmark_surrogate
+from repro.bench.harness import ExperimentTable
+from repro.core.api import cluster
+from repro.core.config import ClusteringConfig, Mode
+
+WINDOW_COUNTS = (1, 2, 8, 32, 128)
+
+
+def run_ablation():
+    graph = benchmark_surrogate("amazon", seed=0, scale=0.5).graph
+    rows = []
+    for windows in WINDOW_COUNTS:
+        objectives = []
+        for seed in range(3):
+            config = ClusteringConfig(
+                resolution=0.85, mode=Mode.ASYNC, async_windows=windows,
+                refine=False, seed=seed,
+            )
+            objectives.append(cluster(graph, config).objective)
+        rows.append((windows, sum(objectives) / len(objectives)))
+    # The synchronous reference point.
+    sync_obj = cluster(
+        graph,
+        ClusteringConfig(resolution=0.85, mode=Mode.SYNC, refine=False, seed=0),
+    ).objective
+    return rows, sync_obj
+
+
+def test_ablation_async_windows(benchmark):
+    rows, sync_obj = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        "Ablation: async window count vs CC objective (lambda = 0.85)",
+        ["windows", "mean objective"],
+    )
+    for windows, objective in rows:
+        table.add_row(windows, objective)
+    table.add_row("sync", sync_obj)
+    table.emit()
+
+    by_windows = dict(rows)
+    # More windows (finer asynchrony) never hurts much and the default-32
+    # setting clearly beats one-window (≈synchronous) scheduling.
+    assert by_windows[32] > by_windows[1]
+    assert by_windows[32] > 0
+    assert by_windows[128] >= by_windows[32] * 0.9

@@ -1,0 +1,49 @@
+"""Ablation: the dual best-move kernel's degree threshold (Appendix B).
+
+The paper chooses between a sequential scan and a parallel hash table per
+vertex by a fixed degree threshold.  Too low a threshold pays the
+parallel table's setup overhead on cheap vertices (more simulated work);
+too high a threshold serializes hub vertices (more simulated depth).
+The twitter surrogate — with its ~3000-degree hubs — shows the trade-off.
+"""
+
+from repro.bench.datasets import benchmark_surrogate
+from repro.bench.harness import ExperimentTable
+from repro.core.api import cluster
+from repro.core.config import ClusteringConfig
+
+THRESHOLDS = (8, 64, 512, 10**9)
+
+
+def run_ablation():
+    graph = benchmark_surrogate("twitter", seed=0, scale=0.35).graph
+    rows = []
+    for threshold in THRESHOLDS:
+        config = ClusteringConfig(
+            resolution=0.85, kernel_threshold=threshold, seed=1
+        )
+        result = cluster(graph, config)
+        rows.append(
+            (threshold, result.ledger.total_work, result.ledger.total_depth,
+             result.sim_time(60))
+        )
+    return rows
+
+
+def test_ablation_kernel_threshold(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        "Ablation: best-move kernel degree threshold (twitter surrogate)",
+        ["threshold", "sim work", "sim depth", "sim_time(60)"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.emit()
+
+    by_threshold = {t: (w, d, s) for t, w, d, s in rows}
+    # All-parallel (tiny threshold) does the most work.
+    assert by_threshold[8][0] > by_threshold[512][0]
+    # All-sequential (huge threshold) has the deepest critical path —
+    # hub vertices serialize their whole adjacency scan.
+    assert by_threshold[10**9][1] > by_threshold[512][1]

@@ -1,0 +1,70 @@
+"""Appendix C.1: comparison against SCD.
+
+Paper: PAR-CC achieves 2.00-2.89x speedups over SCD at the same average
+precision/recall on amazon/dblp/livejournal; on orkut SCD's quality
+collapses (precision 0.15, recall 0.05) while PAR-CC reaches 0.61/0.53
+with a 1.31x speedup.  SCD has no resolution knob, so PAR-CC is compared
+at a resolution of matching-or-better quality.
+"""
+
+from repro.baselines.scd import scd_cluster
+from repro.bench.datasets import benchmark_surrogate
+from repro.bench.harness import ExperimentTable
+from repro.core.api import correlation_clustering
+from repro.eval.ground_truth import average_precision_recall
+from repro.parallel.scheduler import SimulatedScheduler
+
+GRAPHS = {"amazon": 0.5, "dblp": 0.5, "livejournal": 0.25, "orkut": 0.2}
+
+
+def run_comparison():
+    rows = []
+    for name, scale in GRAPHS.items():
+        part = benchmark_surrogate(name, seed=0, scale=scale)
+        graph = part.graph
+        communities = part.top_communities(5000)
+
+        sched = SimulatedScheduler(num_workers=60)
+        scd_labels = scd_cluster(graph, seed=1, sched=sched)
+        scd_pr = average_precision_recall(scd_labels, communities)
+        scd_time = sched.simulated_time(60)
+
+        best = None
+        for lam in (0.03, 0.1, 0.3):
+            result = correlation_clustering(graph, resolution=lam, seed=1)
+            pr = average_precision_recall(result.assignments, communities)
+            if best is None or pr.f1 > best[1].f1:
+                best = (result, pr)
+        ours, ours_pr = best
+        rows.append(
+            (name, scd_pr, scd_time, ours_pr, ours.sim_time(60))
+        )
+    return rows
+
+
+def test_appc1_scd_comparison(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        "Appendix C.1: SCD vs PAR-CC",
+        ["graph", "SCD P", "SCD R", "SCD time", "PAR-CC P", "PAR-CC R",
+         "PAR-CC time", "speedup"],
+    )
+    for name, scd_pr, scd_time, ours_pr, ours_time in rows:
+        table.add_row(
+            name, scd_pr.precision, scd_pr.recall, scd_time,
+            ours_pr.precision, ours_pr.recall, ours_time,
+            scd_time / ours_time,
+        )
+    table.emit()
+
+    for name, scd_pr, scd_time, ours_pr, ours_time in rows:
+        # Quality at least comparable (F1) at the chosen resolution.
+        assert ours_pr.f1 >= scd_pr.f1 - 0.05, name
+        # Speed within a small factor everywhere (triangle-free-ish sparse
+        # surrogates flatter SCD; see EXPERIMENTS.md).
+        assert scd_time / ours_time > 0.25, name
+    # On the denser graphs SCD's wedge/triangle costs dominate and PAR-CC
+    # wins outright (the paper's orkut story).
+    dense = [r for r in rows if r[0] in ("livejournal", "orkut")]
+    assert any(scd_time > ours_time for _n, _sp, scd_time, _op, ours_time in dense)

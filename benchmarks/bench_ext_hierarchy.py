@@ -1,0 +1,58 @@
+"""Extension: multilevel hierarchy vs resolution sweep.
+
+One coarsening run yields a nested family of clusterings at multiple
+granularities.  This bench compares getting K granularities from the
+hierarchy (one run) against a K-point resolution sweep (K runs): the
+hierarchy costs a fraction of the sweep while covering a comparable
+range of cluster counts.
+"""
+
+from repro.bench.datasets import benchmark_surrogate
+from repro.bench.harness import ExperimentTable
+from repro.core.api import correlation_clustering
+from repro.core.config import ClusteringConfig
+from repro.core.hierarchy import cluster_hierarchy
+from repro.utils.timing import WallTimer
+
+
+def run_comparison():
+    graph = benchmark_surrogate("livejournal", seed=0, scale=0.3).graph
+    with WallTimer() as hierarchy_timer:
+        hierarchy = cluster_hierarchy(
+            graph, ClusteringConfig(resolution=0.03, seed=1)
+        )
+    sweep_resolutions = (0.01, 0.05, 0.15, 0.4)
+    sweep_counts = []
+    with WallTimer() as sweep_timer:
+        for lam in sweep_resolutions:
+            result = correlation_clustering(graph, resolution=lam, seed=1)
+            sweep_counts.append(result.num_clusters)
+    return hierarchy, hierarchy_timer.elapsed, sweep_counts, sweep_timer.elapsed
+
+
+def test_ext_hierarchy_vs_sweep(benchmark):
+    hierarchy, h_time, sweep_counts, s_time = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+
+    table = ExperimentTable(
+        "Extension: hierarchy levels vs resolution sweep",
+        ["source", "granularities (cluster counts)", "wall seconds"],
+    )
+    table.add_row(
+        "hierarchy (1 run)",
+        " ".join(str(lv.num_clusters) for lv in hierarchy.levels),
+        h_time,
+    )
+    table.add_row(
+        "sweep (4 runs)", " ".join(str(c) for c in sweep_counts), s_time
+    )
+    table.emit()
+
+    assert hierarchy.is_nested()
+    assert hierarchy.num_levels >= 2
+    # The hierarchy's single run is cheaper than the multi-point sweep.
+    assert h_time < s_time
+    # And its granularity range is non-trivial.
+    counts = [lv.num_clusters for lv in hierarchy.levels]
+    assert max(counts) > 1.5 * min(counts)

@@ -1,0 +1,57 @@
+"""Figure 11: frontier size |V'| per best-move iteration.
+
+The paper compares neighbors-of-clusters against neighbors-of-vertices as
+V' (synchronous, no refinement) on amazon and orkut: the vertex-neighbor
+frontier is never larger, and the size gap explains the speedup gap of
+Figure 2.
+"""
+
+from repro.bench.datasets import benchmark_surrogate
+from repro.bench.harness import ExperimentTable
+from repro.core.api import cluster
+from repro.core.config import ClusteringConfig, Frontier, Mode
+
+GRAPHS = {"amazon": 0.5, "orkut": 0.3}
+
+
+def run_frontier_study():
+    out = {}
+    for name, scale in GRAPHS.items():
+        graph = benchmark_surrogate(name, seed=0, scale=scale).graph
+        for frontier in (Frontier.VERTEX_NEIGHBORS, Frontier.CLUSTER_NEIGHBORS):
+            config = ClusteringConfig(
+                resolution=0.85, mode=Mode.SYNC, frontier=frontier,
+                refine=False, seed=1,
+            )
+            result = cluster(graph, config)
+            out[(name, frontier.value)] = result.stats.levels[0].frontier_sizes
+    return out
+
+
+def test_fig11_frontier_sizes(benchmark):
+    data = benchmark.pedantic(run_frontier_study, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        "Figure 11: |V'| per iteration (level 0, sync, no refinement)",
+        ["graph", "frontier", "iteration", "|V'|"],
+    )
+    for (name, frontier), sizes in data.items():
+        for iteration, size in enumerate(sizes):
+            table.add_row(name, frontier, iteration, size)
+    table.emit()
+
+    for name in GRAPHS:
+        vertex = data[(name, Frontier.VERTEX_NEIGHBORS.value)]
+        clusters = data[(name, Frontier.CLUSTER_NEIGHBORS.value)]
+        # Compare iteration-by-iteration over the shared prefix: the
+        # vertex-neighbor frontier never exceeds the cluster-neighbor one
+        # by more than noise (it is a subset of the affected classes).
+        for i in range(1, min(len(vertex), len(clusters))):
+            assert vertex[i] <= clusters[i] * 1.1 + 16, (name, i)
+        # The frontier never grows past the full vertex set.
+        assert vertex[-1] <= vertex[0]
+    # On the sparser amazon graph the vertex frontier strictly shrinks
+    # (the paper's Figure 11 decline; dense orkut stays near-saturated at
+    # surrogate scale — see EXPERIMENTS.md).
+    amazon = data[("amazon", Frontier.VERTEX_NEIGHBORS.value)]
+    assert amazon[-1] < amazon[0]

@@ -1,0 +1,51 @@
+"""Figure 12: scalability of PAR-MOD over rMAT graphs (appendix twin of
+Figure 6): near-linear scaling in the number of edges across the four
+density regimes."""
+
+from repro.bench.harness import ExperimentTable
+from repro.core.api import modularity_clustering
+from repro.generators.rmat import rmat_graph
+
+REGIMES = {
+    "very-sparse": (lambda n: 5 * n, (10, 11, 12, 13)),
+    "sparse": (lambda n: 50 * n, (9, 10, 11, 12)),
+    "dense": (lambda n: int(n**1.5), (8, 9, 10, 11)),
+    "very-dense": (lambda n: n * n // 4, (6, 7, 8, 9)),
+}
+
+
+def run_regimes():
+    rows = []
+    for regime, (edge_fn, scales) in REGIMES.items():
+        for scale in scales:
+            n = 2**scale
+            graph = rmat_graph(scale, edge_fn(n), seed=scale)
+            for gamma in (0.5, 16.0):
+                result = modularity_clustering(graph, gamma=gamma, seed=1)
+                rows.append(
+                    (regime, scale, graph.num_vertices, graph.num_edges,
+                     gamma, result.sim_time(60))
+                )
+    return rows
+
+
+def test_fig12_rmat_scaling_mod(benchmark):
+    rows = benchmark.pedantic(run_regimes, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        "Figure 12: PAR-MOD on rMAT graphs (simulated time, 60 workers)",
+        ["regime", "scale", "n", "m", "gamma", "sim_time", "ns/edge"],
+    )
+    for regime, scale, n, m, gamma, t in rows:
+        table.add_row(regime, scale, n, m, gamma, t, 1e9 * t / max(m, 1))
+    table.emit()
+
+    for regime in REGIMES:
+        for gamma in (0.5, 16.0):
+            series = sorted(
+                (m, t) for (rg, _s, _n, m, g, t) in rows
+                if rg == regime and g == gamma
+            )
+            per_edge = [t / m for m, t in series]
+            assert max(per_edge) / min(per_edge) < 12, (regime, gamma)
+            assert series[-1][1] > series[0][1]

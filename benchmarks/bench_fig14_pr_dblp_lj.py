@@ -1,0 +1,52 @@
+"""Figure 14 (appendix): precision/recall on dblp and livejournal of
+PAR-CC vs PAR-MOD — the same dominance of the CC objective as Figure 9's
+amazon/orkut panels."""
+
+from repro.bench.datasets import benchmark_surrogate, quality_resolutions
+from repro.bench.harness import ExperimentTable
+from repro.core.api import correlation_clustering, modularity_clustering
+from repro.eval.ground_truth import average_precision_recall
+from repro.eval.pr_curve import PRPoint, best_recall_at_precision
+
+GRAPHS = {"dblp": 0.5, "livejournal": 0.3}
+
+
+def run_pr_study():
+    curves = {}
+    for name, scale in GRAPHS.items():
+        part = benchmark_surrogate(name, seed=0, scale=scale)
+        communities = part.top_communities(5000)
+        graph = part.graph
+        cc_points = []
+        for lam in quality_resolutions("cc", 10):
+            result = correlation_clustering(graph, resolution=float(lam), seed=1)
+            pr = average_precision_recall(result.assignments, communities)
+            cc_points.append(PRPoint(float(lam), pr.precision, pr.recall))
+        mod_points = []
+        for gamma in quality_resolutions("mod", 10):
+            result = modularity_clustering(graph, gamma=float(gamma), seed=1)
+            pr = average_precision_recall(result.assignments, communities)
+            mod_points.append(PRPoint(float(gamma), pr.precision, pr.recall))
+        curves[name] = (cc_points, mod_points)
+    return curves
+
+
+def test_fig14_pr_dblp_livejournal(benchmark):
+    curves = benchmark.pedantic(run_pr_study, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        "Figure 14: PAR-CC vs PAR-MOD precision/recall",
+        ["graph", "method", "resolution", "precision", "recall"],
+    )
+    for name, (cc_points, mod_points) in curves.items():
+        for p in cc_points:
+            table.add_row(name, "PAR-CC", p.resolution, p.precision, p.recall)
+        for p in mod_points:
+            table.add_row(name, "PAR-MOD", p.resolution, p.precision, p.recall)
+    table.emit()
+
+    for name, (cc_points, mod_points) in curves.items():
+        ours = best_recall_at_precision(cc_points, 0.5)
+        theirs = best_recall_at_precision(mod_points, 0.5)
+        assert ours > 0.4, name
+        assert ours >= theirs - 0.05, (name, ours, theirs)

@@ -1,0 +1,70 @@
+"""Figure 2: multiplicative slowdown in average time of each optimization.
+
+The paper fixes (synchronous, all vertices, no refinement) and toggles one
+optimization at a time on amazon/orkut/twitter/friendster with lambda in
+{0.01, 0.85}, reporting:
+
+* sync / async          (async usually faster; up to 2.50x, median 1.21x)
+* all / cluster-nbrs    (up to 1.32x, median 1.01x)
+* all / vertex-nbrs     (up to 1.98x, median 1.03x)
+* refine / no-refine    (refinement SLOWER: up to 2.29x, median 1.67x)
+* base / all-opts       (everything on: up to 5.85x faster)
+"""
+
+from repro.bench.harness import ExperimentTable, geometric_mean
+from repro.bench.studies import select, lookup, tuning_study
+
+
+def test_fig2_optimization_slowdowns(benchmark):
+    records = benchmark.pedantic(tuning_study, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        "Figure 2: multiplicative slowdown per optimization "
+        "(PAR-CC and PAR-MOD; >1 means the first setting is slower)",
+        ["graph", "objective", "resolution", "sync/async",
+         "all/cluster-nbrs", "all/vertex-nbrs", "refine/no-refine",
+         "base/all-opts"],
+    )
+    ratios = {"sync/async": [], "all/cnbrs": [], "all/vnbrs": [],
+              "refine": [], "base/all": []}
+    for kind in ("cc", "mod"):
+        for record in select(records, objective_kind=kind, variant="base"):
+            base = record.sim_time_par
+
+            def t(variant):
+                return lookup(
+                    records, graph=record.graph, objective_kind=kind,
+                    resolution=record.resolution, variant=variant,
+                ).sim_time_par
+
+            row = (
+                base / t("async"),
+                base / t("cluster-nbrs"),
+                base / t("vertex-nbrs"),
+                t("refine") / base,
+                base / t("all-opts"),
+            )
+            table.add_row(record.graph, kind, record.resolution, *row)
+            ratios["sync/async"].append(row[0])
+            ratios["all/cnbrs"].append(row[1])
+            ratios["all/vnbrs"].append(row[2])
+            ratios["refine"].append(row[3])
+            ratios["base/all"].append(row[4])
+    table.emit()
+
+    summary = ExperimentTable(
+        "Figure 2 summary (geomean across graphs/resolutions)",
+        ["ratio", "geomean", "max"],
+    )
+    for key, values in ratios.items():
+        summary.add_row(key, geometric_mean(values), max(values))
+    summary.emit()
+
+    # Paper shapes: frontier restriction is near-parity (the paper's
+    # *median* was 1.01-1.03x; savings only materialize when frontiers
+    # shrink, and our surrogates stay >90% active under synchronous
+    # lockstep — see EXPERIMENTS.md); refinement costs time; the full
+    # optimization set helps clearly.
+    assert geometric_mean(ratios["all/vnbrs"]) > 0.85
+    assert geometric_mean(ratios["refine"]) > 1.0
+    assert geometric_mean(ratios["base/all"]) > 1.0

@@ -1,0 +1,45 @@
+"""Figure 5: multiplicative increase in rounds of PAR over SEQ.
+
+The paper observes the round ratio approximately inverts the speedup
+behaviour across resolutions: resolutions where the parallel
+implementation needs more iterations show lower speedups.
+"""
+
+import numpy as np
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.studies import lookup, select, speedup_study
+
+
+def test_fig5_round_ratios(benchmark):
+    records = benchmark.pedantic(speedup_study, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        "Figure 5: rounds(PAR) / rounds(SEQ)",
+        ["graph", "objective", "resolution", "PAR rounds", "SEQ rounds", "ratio"],
+    )
+    ratios = []
+    speedups = []
+    for kind in ("cc", "mod"):
+        for par in select(records, objective_kind=kind, variant="par"):
+            seq = lookup(
+                records, graph=par.graph, objective_kind=kind,
+                resolution=par.resolution, variant="seq",
+            )
+            ratio = par.rounds / max(seq.rounds, 1)
+            table.add_row(
+                par.graph, kind, par.resolution, par.rounds, seq.rounds, ratio
+            )
+            ratios.append(ratio)
+            speedups.append(seq.sim_time_seq / par.sim_time_par)
+    table.emit()
+
+    assert all(r > 0 for r in ratios)
+    # Figure 5's anti-correlation with Figure 4: more parallel rounds →
+    # lower speedup.  Require a negative rank correlation.
+    order_r = np.argsort(ratios)
+    ranks_r = np.empty(len(ratios)); ranks_r[order_r] = np.arange(len(ratios))
+    order_s = np.argsort(speedups)
+    ranks_s = np.empty(len(speedups)); ranks_s[order_s] = np.arange(len(speedups))
+    correlation = np.corrcoef(ranks_r, ranks_s)[0, 1]
+    assert correlation < 0.3, f"rank correlation {correlation}"

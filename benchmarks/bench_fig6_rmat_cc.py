@@ -1,0 +1,62 @@
+"""Figure 6: scalability of PAR-CC over rMAT graphs of varying sizes.
+
+The paper's four density regimes — very sparse (m = 5n), sparse
+(m = 50n), dense (m = n^1.5), very dense (m = n^2) — across graph sizes,
+with lambda in {0.01, 0.85}; running time should scale near-linearly
+with the number of edges.
+"""
+
+import numpy as np
+
+from repro.bench.harness import ExperimentTable
+from repro.core.api import correlation_clustering
+from repro.generators.rmat import rmat_graph
+
+#: (regime, vertex scales) — very-dense capped small to stay laptop-sized.
+REGIMES = {
+    "very-sparse": (lambda n: 5 * n, (10, 11, 12, 13)),
+    "sparse": (lambda n: 50 * n, (9, 10, 11, 12)),
+    "dense": (lambda n: int(n**1.5), (8, 9, 10, 11)),
+    "very-dense": (lambda n: n * n // 4, (6, 7, 8, 9)),
+}
+
+
+def run_regimes(objective="cc"):
+    rows = []
+    for regime, (edge_fn, scales) in REGIMES.items():
+        for scale in scales:
+            n = 2**scale
+            graph = rmat_graph(scale, edge_fn(n), seed=scale)
+            for lam in (0.01, 0.85):
+                result = correlation_clustering(graph, resolution=lam, seed=1)
+                rows.append(
+                    (regime, scale, graph.num_vertices, graph.num_edges, lam,
+                     result.sim_time(60))
+                )
+    return rows
+
+
+def test_fig6_rmat_scaling_cc(benchmark):
+    rows = benchmark.pedantic(run_regimes, rounds=1, iterations=1)
+
+    table = ExperimentTable(
+        "Figure 6: PAR-CC on rMAT graphs (simulated time, 60 workers)",
+        ["regime", "scale", "n", "m", "lambda", "sim_time", "ns/edge"],
+    )
+    for regime, scale, n, m, lam, t in rows:
+        table.add_row(regime, scale, n, m, lam, t, 1e9 * t / max(m, 1))
+    table.emit()
+
+    # Near-linear edge scaling: within each (regime, lambda) series the
+    # time-per-edge must not blow up as the graph grows.
+    for regime in REGIMES:
+        for lam in (0.01, 0.85):
+            series = [
+                (m, t) for (rg, _s, _n, m, l, t) in rows
+                if rg == regime and l == lam
+            ]
+            series.sort()
+            per_edge = [t / m for m, t in series]
+            assert max(per_edge) / min(per_edge) < 12, (regime, lam, per_edge)
+            # And time grows with size overall.
+            assert series[-1][1] > series[0][1]

@@ -1,0 +1,31 @@
+"""Table 1: sizes of the graph inputs (surrogate scale).
+
+Paper values (full SNAP graphs): amazon 334,863/925,872 ... friendster
+65,608,366/1,806,067,135.  The surrogates reproduce the *relative*
+ordering and density profile at laptop scale; this bench times their
+generation and prints the surrogate Table 1.
+"""
+
+from repro.bench.harness import ExperimentTable
+from repro.generators.snap_like import SNAP_SURROGATES, surrogate_table
+
+
+def test_table1_graph_sizes(benchmark):
+    rows = benchmark.pedantic(
+        lambda: surrogate_table(seed=0), rounds=1, iterations=1
+    )
+    table = ExperimentTable(
+        "Table 1 (surrogates): sizes of graph inputs",
+        ["graph", "num vertices", "num edges", "mean degree"],
+    )
+    for name, n, m in rows:
+        table.add_row(name, n, m, 2 * m / n)
+    table.emit()
+
+    assert len(rows) == len(SNAP_SURROGATES) == 6
+    sizes = {name: (n, m) for name, n, m in rows}
+    # Relative ordering of Table 1: amazon/dblp smallest, orkut denser
+    # than livejournal, twitter/friendster largest.
+    assert sizes["amazon"][0] <= sizes["livejournal"][0]
+    assert sizes["orkut"][1] > sizes["amazon"][1]
+    assert sizes["friendster"][0] >= sizes["orkut"][0]

@@ -1,0 +1,17 @@
+"""Benchmark-suite fixtures.
+
+Routes the figure/table output of :class:`repro.bench.harness.ExperimentTable`
+around pytest's capture so the printed series land in tee'd logs
+(``pytest benchmarks/ --benchmark-only | tee bench_output.txt``).
+"""
+
+import pytest
+
+from repro.bench import harness
+
+
+@pytest.fixture(autouse=True)
+def _uncaptured_bench_tables(capfd):
+    harness.set_capture_disabler(capfd.disabled)
+    yield
+    harness.set_capture_disabler(None)

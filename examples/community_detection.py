@@ -1,0 +1,66 @@
+"""Community detection with ground truth: PAR-CC vs PAR-MOD vs baselines.
+
+Run with::
+
+    python examples/community_detection.py [graph-name]
+
+Generates a SNAP-like surrogate graph (default: amazon) with overlapping
+ground-truth communities, clusters it with PAR-CC, PAR-MOD, Tectonic, SCD
+and KwikCluster, and reports the paper's quality metrics (average
+precision/recall against the top communities) plus simulated running
+times — a miniature of the paper's Sections 4.2–4.3.
+"""
+
+import sys
+
+from repro import correlation_clustering, modularity_clustering
+from repro.baselines import kwikcluster, scd_cluster, tectonic_cluster
+from repro.bench.harness import ExperimentTable
+from repro.core.objective import cc_objective
+from repro.eval import average_precision_recall
+from repro.generators import load_snap_surrogate
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "amazon"
+    part = load_snap_surrogate(name, seed=0)
+    graph = part.graph
+    communities = part.top_communities(5000)
+    print(f"{name}: n={graph.num_vertices:,} m={graph.num_edges:,} "
+          f"ground-truth communities={len(communities):,}")
+
+    table = ExperimentTable(
+        f"community detection on {name}",
+        ["method", "clusters", "precision", "recall", "F1", "cc-objective"],
+    )
+
+    def add(label, labels):
+        pr = average_precision_recall(labels, communities)
+        table.add_row(
+            label,
+            int(labels.max()) + 1,
+            pr.precision,
+            pr.recall,
+            pr.f1,
+            cc_objective(graph, labels, 0.05),
+        )
+
+    for lam in (0.03, 0.1):
+        result = correlation_clustering(graph, resolution=lam, seed=1)
+        add(f"PAR-CC(lambda={lam})", result.assignments)
+    result = modularity_clustering(graph, gamma=1.0, seed=1)
+    add("PAR-MOD(gamma=1)", result.assignments)
+    add("Tectonic(theta=0.15)", tectonic_cluster(graph, theta=0.15))
+    add("SCD", scd_cluster(graph, seed=1))
+    add("KwikCluster", kwikcluster(graph, seed=1))
+
+    table.emit()
+    print(
+        "Expected shape (paper Sections 4.2-4.3): PAR-CC dominates the\n"
+        "precision/recall trade-off; PAR-MOD is close behind; pivot\n"
+        "clustering (KwikCluster) collapses on recall."
+    )
+
+
+if __name__ == "__main__":
+    main()

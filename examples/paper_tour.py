@@ -1,0 +1,104 @@
+"""A guided mini-tour of the paper's main experimental claims.
+
+Run with::
+
+    python examples/paper_tour.py
+
+Reruns a pocket-sized version of each headline experiment and prints
+PASS/DEVIATION per claim — a quick way to see the reproduction working
+end to end without the full benchmark suite (which lives in
+``benchmarks/``; see EXPERIMENTS.md for the full numbers).
+"""
+
+from repro.baselines import kwikcluster, tectonic_cluster
+from repro.core.api import correlation_clustering, modularity_clustering
+from repro.core.config import Mode
+from repro.core.objective import cc_objective
+from repro.eval import average_precision_recall
+from repro.generators import load_snap_surrogate
+
+
+def check(label: str, condition: bool, detail: str) -> None:
+    verdict = "PASS     " if condition else "DEVIATION"
+    print(f"[{verdict}] {label}: {detail}")
+
+
+def main() -> None:
+    amazon = load_snap_surrogate("amazon", seed=0, scale=0.5)
+    orkut = load_snap_surrogate("orkut", seed=0, scale=0.3)
+    graph = amazon.graph
+    communities = amazon.top_communities(5000)
+    print(f"workload: amazon surrogate n={graph.num_vertices} "
+          f"m={graph.num_edges}\n")
+
+    # Claim 1 (Section 4.1): async beats sync on objective; sync can go
+    # negative at high resolution.
+    sync = correlation_clustering(graph, resolution=0.85, mode=Mode.SYNC, seed=1)
+    async_ = correlation_clustering(graph, resolution=0.85, mode=Mode.ASYNC, seed=1)
+    check(
+        "async > sync objective",
+        async_.objective > sync.objective and async_.objective > 0,
+        f"async={async_.objective:.0f} vs sync={sync.objective:.0f}",
+    )
+
+    # Claim 2 (Section 4.2): PAR-CC ~ SEQ-CC objective with speedup.
+    par = correlation_clustering(graph, resolution=0.1, seed=1)
+    seq = correlation_clustering(graph, resolution=0.1, parallel=False, seed=1)
+    speedup = seq.sim_time(1) / par.sim_time(60)
+    check(
+        "parallel speedup at objective parity",
+        speedup > 2 and abs(par.objective / seq.objective - 1) < 0.1,
+        f"simulated speedup {speedup:.1f}x, objective ratio "
+        f"{par.objective / seq.objective:.3f}",
+    )
+
+    # Claim 3 (Section 4.3): CC beats modularity on ground truth.
+    cc_pr = average_precision_recall(par.assignments, communities)
+    mod = modularity_clustering(graph, gamma=1.0, seed=1)
+    mod_pr = average_precision_recall(mod.assignments, communities)
+    check(
+        "PAR-CC >= PAR-MOD on ground truth (F1)",
+        cc_pr.f1 >= mod_pr.f1 - 0.02,
+        f"CC F1={cc_pr.f1:.3f} vs MOD F1={mod_pr.f1:.3f}",
+    )
+
+    # Claim 4 (Appendix C.1): pivots fast but poor.
+    pivot_labels = kwikcluster(graph, seed=1)
+    pivot_obj = cc_objective(graph, pivot_labels, 0.5)
+    ours = correlation_clustering(graph, resolution=0.5, seed=1)
+    check(
+        "KwikCluster loses on CC objective",
+        pivot_obj < ours.objective,
+        f"pivot={pivot_obj:.0f} vs PAR-CC={ours.objective:.0f}",
+    )
+
+    # Claim 5 (Figure 10): Tectonic degrades on the denser graph.
+    tect_amazon = average_precision_recall(
+        tectonic_cluster(graph, theta=0.15), communities
+    )
+    tect_orkut = average_precision_recall(
+        tectonic_cluster(orkut.graph, theta=0.15), orkut.top_communities(5000)
+    )
+    cc_orkut = average_precision_recall(
+        correlation_clustering(orkut.graph, resolution=0.1, seed=1).assignments,
+        orkut.top_communities(5000),
+    )
+    check(
+        "Tectonic degrades on denser graph while PAR-CC holds",
+        cc_orkut.f1 > tect_orkut.f1,
+        f"orkut: PAR-CC F1={cc_orkut.f1:.3f} vs Tectonic F1={tect_orkut.f1:.3f} "
+        f"(amazon Tectonic F1={tect_amazon.f1:.3f})",
+    )
+
+    # Claim 6 (Figure 7): parallel scaling with a hyper-threading knee.
+    times = {p: par.sim_time(p) for p in (1, 30, 60)}
+    check(
+        "thread scaling with SMT knee",
+        times[1] > times[30] > times[60]
+        and (times[1] / times[30]) > 3 * (times[30] / times[60]),
+        f"speedup@30={times[1] / times[30]:.1f}x, @60={times[1] / times[60]:.1f}x",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Correlation clustering of a signed social network.
+
+Run with::
+
+    python examples/signed_network.py
+
+The LambdaCC objective natively handles negative (dissimilarity) edges —
+the setting correlation clustering was invented for (Bansal et al.,
+reference [4] of the paper).  This example builds a synthetic signed
+network of rival factions with noisy relations and shows PAR-CC
+recovering the factions at lambda ~ 0 (pure correlation clustering),
+something modularity-based methods cannot express at all.
+"""
+
+import numpy as np
+
+from repro.bench.harness import ExperimentTable
+from repro.core.api import correlation_clustering
+from repro.eval import adjusted_rand_index
+from repro.graphs.builders import graph_from_edges
+
+
+def signed_factions(num_factions=4, size=30, flip_probability=0.08, seed=0):
+    """Factions with friendly intra edges, hostile inter edges, and a
+    fraction of relations flipped (noise)."""
+    rng = np.random.default_rng(seed)
+    n = num_factions * size
+    labels = np.repeat(np.arange(num_factions), size)
+    edges, weights = [], []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() > 0.15:  # sparse acquaintance
+                continue
+            friendly = labels[u] == labels[v]
+            if rng.random() < flip_probability:
+                friendly = not friendly
+            edges.append((u, v))
+            weights.append(1.0 if friendly else -1.0)
+    graph = graph_from_edges(edges, weights=np.asarray(weights), num_vertices=n)
+    return graph, labels
+
+
+def main() -> None:
+    table = ExperimentTable(
+        "signed-network clustering (PAR-CC, lambda = 0)",
+        ["noise", "clusters found", "true factions", "ARI", "objective F"],
+    )
+    for flip in (0.0, 0.05, 0.15, 0.3):
+        graph, labels = signed_factions(flip_probability=flip, seed=1)
+        result = correlation_clustering(graph, resolution=0.0, seed=1)
+        table.add_row(
+            flip,
+            result.num_clusters,
+            int(labels.max()) + 1,
+            adjusted_rand_index(result.assignments, labels),
+            result.f_objective,
+        )
+    table.emit()
+    print(
+        "Expected shape: perfect faction recovery at low noise, graceful\n"
+        "degradation as relations flip — the classic correlation-clustering\n"
+        "setting the LambdaCC objective generalizes."
+    )
+
+
+if __name__ == "__main__":
+    main()

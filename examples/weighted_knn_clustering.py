@@ -1,0 +1,62 @@
+"""Weighted-graph clustering from pointset data (the Appendix C.2 pipeline).
+
+Run with::
+
+    python examples/weighted_knn_clustering.py
+
+Builds a cosine k-NN graph (k = 50, as the paper does with ScaNN) from a
+digits-like Gaussian-mixture pointset, clusters it with PAR-CC treating
+the graph both weighted (PAR-CC^W) and unweighted (PAR-CC), plus PAR-MOD,
+and reports ARI and NMI against the ground-truth classes — the axes of
+the paper's Figures 15–16.
+"""
+
+from repro import correlation_clustering, modularity_clustering
+from repro.bench.harness import ExperimentTable
+from repro.eval import adjusted_rand_index, normalized_mutual_information
+from repro.generators import knn_graph
+from repro.generators.pointsets import digits_like_pointset
+
+
+def main() -> None:
+    pointset = digits_like_pointset(seed=0)
+    print(
+        f"pointset: {pointset.name}, {pointset.num_points} points, "
+        f"{pointset.num_classes} classes, {pointset.points.shape[1]} features"
+    )
+    graph = knn_graph(pointset.points, k=50)
+    print(f"k-NN graph: {graph}")
+
+    table = ExperimentTable(
+        "weighted clustering quality (digits surrogate)",
+        ["method", "resolution", "clusters", "ARI", "NMI"],
+    )
+
+    def add(label, resolution, labels):
+        table.add_row(
+            label,
+            resolution,
+            int(labels.max()) + 1,
+            adjusted_rand_index(labels, pointset.labels),
+            normalized_mutual_information(labels, pointset.labels),
+        )
+
+    for lam in (0.02, 0.05, 0.15):
+        weighted = correlation_clustering(graph, resolution=lam, seed=1)
+        add("PAR-CC^W", lam, weighted.assignments)
+        unweighted = correlation_clustering(
+            graph.with_unit_weights(), resolution=lam, seed=1
+        )
+        add("PAR-CC", lam, unweighted.assignments)
+    mod = modularity_clustering(graph, gamma=1.0, seed=1)
+    add("PAR-MOD^W", 1.0, mod.assignments)
+
+    table.emit()
+    print(
+        "Expected shape (Figure 15): the weighted treatment (PAR-CC^W) is\n"
+        "the most robust across resolutions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works in offline
+environments without the ``wheel`` package (pip falls back to the legacy
+``setup.py develop`` editable path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""KwikCluster (Pivot) — Ailon, Charikar, Newman.
+
+The sequential 3-approximation for correlation clustering on complete
+graphs (equivalently LambdaCC at lambda = 0.5 on unweighted graphs, which
+is the only setting C4/ClusterWild! support — Appendix C.1): draw a random
+permutation; repeatedly take the first unclustered vertex as a *pivot*,
+cluster it with all its unclustered (positive-edge) neighbors, and remove
+them.
+
+The paper's observation — reproduced by our benches — is that pivot
+methods are very fast but typically achieve *negative* LambdaCC objective
+and poor ground-truth precision/recall.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.utils.rng import SeedLike, make_rng
+
+
+def kwikcluster(
+    graph: CSRGraph,
+    seed: SeedLike = None,
+    permutation: Optional[np.ndarray] = None,
+    sched=None,
+) -> np.ndarray:
+    """Cluster by sequential pivoting; returns dense assignment labels.
+
+    ``permutation`` overrides the random order (used by C4's equivalence
+    tests).  Positive-weight edges count as "similar".
+    """
+    n = graph.num_vertices
+    rank_order = (
+        np.asarray(permutation, dtype=np.int64)
+        if permutation is not None
+        else make_rng(seed).permutation(n).astype(np.int64)
+    )
+    assignments = np.full(n, -1, dtype=np.int64)
+    work = 0.0
+    for pivot in rank_order.tolist():
+        if assignments[pivot] != -1:
+            continue
+        assignments[pivot] = pivot
+        nbrs, wts = graph.neighborhood(pivot)
+        work += nbrs.size + 1
+        positive = nbrs[(wts > 0) & (assignments[nbrs] == -1)]
+        assignments[positive] = pivot
+    if sched is not None:
+        sched.charge(work=work + n, depth=work + n, label="kwikcluster")
+    _, dense = np.unique(assignments, return_inverse=True)
+    return dense.astype(np.int64)

@@ -1,0 +1,83 @@
+"""Label propagation (Raghavan–Albert–Kumara, the paper's reference [32]).
+
+The near-linear-time community detection baseline the paper cites when
+discussing synchronous-update oscillation: each vertex repeatedly adopts
+the (weighted-) majority label among its neighbors.  We implement the
+standard *asynchronous* variant (random order, immediate updates, ties
+broken randomly), which converges, plus the synchronous variant that
+exhibits the classic label oscillation — a nice external witness for the
+paper's Section 3.2.1 discussion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+from repro.utils.rng import SeedLike, make_rng
+
+
+def _majority_label(
+    labels: np.ndarray, nbrs: np.ndarray, weights: np.ndarray, rng
+) -> int:
+    candidate_labels = labels[nbrs]
+    unique, inverse = np.unique(candidate_labels, return_inverse=True)
+    scores = np.bincount(inverse, weights=weights, minlength=unique.size)
+    best = scores.max()
+    winners = unique[scores >= best - 1e-12]
+    if winners.size == 1:
+        return int(winners[0])
+    return int(winners[rng.integers(0, winners.size)])
+
+
+def label_propagation(
+    graph: CSRGraph,
+    max_iterations: int = 50,
+    seed: SeedLike = None,
+    synchronous: bool = False,
+    sched=None,
+) -> np.ndarray:
+    """Cluster by (a)synchronous label propagation; returns dense labels.
+
+    ``synchronous=True`` updates all labels in lockstep — prone to the
+    oscillation the paper's Figure 1 illustrates for Louvain; the default
+    asynchronous schedule converges.
+    """
+    n = graph.num_vertices
+    rng = make_rng(seed)
+    labels = np.arange(n, dtype=np.int64)
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.offsets))
+    for _ in range(max_iterations):
+        changed = 0
+        if synchronous:
+            new_labels = labels.copy()
+            for v in range(n):
+                lo, hi = graph.offsets[v], graph.offsets[v + 1]
+                if lo == hi:
+                    continue
+                new_labels[v] = _majority_label(
+                    labels, graph.neighbors[lo:hi], graph.weights[lo:hi], rng
+                )
+            changed = int((new_labels != labels).sum())
+            labels = new_labels
+        else:
+            for v in rng.permutation(n).tolist():
+                lo, hi = graph.offsets[v], graph.offsets[v + 1]
+                if lo == hi:
+                    continue
+                new = _majority_label(
+                    labels, graph.neighbors[lo:hi], graph.weights[lo:hi], rng
+                )
+                if new != labels[v]:
+                    labels[v] = new
+                    changed += 1
+        if sched is not None:
+            sched.charge(
+                work=float(src.size + n),
+                depth=float(np.log2(max(n, 2))) * 4.0,
+                label="label-prop",
+            )
+        if changed == 0:
+            break
+    _, dense = np.unique(labels, return_inverse=True)
+    return dense.astype(np.int64)

@@ -1,0 +1,89 @@
+"""Triangle-counting substrate (shared by Tectonic and SCD).
+
+Per-edge triangle counts come from the sparse-matrix identity
+``T = (A @ A) ⊙ A``: entry (u, v) of ``A @ A`` counts common neighbors of
+``u`` and ``v``, masked to actual edges.  :func:`vertex_triangle_pairs`
+additionally enumerates, per vertex, the pairs of its neighbors that close
+triangles — the structure SCD's WCC computation consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.graphs.csr import CSRGraph
+
+
+def _adjacency(graph: CSRGraph) -> csr_matrix:
+    n = graph.num_vertices
+    indptr = graph.offsets.astype(np.int64)
+    return csr_matrix(
+        (np.ones(graph.num_directed_edges, dtype=np.int64), graph.neighbors, indptr),
+        shape=(n, n),
+    )
+
+
+def edge_triangle_counts(graph: CSRGraph) -> np.ndarray:
+    """Triangles through each stored directed adjacency entry.
+
+    Returned array aligns with ``graph.neighbors``; symmetric entries carry
+    equal counts.
+    """
+    n = graph.num_vertices
+    counts = np.zeros(graph.num_directed_edges, dtype=np.int64)
+    if graph.num_directed_edges == 0:
+        return counts
+    adjacency = _adjacency(graph)
+    paths = adjacency @ adjacency  # (u, v) -> number of common neighbors
+    triangles = paths.multiply(adjacency).tocoo()
+    # Align the (possibly sparser) triangle entries with our CSR layout via
+    # the shared sorted (row * n + col) key.
+    tri_key = triangles.row.astype(np.int64) * n + triangles.col.astype(np.int64)
+    order = np.argsort(tri_key)
+    tri_key = tri_key[order]
+    tri_data = triangles.data[order]
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.offsets))
+    edge_key = src * n + graph.neighbors
+    positions = np.searchsorted(edge_key, tri_key)
+    counts[positions] = tri_data
+    return counts
+
+
+def total_triangles(graph: CSRGraph) -> int:
+    """Total number of triangles in the graph."""
+    counts = edge_triangle_counts(graph)
+    # Each triangle is counted once per directed entry of its three edges.
+    return int(counts.sum()) // 6
+
+
+def vertex_triangle_pairs(graph: CSRGraph) -> List[np.ndarray]:
+    """Per vertex ``x``, the (y, z) neighbor pairs closing a triangle.
+
+    ``result[x]`` is an ``(t_x, 2)`` array with ``y < z``; ``t_x`` is the
+    number of triangles incident on ``x``.  Storage is ``3 * #triangles``
+    pairs total.
+    """
+    n = graph.num_vertices
+    neighbor_sets: List[set] = [
+        set(graph.neighbors[graph.offsets[v]: graph.offsets[v + 1]].tolist())
+        for v in range(n)
+    ]
+    out: List[np.ndarray] = []
+    for x in range(n):
+        nbrs = graph.neighbors[graph.offsets[x]: graph.offsets[x + 1]]
+        pairs: List[Tuple[int, int]] = []
+        nbr_list = nbrs.tolist()
+        for i, y in enumerate(nbr_list):
+            y_set = neighbor_sets[y]
+            for z in nbr_list[i + 1:]:
+                if z in y_set:
+                    pairs.append((y, z) if y < z else (z, y))
+        out.append(
+            np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+            if pairs
+            else np.zeros((0, 2), dtype=np.int64)
+        )
+    return out

@@ -1,0 +1,19 @@
+"""Benchmark harness: experiment records, table printing, dataset registry.
+
+The ``benchmarks/`` directory holds one pytest-benchmark module per paper
+table/figure; this package provides their shared machinery so each bench
+stays a thin declaration of workload + sweep + printed series.
+"""
+
+from repro.bench.datasets import benchmark_surrogate, quality_resolutions, tuning_pairs
+from repro.bench.harness import ExperimentTable, averaged, bench_scale, speedup
+
+__all__ = [
+    "ExperimentTable",
+    "averaged",
+    "bench_scale",
+    "benchmark_surrogate",
+    "quality_resolutions",
+    "speedup",
+    "tuning_pairs",
+]

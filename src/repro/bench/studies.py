@@ -1,0 +1,187 @@
+"""Cached experiment studies shared by multiple figure benches.
+
+Figures 2/3 plot the same tuning grid from two angles (time and
+objective), and Figures 4/5 the same speedup grid (speedup and rounds) —
+so each grid runs once per pytest session and both benches read it.
+
+Workload scales are reduced relative to the generators' defaults so the
+whole benchmark suite stays laptop-sized; ``REPRO_BENCH_SCALE`` scales
+them globally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.bench.datasets import benchmark_surrogate
+from repro.bench.harness import bench_scale
+from repro.core.api import cluster
+from repro.core.config import ClusteringConfig, Frontier, Mode, Objective
+from repro.core.result import ClusterResult
+
+#: Per-graph scale factors for the tuning study (Section 4.1 grid).
+TUNING_SCALES: Dict[str, float] = {
+    "amazon": 0.5,
+    "orkut": 0.35,
+    "twitter": 0.35,
+    "friendster": 0.35,
+}
+
+#: Per-graph scale factors for the speedup study (Figures 4-5).
+SPEEDUP_SCALES: Dict[str, float] = {
+    "amazon": 0.6,
+    "dblp": 0.6,
+    "livejournal": 0.3,
+    "orkut": 0.25,
+    "twitter": 0.3,
+    "friendster": 0.3,
+}
+
+#: The Section 4.1 optimization settings: name -> (mode, frontier, refine).
+TUNING_SETTINGS: Dict[str, Tuple[Mode, Frontier, bool]] = {
+    "base": (Mode.SYNC, Frontier.ALL, False),
+    "async": (Mode.ASYNC, Frontier.ALL, False),
+    "cluster-nbrs": (Mode.SYNC, Frontier.CLUSTER_NEIGHBORS, False),
+    "vertex-nbrs": (Mode.SYNC, Frontier.VERTEX_NEIGHBORS, False),
+    "refine": (Mode.SYNC, Frontier.ALL, True),
+    "all-opts": (Mode.ASYNC, Frontier.VERTEX_NEIGHBORS, True),
+}
+
+#: Resolutions of the tuning study.
+TUNING_LAMBDAS: Tuple[float, float] = (0.01, 0.85)
+#: Modularity gammas paired with the lambdas (low/high granularity).
+TUNING_GAMMAS: Tuple[float, float] = (0.5, 16.0)
+
+#: Resolutions of the speedup study.
+SPEEDUP_LAMBDAS: Tuple[float, ...] = (0.01, 0.25, 0.5, 0.75, 0.95)
+SPEEDUP_GAMMAS: Tuple[float, ...] = (0.1, 0.5, 1.0, 4.0, 16.0)
+
+
+@dataclass(frozen=True)
+class StudyRecord:
+    """One clustering run's bench-relevant outputs."""
+
+    graph: str
+    objective_kind: str  # "cc" | "mod"
+    resolution: float
+    variant: str  # setting name or "par"/"seq"/"seq-con"
+    sim_time_seq: float  # simulated time at P = 1
+    sim_time_par: float  # simulated time at P = 60
+    objective: float
+    modularity: float
+    rounds: int
+    num_clusters: int
+    memory_overhead: float
+
+    @staticmethod
+    def from_result(
+        graph: str, objective_kind: str, variant: str, result: ClusterResult
+    ) -> "StudyRecord":
+        return StudyRecord(
+            graph=graph,
+            objective_kind=objective_kind,
+            resolution=result.resolution,
+            variant=variant,
+            sim_time_seq=result.ledger.simulated_time(1, machine=result.machine),
+            sim_time_par=result.ledger.simulated_time(60, machine=result.machine),
+            objective=result.objective,
+            modularity=result.modularity,
+            rounds=result.rounds,
+            num_clusters=result.num_clusters,
+            memory_overhead=result.memory_overhead,
+        )
+
+
+def _tuning_graph(name: str):
+    return benchmark_surrogate(
+        name, seed=0, scale=TUNING_SCALES[name] * bench_scale()
+    ).graph
+
+
+def _speedup_graph(name: str):
+    return benchmark_surrogate(
+        name, seed=0, scale=SPEEDUP_SCALES[name] * bench_scale()
+    ).graph
+
+
+@lru_cache(maxsize=1)
+def tuning_study() -> List[StudyRecord]:
+    """Run the Section 4.1 optimization grid once (Figures 2 and 3)."""
+    records: List[StudyRecord] = []
+    for name in TUNING_SCALES:
+        graph = _tuning_graph(name)
+        for objective_kind in ("cc", "mod"):
+            resolutions = (
+                TUNING_LAMBDAS if objective_kind == "cc" else TUNING_GAMMAS
+            )
+            for resolution in resolutions:
+                for setting, (mode, frontier, refine) in TUNING_SETTINGS.items():
+                    config = ClusteringConfig(
+                        objective=(
+                            Objective.CORRELATION
+                            if objective_kind == "cc"
+                            else Objective.MODULARITY
+                        ),
+                        resolution=resolution,
+                        mode=mode,
+                        frontier=frontier,
+                        refine=refine,
+                        seed=1,
+                    )
+                    result = cluster(graph, config)
+                    records.append(
+                        StudyRecord.from_result(name, objective_kind, setting, result)
+                    )
+    return records
+
+
+@lru_cache(maxsize=1)
+def speedup_study() -> List[StudyRecord]:
+    """Run the Figure 4/5 speedup grid once (PAR vs SEQ, CC and MOD)."""
+    records: List[StudyRecord] = []
+    for name in SPEEDUP_SCALES:
+        graph = _speedup_graph(name)
+        for objective_kind, resolutions in (
+            ("cc", SPEEDUP_LAMBDAS),
+            ("mod", SPEEDUP_GAMMAS),
+        ):
+            objective = (
+                Objective.CORRELATION if objective_kind == "cc" else Objective.MODULARITY
+            )
+            for resolution in resolutions:
+                for variant, parallel, num_iter in (
+                    ("par", True, 10),
+                    ("seq", False, 10),
+                ):
+                    config = ClusteringConfig(
+                        objective=objective,
+                        resolution=resolution,
+                        parallel=parallel,
+                        num_iter=num_iter,
+                        seed=1,
+                    )
+                    result = cluster(graph, config)
+                    records.append(
+                        StudyRecord.from_result(name, objective_kind, variant, result)
+                    )
+    return records
+
+
+def select(
+    records: List[StudyRecord], **criteria
+) -> List[StudyRecord]:
+    """Filter study records by exact attribute match."""
+    out = records
+    for key, value in criteria.items():
+        out = [r for r in out if getattr(r, key) == value]
+    return out
+
+
+def lookup(records: List[StudyRecord], **criteria) -> StudyRecord:
+    """The unique record matching the criteria."""
+    matches = select(records, **criteria)
+    if len(matches) != 1:
+        raise LookupError(f"expected 1 record for {criteria}, got {len(matches)}")
+    return matches[0]

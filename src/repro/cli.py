@@ -1,0 +1,360 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Subcommands:
+
+* ``cluster``  — cluster a graph (edge-list file, named surrogate, or the
+  karate club) with PAR-CC/SEQ-CC/PAR-MOD/SEQ-MOD and print the result
+  summary; optionally write the labels to a file (one per line);
+* ``generate`` — write a synthetic graph (rMAT / planted / surrogate) as
+  an edge list, plus its ground-truth communities when available;
+* ``evaluate`` — score a labels file against a communities file
+  (precision/recall) and/or a labels file (ARI/NMI);
+* ``sweep``    — sweep the resolution and print precision/recall per point
+  (the Figure 9/10 methodology on your own data);
+* ``hierarchy`` — print the multilevel coarsening hierarchy of one run;
+* ``consensus`` — cluster several seeds and write the consensus labels;
+* ``table1``   — print the surrogate dataset table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.api import cluster
+from repro.core.config import ClusteringConfig, Frontier, Mode, Objective
+from repro.eval.ari import adjusted_rand_index
+from repro.eval.ground_truth import average_precision_recall
+from repro.eval.nmi import normalized_mutual_information
+from repro.generators.planted import planted_partition_graph
+from repro.generators.rmat import rmat_graph
+from repro.generators.snap_like import SNAP_SURROGATES, load_snap_surrogate, surrogate_table
+from repro.graphs.io import (
+    read_communities,
+    read_edge_list,
+    read_metis,
+    write_communities,
+    write_edge_list,
+)
+from repro.graphs.karate import karate_club_graph
+
+
+def _load_graph(args) -> "object":
+    sources = [bool(args.input), bool(args.surrogate), args.karate]
+    if sum(sources) != 1:
+        raise SystemExit("choose exactly one of --input / --surrogate / --karate")
+    if args.input:
+        if str(args.input).endswith((".graph", ".metis")):
+            return read_metis(args.input)
+        return read_edge_list(args.input)
+    if args.surrogate:
+        return load_snap_surrogate(args.surrogate, seed=args.seed or 0).graph
+    return karate_club_graph()
+
+
+def _write_labels(labels: np.ndarray, path: str) -> None:
+    with open(path, "w") as handle:
+        for label in labels.tolist():
+            handle.write(f"{label}\n")
+
+
+def _read_labels(path: str) -> np.ndarray:
+    with open(path) as handle:
+        return np.asarray(
+            [int(line.strip()) for line in handle if line.strip()], dtype=np.int64
+        )
+
+
+def _cmd_cluster(args) -> int:
+    graph = _load_graph(args)
+    config = ClusteringConfig(
+        objective=Objective(args.objective),
+        resolution=args.resolution,
+        parallel=not args.sequential,
+        mode=Mode(args.mode),
+        frontier=Frontier(args.frontier),
+        refine=not args.no_refine,
+        num_iter=None if args.converge else args.num_iter,
+        num_workers=args.workers,
+        seed=args.seed,
+    )
+    result = cluster(graph, config)
+    print(result.summary())
+    if args.output:
+        _write_labels(result.assignments, args.output)
+        print(f"labels written to {args.output}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if args.kind == "rmat":
+        graph = rmat_graph(args.scale, args.edges or 5 * 2**args.scale, seed=args.seed)
+        write_edge_list(graph, args.output)
+        print(f"rmat: n={graph.num_vertices} m={graph.num_edges} -> {args.output}")
+        return 0
+    if args.kind == "planted":
+        part = planted_partition_graph(
+            num_vertices=args.vertices,
+            intra_degree=args.intra_degree,
+            inter_degree=args.inter_degree,
+            seed=args.seed,
+        )
+    elif args.kind == "lfr":
+        from repro.generators.lfr import lfr_like_graph
+
+        part = lfr_like_graph(
+            num_vertices=args.vertices, mixing=args.mixing, seed=args.seed
+        )
+    elif args.kind == "surrogate":
+        if not args.name:
+            raise SystemExit("--name required for --kind surrogate")
+        part = load_snap_surrogate(args.name, seed=args.seed or 0)
+    else:
+        raise SystemExit(f"unknown kind {args.kind}")
+    write_edge_list(part.graph, args.output)
+    print(
+        f"{part.name}: n={part.graph.num_vertices} m={part.graph.num_edges} "
+        f"-> {args.output}"
+    )
+    if args.communities:
+        write_communities(part.communities, args.communities)
+        print(f"{part.num_communities} communities -> {args.communities}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    labels = _read_labels(args.labels)
+    if args.communities:
+        communities = read_communities(args.communities)
+        pr = average_precision_recall(labels, communities)
+        print(f"precision={pr.precision:.4f} recall={pr.recall:.4f} f1={pr.f1:.4f}")
+    if args.reference:
+        reference = _read_labels(args.reference)
+        if reference.size != labels.size:
+            raise SystemExit(
+                f"label files disagree in length: {labels.size} vs {reference.size}"
+            )
+        print(f"ARI={adjusted_rand_index(labels, reference):.4f}")
+        print(f"NMI={normalized_mutual_information(labels, reference):.4f}")
+    if not args.communities and not args.reference:
+        raise SystemExit("provide --communities and/or --reference")
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    print(f"{'graph':<14}{'vertices':>10}{'edges':>12}")
+    for name, n, m in surrogate_table(seed=0):
+        print(f"{name:<14}{n:>10}{m:>12}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.eval.conductance import conductance_summary
+    from repro.eval.report import cluster_report
+
+    graph = _load_graph(args)
+    labels = _read_labels(args.labels)
+    if labels.size != graph.num_vertices:
+        raise SystemExit(
+            f"labels file has {labels.size} entries for a graph of "
+            f"{graph.num_vertices} vertices"
+        )
+    communities = read_communities(args.communities) if args.communities else None
+    report = cluster_report(
+        graph, labels, resolution=args.resolution, communities=communities
+    )
+    conductance = conductance_summary(graph, labels)
+    print(f"clusters:            {report.num_clusters}")
+    print(f"max cluster size:    {report.max_cluster_size}")
+    print(f"mean cluster size:   {report.mean_cluster_size:.2f}")
+    print(f"singleton fraction:  {report.singleton_fraction:.3f}")
+    print(f"intra-edge fraction: {report.intra_edge_fraction:.3f}")
+    print(f"CC objective:        {report.cc_objective:.6g}")
+    print(f"modularity:          {report.modularity:.4f}")
+    print(f"mean conductance:    {conductance['mean']:.4f}")
+    if report.precision is not None:
+        print(f"precision:           {report.precision:.4f}")
+        print(f"recall:              {report.recall:.4f}")
+        print(f"f1:                  {report.f1:.4f}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    graph = _load_graph(args)
+    communities = read_communities(args.communities) if args.communities else None
+    resolutions = [float(tok) for tok in args.resolutions.split(",")]
+    header = f"{'resolution':>10} {'clusters':>9} {'objective':>12}"
+    if communities:
+        header += f" {'precision':>10} {'recall':>8} {'f1':>8}"
+    print(header)
+    for resolution in resolutions:
+        config = ClusteringConfig(
+            objective=Objective(args.objective),
+            resolution=resolution,
+            seed=args.seed,
+        )
+        result = cluster(graph, config)
+        line = (
+            f"{resolution:>10g} {result.num_clusters:>9} "
+            f"{result.objective:>12.4g}"
+        )
+        if communities:
+            pr = average_precision_recall(result.assignments, communities)
+            line += f" {pr.precision:>10.4f} {pr.recall:>8.4f} {pr.f1:>8.4f}"
+        print(line)
+    return 0
+
+
+def _cmd_hierarchy(args) -> int:
+    from repro.core.hierarchy import cluster_hierarchy
+
+    graph = _load_graph(args)
+    config = ClusteringConfig(
+        objective=Objective(args.objective),
+        resolution=args.resolution,
+        seed=args.seed,
+    )
+    hierarchy = cluster_hierarchy(graph, config)
+    print(f"{'level':>5} {'clusters':>9} {'objective':>12}")
+    for level in hierarchy.levels:
+        print(
+            f"{level.level:>5} {level.num_clusters:>9} {level.objective:>12.4g}"
+        )
+    print(f"nested: {hierarchy.is_nested()}")
+    return 0
+
+
+def _cmd_consensus(args) -> int:
+    from repro.eval.consensus import consensus_from_runs
+
+    graph = _load_graph(args)
+
+    def run(seed: int) -> np.ndarray:
+        config = ClusteringConfig(
+            objective=Objective(args.objective),
+            resolution=args.resolution,
+            seed=seed,
+        )
+        return cluster(graph, config).assignments
+
+    labels = consensus_from_runs(
+        graph, run, num_runs=args.runs, threshold=args.threshold
+    )
+    print(f"consensus over {args.runs} runs: {int(labels.max()) + 1} clusters")
+    if args.output:
+        _write_labels(labels, args.output)
+        print(f"labels written to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel correlation clustering (VLDB 2021) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("cluster", help="cluster a graph")
+    p.add_argument("--input", help="edge-list file (u v [w] per line)")
+    p.add_argument(
+        "--surrogate", choices=sorted(SNAP_SURROGATES), help="named surrogate graph"
+    )
+    p.add_argument("--karate", action="store_true", help="use the karate club graph")
+    p.add_argument(
+        "--objective", choices=[o.value for o in Objective], default="correlation"
+    )
+    p.add_argument("--resolution", type=float, default=0.01,
+                   help="lambda (CC) or gamma (modularity)")
+    p.add_argument("--sequential", action="store_true", help="run SEQ instead of PAR")
+    p.add_argument("--mode", choices=[m.value for m in Mode], default="async")
+    p.add_argument(
+        "--frontier", choices=[f.value for f in Frontier], default="vertex-neighbors"
+    )
+    p.add_argument("--no-refine", action="store_true")
+    p.add_argument("--num-iter", type=int, default=10)
+    p.add_argument("--converge", action="store_true",
+                   help="run to convergence (the ^CON variants)")
+    p.add_argument("--workers", type=int, default=60)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--output", help="write labels (one per line)")
+    p.set_defaults(func=_cmd_cluster)
+
+    p = sub.add_parser("generate", help="generate a synthetic graph")
+    p.add_argument("--kind", choices=["rmat", "planted", "lfr", "surrogate"],
+                   required=True)
+    p.add_argument("--output", required=True, help="edge-list output path")
+    p.add_argument("--communities", help="ground-truth communities output path")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scale", type=int, default=10, help="rmat: log2(num vertices)")
+    p.add_argument("--edges", type=int, help="rmat: number of edges")
+    p.add_argument("--vertices", type=int, default=1000, help="planted: vertex count")
+    p.add_argument("--intra-degree", type=float, default=8.0)
+    p.add_argument("--mixing", type=float, default=0.2, help="lfr: mu")
+    p.add_argument("--inter-degree", type=float, default=2.0)
+    p.add_argument("--name", help="surrogate: graph name")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("evaluate", help="score a clustering")
+    p.add_argument("--labels", required=True, help="labels file (one per line)")
+    p.add_argument("--communities", help="SNAP-format ground-truth communities")
+    p.add_argument("--reference", help="reference labels file (ARI/NMI)")
+    p.set_defaults(func=_cmd_evaluate)
+
+    def add_graph_source(p):
+        p.add_argument("--input", help="edge-list file (u v [w] per line)")
+        p.add_argument(
+            "--surrogate", choices=sorted(SNAP_SURROGATES),
+            help="named surrogate graph",
+        )
+        p.add_argument("--karate", action="store_true",
+                       help="use the karate club graph")
+        p.add_argument(
+            "--objective", choices=[o.value for o in Objective],
+            default="correlation",
+        )
+        p.add_argument("--seed", type=int, default=None)
+
+    p = sub.add_parser("sweep", help="precision/recall over a resolution sweep")
+    add_graph_source(p)
+    p.add_argument("--resolutions", default="0.01,0.05,0.1,0.3,0.5,0.8",
+                   help="comma-separated resolutions")
+    p.add_argument("--communities", help="ground-truth communities file")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("hierarchy", help="print the coarsening hierarchy")
+    add_graph_source(p)
+    p.add_argument("--resolution", type=float, default=0.05)
+    p.set_defaults(func=_cmd_hierarchy)
+
+    p = sub.add_parser("consensus", help="consensus clustering over seeds")
+    add_graph_source(p)
+    p.add_argument("--resolution", type=float, default=0.05)
+    p.add_argument("--runs", type=int, default=10,
+                   help="number of seeds (the paper repeats 10x)")
+    p.add_argument("--threshold", type=float, default=0.5)
+    p.add_argument("--output", help="write consensus labels")
+    p.set_defaults(func=_cmd_consensus)
+
+    p = sub.add_parser("report", help="quality report for a labels file")
+    add_graph_source(p)
+    p.add_argument("--labels", required=True, help="labels file (one per line)")
+    p.add_argument("--resolution", type=float, default=0.01)
+    p.add_argument("--communities", help="ground-truth communities file")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("table1", help="print the surrogate dataset table")
+    p.set_defaults(func=_cmd_table1)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

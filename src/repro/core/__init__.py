@@ -1,0 +1,37 @@
+"""The paper's primary contribution: the LambdaCC Louvain framework.
+
+Submodules follow the paper's structure:
+
+* :mod:`repro.core.objective`   — LambdaCC / modularity objectives (Sec. 2);
+* :mod:`repro.core.config`      — objective + optimization settings (Sec. 3.2);
+* :mod:`repro.core.state`       — clustering state with cluster weights K_c;
+* :mod:`repro.core.moves`       — best-move computation kernels (App. A/B);
+* :mod:`repro.core.best_moves`  — BEST-MOVES with sync/async windows and
+  frontier restriction (Alg. 1);
+* :mod:`repro.core.louvain_seq` — SEQUENTIAL-CC (Alg. 2);
+* :mod:`repro.core.louvain_par` — PARALLEL-CC with multi-level refinement;
+* :mod:`repro.core.api`         — user-facing entry points.
+"""
+
+from repro.core.api import cluster, correlation_clustering, modularity_clustering
+from repro.core.hierarchy import ClusterHierarchy, cluster_hierarchy
+from repro.core.config import ClusteringConfig, Frontier, Mode, Objective
+from repro.core.leiden import leiden_refine
+from repro.core.objective import lambdacc_objective, modularity
+from repro.core.result import ClusterResult
+
+__all__ = [
+    "ClusterHierarchy",
+    "ClusterResult",
+    "ClusteringConfig",
+    "Frontier",
+    "Mode",
+    "Objective",
+    "cluster",
+    "cluster_hierarchy",
+    "correlation_clustering",
+    "lambdacc_objective",
+    "leiden_refine",
+    "modularity",
+    "modularity_clustering",
+]

@@ -1,0 +1,137 @@
+"""BEST-MOVES: the inner loop of Algorithm 1.
+
+Repeatedly (up to ``num_iter`` times, for convergence is not guaranteed
+under concurrent moves) lets every frontier vertex move to the cluster
+maximizing its own objective.  Scheduling of the moves follows
+Section 3.2.1:
+
+* **synchronous** — the whole frontier computes desired clusters against
+  one snapshot, then all moves apply in lockstep.  No symmetry breaking:
+  mutually attracted vertices can jointly land in a bad cluster (Figure 1),
+  which is why this setting often yields negative CC objectives.
+* **asynchronous** — the (shuffled) frontier is processed in *concurrency
+  windows* of roughly the worker count; within a window all vertices read
+  the window-start state (the stale reads real concurrent threads see) and
+  moves apply atomically between windows, with CAS contention charged per
+  window.  Randomized window membership provides the symmetry breaking the
+  paper credits for the asynchronous setting's quality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import ClusteringConfig, Mode
+from repro.core.frontier import next_frontier
+from repro.core.moves import compute_batch_moves, kernel_depth
+from repro.core.state import ClusterState
+from repro.graphs.csr import CSRGraph
+
+
+@dataclass
+class BestMovesStats:
+    """Diagnostics from one BEST-MOVES invocation."""
+
+    iterations: int = 0
+    total_moves: int = 0
+    #: |V'| at the start of each iteration (Figure 11's series).
+    frontier_sizes: List[int] = field(default_factory=list)
+    converged: bool = False
+
+
+def _windows(
+    order: np.ndarray, config: ClusteringConfig
+) -> List[np.ndarray]:
+    """Split an iteration's frontier into concurrency windows.
+
+    Synchronous mode is a single window (one snapshot for everyone).
+    Asynchronous mode uses ``async_windows`` windows regardless of
+    frontier size: on small frontiers windows degenerate to single
+    vertices — matching true asynchrony, where memory updates become
+    visible at far finer granularity than the frontier — while on large
+    frontiers the window is the staleness horizon within which concurrent
+    threads read each other's pre-move state (DESIGN.md §2).
+    """
+    if config.mode is Mode.SYNC:
+        return [order]
+    num_windows = max(1, min(config.async_windows, order.size))
+    return np.array_split(order, num_windows)
+
+
+def run_best_moves(
+    graph: CSRGraph,
+    state: ClusterState,
+    resolution: float,
+    config: ClusteringConfig,
+    sched=None,
+    rng: Optional[np.random.Generator] = None,
+    initial_frontier: Optional[np.ndarray] = None,
+) -> BestMovesStats:
+    """Run BEST-MOVES in place on ``state``; returns iteration diagnostics."""
+    stats = BestMovesStats()
+    n = graph.num_vertices
+    active = (
+        np.arange(n, dtype=np.int64)
+        if initial_frontier is None
+        else np.asarray(initial_frontier, dtype=np.int64)
+    )
+    for _ in range(config.iteration_bound):
+        if active.size == 0:
+            stats.converged = True
+            break
+        stats.frontier_sizes.append(int(active.size))
+        order = rng.permutation(active) if rng is not None else active
+        movers_parts: List[np.ndarray] = []
+        origins_parts: List[np.ndarray] = []
+        targets_parts: List[np.ndarray] = []
+        # Asynchronous windows run back to back with no barrier, so the
+        # per-window kernels charge work only; one critical-path term per
+        # iteration is charged below.  Synchronous mode has exactly one
+        # window, whose depth is that term.
+        sync = config.mode is Mode.SYNC
+        for window in _windows(order, config):
+            targets, _gains = compute_batch_moves(
+                graph,
+                state,
+                window,
+                resolution,
+                sched=sched,
+                kernel_threshold=config.kernel_threshold,
+                charge_depth=sync,
+                allow_escape=config.escape_moves,
+                swap_avoidance=sync,
+            )
+            moving = targets != state.assignments[window]
+            if moving.any():
+                movers_parts.append(window[moving])
+                origins_parts.append(state.assignments[window[moving]])
+                targets_parts.append(targets[moving])
+            state.apply_moves(window, targets, sched=sched)
+        if sched is not None and not sync:
+            degrees = graph.offsets[active + 1] - graph.offsets[active]
+            sched.charge(
+                work=0.0,
+                depth=kernel_depth(degrees, config.kernel_threshold)
+                + 2.0 * math.log2(max(graph.num_vertices, 2)),
+                label="best-moves-iter",
+            )
+        stats.iterations += 1
+        if not movers_parts:
+            stats.converged = True
+            break
+        movers = np.concatenate(movers_parts)
+        stats.total_moves += int(movers.size)
+        active = next_frontier(
+            graph,
+            state.assignments,
+            movers,
+            np.concatenate(origins_parts),
+            np.concatenate(targets_parts),
+            config.frontier,
+            sched=sched,
+        )
+    return stats

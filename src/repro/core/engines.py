@@ -1,0 +1,75 @@
+"""Registry of BEST-MOVES scheduling engines.
+
+Five engines implement the same contract
+``engine(graph, state, resolution, config, sched=, rng=, initial_frontier=)``:
+
+* ``"relaxed"``  — the paper's engine: batched windows, synchronous or
+  asynchronous per ``config.mode`` (:mod:`repro.core.best_moves`);
+* ``"prefix"``   — the conflict-free-prefix alternative §3.2 rejects
+  (:mod:`repro.core.prefix`);
+* ``"colored"``  — Grappolo-style color-class scheduling, reference [27]
+  (:mod:`repro.core.coloring`);
+* ``"event"``    — the fine-grained event-driven asynchrony oracle
+  (:mod:`repro.core.event_async`);
+* ``"sequential"`` — Algorithm 2's per-vertex sweeps
+  (:mod:`repro.core.louvain_seq`).
+
+:func:`multilevel_with_engine` runs the full multilevel pipeline with any
+of them, which is how the engine-comparison bench produces one table over
+all scheduling disciplines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.best_moves import run_best_moves
+from repro.core.coloring import run_colored_best_moves
+from repro.core.config import ClusteringConfig
+from repro.core.event_async import run_event_driven_best_moves
+from repro.core.louvain_par import MultiLevelStats, multilevel_louvain
+from repro.core.louvain_seq import sequential_best_moves
+from repro.core.prefix import run_prefix_best_moves
+from repro.graphs.csr import CSRGraph
+from repro.graphs.stats import MemoryTracker
+
+ENGINES: Dict[str, Callable] = {
+    "relaxed": run_best_moves,
+    "prefix": run_prefix_best_moves,
+    "colored": run_colored_best_moves,
+    "event": run_event_driven_best_moves,
+    "sequential": sequential_best_moves,
+}
+
+
+def get_engine(name: str) -> Callable:
+    """Look up an engine by name."""
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; available: {sorted(ENGINES)}"
+        ) from None
+
+
+def multilevel_with_engine(
+    graph: CSRGraph,
+    resolution: float,
+    config: ClusteringConfig,
+    engine: str = "relaxed",
+    sched=None,
+    rng: Optional[np.random.Generator] = None,
+    memory: Optional[MemoryTracker] = None,
+) -> Tuple[np.ndarray, MultiLevelStats]:
+    """Run the full multilevel Louvain pipeline under the named engine."""
+    return multilevel_louvain(
+        graph,
+        resolution,
+        config,
+        get_engine(engine),
+        sched=sched,
+        rng=rng,
+        memory=memory,
+    )

@@ -1,0 +1,54 @@
+"""Frontier maintenance for BEST-MOVES (Section 3.2.2, Figure 11).
+
+After an iteration in which vertices moved, only three categories of
+vertices can be induced to move next (the paper's change-in-objective
+argument): (a) neighbors of a moved vertex, (b) neighbors of vertices in a
+mover's origin cluster, (c) members of a mover's destination cluster.  The
+three :class:`~repro.core.config.Frontier` options trade work against
+(rarely realized) objective coverage:
+
+* ``ALL``               — everything, every iteration (no optimization);
+* ``VERTEX_NEIGHBORS``  — category (a) only (the paper's best setting);
+* ``CLUSTER_NEIGHBORS`` — members and neighbors of all affected clusters
+  (covers (b) and (c); a superset of (a) restricted to affected clusters).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import Frontier
+from repro.graphs.csr import CSRGraph
+from repro.parallel.edge_map import edge_map
+from repro.parallel.vertex_subset import VertexSubset
+
+
+def next_frontier(
+    graph: CSRGraph,
+    assignments: np.ndarray,
+    movers: np.ndarray,
+    origin_clusters: np.ndarray,
+    target_clusters: np.ndarray,
+    kind: Frontier,
+    sched=None,
+) -> np.ndarray:
+    """Vertex ids to consider in the next BEST-MOVES iteration."""
+    n = graph.num_vertices
+    if movers.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if kind is Frontier.ALL:
+        if sched is not None:
+            sched.charge(work=float(n), depth=1.0, label="frontier-all")
+        return np.arange(n, dtype=np.int64)
+    if kind is Frontier.VERTEX_NEIGHBORS:
+        subset = VertexSubset.from_ids(n, movers)
+        return edge_map(graph, subset, sched=sched, label="frontier-vnbrs").ids()
+    if kind is Frontier.CLUSTER_NEIGHBORS:
+        affected = np.union1d(origin_clusters, target_clusters)
+        members = np.flatnonzero(np.isin(assignments, affected)).astype(np.int64)
+        if sched is not None:
+            sched.charge(work=float(n), depth=1.0, label="frontier-cnbrs-members")
+        subset = VertexSubset.from_ids(n, members)
+        neighbors = edge_map(graph, subset, sched=sched, label="frontier-cnbrs")
+        return neighbors.union(subset).ids()
+    raise ValueError(f"unknown frontier kind: {kind!r}")

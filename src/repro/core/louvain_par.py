@@ -1,0 +1,181 @@
+"""Multi-level Louvain drivers: PARALLEL-CC and the shared recursion.
+
+Structure (matching the paper's Algorithm 1, implemented iteratively):
+
+1. run BEST-MOVES from singletons on the current graph;
+2. if no vertex moved, stop — the current clustering is final;
+3. otherwise PARALLEL-COMPRESS the clustering into a coarser graph and
+   repeat;
+4. unwind: PARALLEL-FLATTEN each level's clustering through the
+   vertex-to-supervertex maps and, with multi-level refinement enabled,
+   run one more BEST-MOVES pass per level (Section 3.2.3).
+
+The same driver runs SEQUENTIAL-CC by swapping in the sequential
+best-moves routine (Section 4.2: the sequential baselines share the
+frontier-restriction and refinement optimizations).
+
+Memory accounting mirrors the paper's Figure 8 discussion: refinement
+retains every intermediate coarsened graph until its refinement pass runs,
+whereas without refinement each level is released as soon as it has been
+compressed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.best_moves import run_best_moves
+from repro.core.config import ClusteringConfig
+from repro.core.state import ClusterState
+from repro.graphs.csr import CSRGraph
+from repro.graphs.quotient import compress_graph
+from repro.graphs.stats import MemoryTracker
+
+
+@dataclass
+class LevelStats:
+    """Per-coarsening-level diagnostics."""
+
+    num_vertices: int
+    num_edges: int
+    iterations: int
+    moves: int
+    frontier_sizes: List[int] = field(default_factory=list)
+    refine_iterations: int = 0
+    refine_moves: int = 0
+
+
+@dataclass
+class MultiLevelStats:
+    """Diagnostics across the whole multi-level run."""
+
+    levels: List[LevelStats] = field(default_factory=list)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def total_iterations(self) -> int:
+        """Total BEST-MOVES iterations (the paper's round count, Figure 5)."""
+        return sum(l.iterations + l.refine_iterations for l in self.levels)
+
+    @property
+    def total_moves(self) -> int:
+        return sum(l.moves + l.refine_moves for l in self.levels)
+
+
+def parallel_flatten(
+    deeper_assignments: np.ndarray, vertex_to_super: np.ndarray, sched=None
+) -> np.ndarray:
+    """PARALLEL-FLATTEN: compose a coarse clustering onto the finer level.
+
+    ``vertex_to_super[v]`` maps fine vertex ``v`` to its supervertex; the
+    result assigns ``v`` the supervertex's cluster.  O(n) work, O(log n)
+    depth (a parallel gather).
+    """
+    flattened = np.asarray(deeper_assignments, dtype=np.int64)[vertex_to_super]
+    if sched is not None:
+        n = vertex_to_super.size
+        sched.charge(
+            work=float(n), depth=max(1.0, math.log2(max(n, 2))), label="flatten"
+        )
+    return flattened
+
+
+#: Signature shared by the parallel and sequential best-moves engines.
+BestMovesFn = Callable[..., "object"]
+
+
+def multilevel_louvain(
+    graph: CSRGraph,
+    resolution: float,
+    config: ClusteringConfig,
+    best_moves_fn: BestMovesFn,
+    sched=None,
+    rng: Optional[np.random.Generator] = None,
+    memory: Optional[MemoryTracker] = None,
+    compress_fn=compress_graph,
+) -> Tuple[np.ndarray, MultiLevelStats]:
+    """Run the multi-level Louvain recursion with the given move engine.
+
+    ``compress_fn`` selects the compression cost model (the NetworKit-style
+    PLM baseline swaps in the non-work-efficient variant).  Returns
+    ``(assignments, stats)``; assignments use arbitrary cluster ids in
+    ``[0, n)`` (densify via :func:`numpy.unique` for presentation).
+    """
+    stats = MultiLevelStats()
+    memory = memory if memory is not None else MemoryTracker()
+    retained: List[Tuple[CSRGraph, np.ndarray]] = []  # (level graph, v2s)
+    current = graph
+    level = 0
+    memory.hold(level, current)
+    base_assignments: Optional[np.ndarray] = None
+
+    while level < config.max_levels:
+        state = ClusterState.singletons(current)
+        bm = best_moves_fn(current, state, resolution, config, sched=sched, rng=rng)
+        stats.levels.append(
+            LevelStats(
+                num_vertices=current.num_vertices,
+                num_edges=current.num_edges,
+                iterations=bm.iterations,
+                moves=bm.total_moves,
+                frontier_sizes=bm.frontier_sizes,
+            )
+        )
+        if bm.total_moves == 0:
+            base_assignments = np.arange(current.num_vertices, dtype=np.int64)
+            break
+        compressed, vertex_to_super = compress_fn(
+            current, state.assignments, sched=sched
+        )
+        if compressed.num_vertices == current.num_vertices:
+            # Coarsening made no progress (e.g. pure swaps): accept the
+            # clustering at this level and stop recursing.
+            base_assignments = vertex_to_super
+            break
+        retained.append((current, vertex_to_super))
+        if not config.refine and level > 0:
+            # Without refinement intermediate graphs are discarded as soon
+            # as they are compressed (only their v2s map is needed).
+            memory.release(level)
+        level += 1
+        memory.hold(level, compressed)
+        current = compressed
+    else:
+        base_assignments = np.arange(current.num_vertices, dtype=np.int64)
+
+    assert base_assignments is not None
+    assignments = base_assignments
+    for idx in range(len(retained) - 1, -1, -1):
+        level_graph, vertex_to_super = retained[idx]
+        assignments = parallel_flatten(assignments, vertex_to_super, sched=sched)
+        if config.refine:
+            state = ClusterState.from_assignments(level_graph, assignments)
+            refine_bm = best_moves_fn(
+                level_graph, state, resolution, config, sched=sched, rng=rng
+            )
+            stats.levels[idx].refine_iterations = refine_bm.iterations
+            stats.levels[idx].refine_moves = refine_bm.total_moves
+            assignments = state.assignments
+            memory.release(idx + 1)
+    return assignments, stats
+
+
+def parallel_cc(
+    graph: CSRGraph,
+    resolution: float,
+    config: ClusteringConfig,
+    sched=None,
+    rng: Optional[np.random.Generator] = None,
+    memory: Optional[MemoryTracker] = None,
+) -> Tuple[np.ndarray, MultiLevelStats]:
+    """PARALLEL-CC (Algorithm 1) under LambdaCC resolution ``resolution``."""
+    return multilevel_louvain(
+        graph, resolution, config, run_best_moves, sched=sched, rng=rng, memory=memory
+    )

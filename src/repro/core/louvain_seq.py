@@ -1,0 +1,121 @@
+"""SEQUENTIAL-CC: the classic sequential Louvain method (Algorithm 2).
+
+Vertices are visited one at a time in a fresh random permutation per sweep
+and moved immediately to their best cluster; sweeps repeat until the
+objective stops improving (no vertex moves), bounded by ``num_iter`` unless
+running to convergence (the ``^CON`` variants).  Following Section 4.2, the
+sequential baselines include the applicable Section 3.2 optimizations:
+frontier restriction (sweeping only over V') and multi-level refinement —
+both supplied by the shared multi-level driver.
+
+Costs are charged to the ledger as pure sequential work (a one-worker
+run's simulated time is its total work), so PAR-over-SEQ speedups compare
+like with like.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.best_moves import BestMovesStats
+from repro.core.config import ClusteringConfig
+from repro.core.frontier import next_frontier
+from repro.core.louvain_par import MultiLevelStats, multilevel_louvain
+from repro.core.moves import compute_single_move
+from repro.core.state import ClusterState
+from repro.graphs.csr import CSRGraph
+from repro.graphs.stats import MemoryTracker
+
+
+def _sequential_sweep(
+    graph: CSRGraph,
+    state: ClusterState,
+    order: np.ndarray,
+    resolution: float,
+    sched=None,
+    allow_escape: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One sweep of immediate best moves; returns (movers, origins, targets)."""
+    movers: List[int] = []
+    origins: List[int] = []
+    targets: List[int] = []
+    for v in order.tolist():
+        target, gain = compute_single_move(
+            graph, state, v, resolution, allow_escape=allow_escape
+        )
+        if gain > 0.0:
+            origins.append(int(state.assignments[v]))
+            state.move_one(v, target)
+            movers.append(v)
+            targets.append(target)
+    if sched is not None:
+        degrees = graph.offsets[order + 1] - graph.offsets[order]
+        work = float(degrees.sum()) + 4.0 * order.size
+        sched.charge(work=work, depth=work, label="seq-sweep")
+    return (
+        np.asarray(movers, dtype=np.int64),
+        np.asarray(origins, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+    )
+
+
+def sequential_best_moves(
+    graph: CSRGraph,
+    state: ClusterState,
+    resolution: float,
+    config: ClusteringConfig,
+    sched=None,
+    rng: Optional[np.random.Generator] = None,
+    initial_frontier: Optional[np.ndarray] = None,
+) -> BestMovesStats:
+    """Sequential analogue of BEST-MOVES: sweeps until stable or bounded."""
+    stats = BestMovesStats()
+    n = graph.num_vertices
+    active = (
+        np.arange(n, dtype=np.int64)
+        if initial_frontier is None
+        else np.asarray(initial_frontier, dtype=np.int64)
+    )
+    for _ in range(config.iteration_bound):
+        if active.size == 0:
+            stats.converged = True
+            break
+        stats.frontier_sizes.append(int(active.size))
+        order = rng.permutation(active) if rng is not None else active
+        movers, origins, targets = _sequential_sweep(
+            graph, state, order, resolution, sched=sched,
+            allow_escape=config.escape_moves,
+        )
+        stats.iterations += 1
+        if movers.size == 0:
+            stats.converged = True
+            break
+        stats.total_moves += int(movers.size)
+        active = next_frontier(
+            graph, state.assignments, movers, origins, targets,
+            config.frontier, sched=sched,
+        )
+    return stats
+
+
+def sequential_cc(
+    graph: CSRGraph,
+    resolution: float,
+    config: ClusteringConfig,
+    sched=None,
+    rng: Optional[np.random.Generator] = None,
+    memory: Optional[MemoryTracker] = None,
+) -> Tuple[np.ndarray, MultiLevelStats]:
+    """Multi-level SEQUENTIAL-CC; same contract as
+    :func:`repro.core.louvain_par.parallel_cc`."""
+    return multilevel_louvain(
+        graph,
+        resolution,
+        config,
+        sequential_best_moves,
+        sched=sched,
+        rng=rng,
+        memory=memory,
+    )

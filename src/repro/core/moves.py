@@ -1,0 +1,276 @@
+"""Best-move computation kernels.
+
+For each vertex ``v`` and candidate cluster ``c'``, the gain of residing in
+``c'`` is ``S(v, c') - lambda * k_v * K_{c'\\v}`` where ``S(v, c')`` sums
+``v``'s edge weights into ``c'`` and ``K_{c'\\v}`` is the cluster weight
+excluding ``v`` (Appendix A).  The best move maximizes this over the
+clusters of ``v``'s neighbors, staying put, and — when the vertex's home
+slot is free — escaping to a fresh singleton (profitable whenever every
+reachable cluster has negative gain, which negative rescaled weights make
+common).
+
+:func:`compute_batch_moves` evaluates a whole *batch* of vertices against
+one state snapshot, vectorized; it is both the synchronous step (batch =
+all of V') and the asynchronous concurrency window (batch ~ worker count).
+Cost is charged per the Appendix B kernel split: low-degree vertices use a
+sequential scan (depth = degree), high-degree vertices a parallel hash
+table (depth = O(log degree), extra table-initialization work).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.state import ClusterState
+from repro.graphs.csr import CSRGraph
+from repro.parallel.hash_table import PARALLEL_INSERT_COST, TABLE_SLACK
+from repro.parallel.primitives import ragged_gather_indices
+
+#: Minimum strict improvement for a move (guards float-noise oscillation).
+GAIN_EPS = 1e-10
+
+
+def kernel_depth(degrees: np.ndarray, threshold: int) -> float:
+    """Critical-path depth of evaluating these vertices concurrently.
+
+    Low-degree vertices use the sequential scan kernel (depth = degree);
+    high-degree vertices the parallel hash table (depth = O(log degree));
+    the batch's depth is the worst single-vertex kernel (Appendix B).
+    """
+    if degrees.size == 0:
+        return 1.0
+    par_mask = degrees > threshold
+    seq_depth = float(degrees[~par_mask].max()) if (~par_mask).any() else 0.0
+    par_depth = (
+        2.0 * math.log2(float(degrees[par_mask].max())) if par_mask.any() else 0.0
+    )
+    return max(seq_depth, par_depth, 1.0)
+
+
+def _charge_batch(
+    sched,
+    degrees: np.ndarray,
+    threshold: int,
+    label: str,
+    include_depth: bool = True,
+) -> None:
+    """Charge one batch's best-move cost under the dual-kernel model.
+
+    ``include_depth=False`` charges work only: asynchronous execution has
+    no barrier between concurrency windows, so the engine charges a single
+    depth term per BEST-MOVES *iteration* instead of per window.
+    """
+    if sched is None or degrees.size == 0:
+        return
+    deg_sum = float(degrees.sum())
+    par_mask = degrees > threshold
+    # ~5 ops per edge scanned (neighbor load, cluster-id load, hash insert,
+    # weight accumulate) plus per-vertex gain arithmetic; an EDGEMAP scan
+    # by contrast costs ~1 op per edge, which is why frontier maintenance
+    # is cheap relative to move computation.
+    work = 5.0 * deg_sum + 8.0 * degrees.size
+    if par_mask.any():
+        par_deg = degrees[par_mask].astype(np.float64)
+        work += (PARALLEL_INSERT_COST - 1.0) * float(par_deg.sum())
+        work += TABLE_SLACK * float(par_deg.sum())
+    depth = kernel_depth(degrees, threshold) if include_depth else 0.0
+    sched.charge(work=work, depth=depth, label=label)
+
+
+def compute_batch_moves(
+    graph: CSRGraph,
+    state: ClusterState,
+    batch: np.ndarray,
+    resolution: float,
+    sched=None,
+    kernel_threshold: int = 512,
+    label: str = "best-moves",
+    charge_depth: bool = True,
+    allow_escape: bool = True,
+    swap_avoidance: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Desired cluster per batch vertex against the current state snapshot.
+
+    Returns ``(targets, gains)`` aligned with ``batch``: ``targets[i]`` is
+    the cluster that maximizes vertex ``batch[i]``'s objective (its current
+    cluster when no strict improvement exists) and ``gains[i] >= 0`` is the
+    objective improvement (unordered ``F`` scale) of taking that move in
+    isolation.
+    """
+    batch = np.asarray(batch, dtype=np.int64)
+    if batch.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, np.zeros(0, dtype=np.float64)
+    n = graph.num_vertices
+    assignments = state.assignments
+    cluster_weights = state.cluster_weights
+
+    edge_idx, row = ragged_gather_indices(graph.offsets, batch)
+    nbr_clusters = assignments[graph.neighbors[edge_idx]]
+    edge_w = graph.weights[edge_idx]
+
+    k_batch = graph.node_weights[batch]
+    current = assignments[batch]
+    stay_gain = -resolution * k_batch * (cluster_weights[current] - k_batch)
+
+    best_gain = stay_gain.copy()
+    targets = current.copy()
+
+    if edge_idx.size:
+        # Aggregate S(v, c) for every (batch vertex, neighboring cluster).
+        key = row * np.int64(n) + nbr_clusters
+        unique_key, inverse = np.unique(key, return_inverse=True)
+        sums = np.bincount(inverse, weights=edge_w, minlength=unique_key.size)
+        cand_row = (unique_key // n).astype(np.int64)
+        cand_cluster = (unique_key % n).astype(np.int64)
+
+        own = cand_cluster == current[cand_row]
+        if own.any():
+            # At most one "own cluster" entry per row: direct scatter.
+            stay_gain[cand_row[own]] += sums[own]
+            best_gain = stay_gain.copy()
+
+        ext_idx = np.flatnonzero(~own)
+        if ext_idx.size and swap_avoidance:
+            ext_row = cand_row[ext_idx]
+            ext_cluster = cand_cluster[ext_idx]
+            # Swap-avoidance heuristic for *synchronous* scheduling (Lu et
+            # al. [27], used by Grappolo): a singleton vertex may merge
+            # into another singleton cluster only when the target id is
+            # smaller than its own — otherwise lockstep rounds swap
+            # mutually-attracted singleton pairs forever and synchronous
+            # runs never converge.  Asynchronous and sequential schedules
+            # self-heal (the second vertex of a pair sees the first's
+            # move), so they run pure best moves.
+            allowed = ~(
+                (state.cluster_sizes[current[ext_row]] == 1)
+                & (state.cluster_sizes[ext_cluster] == 1)
+                & (ext_cluster > current[ext_row])
+            )
+            ext_idx = ext_idx[allowed]
+        if ext_idx.size:
+            ext_row = cand_row[ext_idx]
+            ext_cluster = cand_cluster[ext_idx]
+            ext_gain = (
+                sums[ext_idx]
+                - resolution * k_batch[ext_row] * cluster_weights[ext_cluster]
+            )
+            # Per-row argmax: sort by (row, -gain, cluster id) and take the
+            # first entry of each row group; the cluster-id tiebreak makes
+            # the kernel deterministic given the state snapshot.
+            order = np.lexsort((ext_cluster, -ext_gain, ext_row))
+            rows_present, first = np.unique(ext_row[order], return_index=True)
+            sel = order[first]
+            chosen_gain = ext_gain[sel]
+            improved = chosen_gain > stay_gain[rows_present] + GAIN_EPS
+            hit = rows_present[improved]
+            targets[hit] = ext_cluster[sel][improved]
+            best_gain[hit] = chosen_gain[improved]
+
+    # Escape to the vertex's home slot when it sits empty and every other
+    # option (including staying) loses to isolation (gain 0).
+    if allow_escape:
+        escape_open = state.cluster_sizes[batch] == 0
+        escape = escape_open & (best_gain < -GAIN_EPS)
+        if escape.any():
+            targets[escape] = batch[escape]
+            best_gain[escape] = 0.0
+
+    degrees = graph.offsets[batch + 1] - graph.offsets[batch]
+    _charge_batch(sched, degrees, kernel_threshold, label, include_depth=charge_depth)
+    return targets, best_gain - stay_gain
+
+
+def all_move_gains(
+    graph: CSRGraph,
+    state: ClusterState,
+    v: int,
+    resolution: float,
+) -> dict:
+    """Every candidate cluster's gain for vertex ``v`` (debugging API).
+
+    Returns ``{cluster_id: gain}`` over the clusters of ``v``'s neighbors
+    plus ``v``'s current cluster (staying) and, when available, the
+    escape slot.  Gains are on the unordered ``F`` scale relative to the
+    current placement, so ``gains[current] == 0`` and the engine's chosen
+    target is the argmax (ties broken toward smaller ids).
+    """
+    assignments = state.assignments
+    lo, hi = graph.offsets[v], graph.offsets[v + 1]
+    nbr_clusters = assignments[graph.neighbors[lo:hi]]
+    wts = graph.weights[lo:hi]
+    acc: dict = {}
+    for c, w in zip(nbr_clusters.tolist(), wts.tolist()):
+        acc[c] = acc.get(c, 0.0) + w
+    current = int(assignments[v])
+    k_v = float(graph.node_weights[v])
+    cw = state.cluster_weights
+    stay = acc.get(current, 0.0) - resolution * k_v * (float(cw[current]) - k_v)
+    gains = {current: 0.0}
+    for c, s in acc.items():
+        if c == current:
+            continue
+        gains[c] = (s - resolution * k_v * float(cw[c])) - stay
+    if state.cluster_sizes[v] == 0:
+        gains[v] = 0.0 - stay
+    return gains
+
+
+def compute_single_move(
+    graph: CSRGraph,
+    state: ClusterState,
+    v: int,
+    resolution: float,
+    allow_escape: bool = True,
+    swap_avoidance: bool = False,
+) -> Tuple[int, float]:
+    """Sequential best-move for one vertex (SEQUENTIAL-CC's inner kernel).
+
+    Semantically identical to a batch of size one; implemented with plain
+    dict accumulation, which is faster for the per-vertex loop of the
+    sequential algorithm.  Returns ``(target, gain)``.
+    """
+    assignments = state.assignments
+    lo = graph.offsets[v]
+    hi = graph.offsets[v + 1]
+    nbr_clusters = assignments[graph.neighbors[lo:hi]]
+    wts = graph.weights[lo:hi]
+    acc: dict = {}
+    for c, w in zip(nbr_clusters.tolist(), wts.tolist()):
+        acc[c] = acc.get(c, 0.0) + w
+    current = int(assignments[v])
+    k_v = float(graph.node_weights[v])
+    cw = state.cluster_weights
+    stay = acc.get(current, 0.0) - resolution * k_v * (float(cw[current]) - k_v)
+    best_ext_gain = -math.inf
+    best_ext_cluster = -1
+    own_singleton = state.cluster_sizes[current] == 1
+    for c, s in acc.items():
+        if c == current:
+            continue
+        # Swap-avoidance under synchronous scheduling: see compute_batch_moves.
+        if (
+            swap_avoidance
+            and own_singleton
+            and c > current
+            and state.cluster_sizes[c] == 1
+        ):
+            continue
+        gain = s - resolution * k_v * float(cw[c])
+        # Exact comparison with cluster-id tiebreak, mirroring the batch
+        # kernel's lexsort so the two kernels agree bit-for-bit.
+        if gain > best_ext_gain or (gain == best_ext_gain and c < best_ext_cluster):
+            best_ext_gain = gain
+            best_ext_cluster = c
+    best_gain = stay
+    best_cluster = current
+    if best_ext_cluster >= 0 and best_ext_gain > stay + GAIN_EPS:
+        best_gain = best_ext_gain
+        best_cluster = best_ext_cluster
+    if allow_escape and state.cluster_sizes[v] == 0 and best_gain < -GAIN_EPS:
+        best_cluster = v
+        best_gain = 0.0
+    return best_cluster, best_gain - stay

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when graph input data is malformed (bad edges, shapes, weights)."""
+
+
+class ConfigError(ReproError):
+    """Raised when a clustering configuration is invalid or inconsistent."""
+
+
+class SchedulerError(ReproError):
+    """Raised on misuse of the simulated parallel scheduler."""
+
+
+class CircuitError(ReproError):
+    """Raised when a monotone circuit definition is malformed."""

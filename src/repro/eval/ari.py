@@ -1,0 +1,57 @@
+"""Adjusted Rand Index (implemented from scratch, no sklearn).
+
+ARI compares two disjoint labelings by pair-counting, adjusted for chance:
+
+    ARI = (Index - ExpectedIndex) / (MaxIndex - ExpectedIndex)
+
+with Index = sum over contingency cells of C(n_ij, 2), and the expectation
+under the permutation model.  1 means identical partitions, ~0 random
+agreement; it can be negative for worse-than-random.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _comb2(x: np.ndarray) -> np.ndarray:
+    """Vectorized C(x, 2) as float."""
+    x = x.astype(np.float64)
+    return x * (x - 1.0) / 2.0
+
+
+def contingency_counts(labels_a: np.ndarray, labels_b: np.ndarray) -> np.ndarray:
+    """Flat nonzero contingency-table counts of two labelings."""
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if labels_a.shape != labels_b.shape:
+        raise ValueError(
+            f"labelings must align: {labels_a.shape} vs {labels_b.shape}"
+        )
+    _, a = np.unique(labels_a, return_inverse=True)
+    _, b = np.unique(labels_b, return_inverse=True)
+    num_b = int(b.max()) + 1 if b.size else 1
+    key = a.astype(np.int64) * num_b + b
+    _, counts = np.unique(key, return_counts=True)
+    return counts
+
+
+def adjusted_rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """ARI between two disjoint labelings of the same items."""
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    n = labels_a.size
+    if n < 2:
+        return 1.0
+    cells = contingency_counts(labels_a, labels_b)
+    _, counts_a = np.unique(labels_a, return_counts=True)
+    _, counts_b = np.unique(labels_b, return_counts=True)
+    index = float(_comb2(cells).sum())
+    sum_a = float(_comb2(counts_a).sum())
+    sum_b = float(_comb2(counts_b).sum())
+    total = float(_comb2(np.asarray([n])).sum())
+    expected = sum_a * sum_b / total
+    max_index = (sum_a + sum_b) / 2.0
+    if max_index == expected:
+        return 1.0
+    return (index - expected) / (max_index - expected)

@@ -1,0 +1,69 @@
+"""Average precision/recall against ground-truth communities.
+
+Methodology (Section 4, matching Tsourakakis et al.'s Tectonic
+evaluation): ground-truth communities may overlap, so for each
+ground-truth community ``c`` we match the *cluster* ``c'`` with the
+largest intersection with ``c`` (a cluster may be matched to several or
+no communities), then report
+
+    precision(c) = |c ∩ c'| / |c'|      recall(c) = |c ∩ c'| / |c|
+
+averaged over communities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """An (average precision, average recall) pair."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def match_communities(
+    assignments: np.ndarray, communities: Sequence[np.ndarray]
+) -> List[Tuple[int, int]]:
+    """Best (cluster label, intersection size) per ground-truth community."""
+    assignments = np.asarray(assignments, dtype=np.int64)
+    matches: List[Tuple[int, int]] = []
+    for community in communities:
+        members = np.asarray(community, dtype=np.int64)
+        labels = assignments[members]
+        unique, counts = np.unique(labels, return_counts=True)
+        best = int(np.argmax(counts))
+        matches.append((int(unique[best]), int(counts[best])))
+    return matches
+
+
+def average_precision_recall(
+    assignments: np.ndarray, communities: Sequence[np.ndarray]
+) -> PrecisionRecall:
+    """Average precision and recall under largest-intersection matching."""
+    assignments = np.asarray(assignments, dtype=np.int64)
+    if not len(communities):
+        raise ValueError("need at least one ground-truth community")
+    cluster_sizes = np.bincount(assignments)
+    precisions = []
+    recalls = []
+    for community, (label, overlap) in zip(
+        communities, match_communities(assignments, communities)
+    ):
+        size = len(community)
+        precisions.append(overlap / cluster_sizes[label])
+        recalls.append(overlap / size)
+    return PrecisionRecall(
+        precision=float(np.mean(precisions)), recall=float(np.mean(recalls))
+    )

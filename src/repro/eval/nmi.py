@@ -1,0 +1,57 @@
+"""Normalized Mutual Information (from scratch).
+
+NMI(U, V) = I(U; V) / sqrt(H(U) H(V)) with natural-log entropies — the
+normalization the clustering literature (and Figures 15–16's NMI axis)
+conventionally uses.  1 means identical partitions, 0 independence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _entropy(counts: np.ndarray, n: int) -> float:
+    probs = counts[counts > 0].astype(np.float64) / n
+    return float(-(probs * np.log(probs)).sum())
+
+
+def mutual_information(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """I(A; B) in nats for two disjoint labelings."""
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if labels_a.shape != labels_b.shape:
+        raise ValueError(
+            f"labelings must align: {labels_a.shape} vs {labels_b.shape}"
+        )
+    n = labels_a.size
+    if n == 0:
+        return 0.0
+    _, a, counts_a = np.unique(labels_a, return_inverse=True, return_counts=True)
+    _, b, counts_b = np.unique(labels_b, return_inverse=True, return_counts=True)
+    num_b = counts_b.size
+    key = a.astype(np.int64) * num_b + b
+    cells, joint = np.unique(key, return_counts=True)
+    p_joint = joint.astype(np.float64) / n
+    p_a = counts_a[(cells // num_b).astype(np.int64)].astype(np.float64) / n
+    p_b = counts_b[(cells % num_b).astype(np.int64)].astype(np.float64) / n
+    return float((p_joint * np.log(p_joint / (p_a * p_b))).sum())
+
+
+def normalized_mutual_information(
+    labels_a: np.ndarray, labels_b: np.ndarray
+) -> float:
+    """Sqrt-normalized NMI in [0, 1]."""
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    n = labels_a.size
+    if n == 0:
+        return 1.0
+    _, counts_a = np.unique(labels_a, return_counts=True)
+    _, counts_b = np.unique(labels_b, return_counts=True)
+    h_a = _entropy(counts_a, n)
+    h_b = _entropy(counts_b, n)
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0  # both trivial partitions, identical by convention
+    if h_a == 0.0 or h_b == 0.0:
+        return 0.0
+    return mutual_information(labels_a, labels_b) / float(np.sqrt(h_a * h_b))

@@ -1,0 +1,97 @@
+"""Precision/recall curves over resolution sweeps (Figures 9, 10, 14).
+
+The paper sweeps ``lambda in {0.01 x | x in [1, 99]}`` for PAR-CC and
+``gamma in {0.02 * 1.2**x | x in [1, 99]}`` for PAR-MOD, plotting the
+average-precision/average-recall point per resolution.  :func:`pr_curve`
+runs such a sweep with any clustering callable; :func:`pr_dominates`
+summarizes whether one curve (Pareto-)dominates another — the comparison
+the paper makes between PAR-CC, PAR-MOD and Tectonic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.eval.ground_truth import PrecisionRecall, average_precision_recall
+
+
+@dataclass
+class PRPoint:
+    """One sweep point: resolution, precision, recall (+ anything extra)."""
+
+    resolution: float
+    precision: float
+    recall: float
+    num_clusters: int = 0
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def paper_lambda_sweep(count: int = 99) -> np.ndarray:
+    """The paper's lambda grid {0.01 x | x in [1, count]}."""
+    return 0.01 * np.arange(1, count + 1)
+
+
+def paper_gamma_sweep(count: int = 99) -> np.ndarray:
+    """The paper's gamma grid {0.02 * 1.2**x | x in [1, count]}."""
+    return 0.02 * 1.2 ** np.arange(1, count + 1)
+
+
+def pr_curve(
+    cluster_fn: Callable[[float], np.ndarray],
+    resolutions: Sequence[float],
+    communities: Sequence[np.ndarray],
+) -> List[PRPoint]:
+    """Sweep ``cluster_fn`` over ``resolutions`` and score each clustering.
+
+    ``cluster_fn(resolution)`` must return an assignment array.
+    """
+    points: List[PRPoint] = []
+    for resolution in resolutions:
+        assignments = np.asarray(cluster_fn(float(resolution)), dtype=np.int64)
+        pr: PrecisionRecall = average_precision_recall(assignments, communities)
+        points.append(
+            PRPoint(
+                resolution=float(resolution),
+                precision=pr.precision,
+                recall=pr.recall,
+                num_clusters=int(assignments.max()) + 1 if assignments.size else 0,
+            )
+        )
+    return points
+
+
+def best_recall_at_precision(
+    points: Sequence[PRPoint], min_precision: float
+) -> float:
+    """Max recall among points with precision >= ``min_precision``.
+
+    The paper's headline quality claim has this form ("recall between
+    0.61–0.98 for precision greater than 0.50").  Returns 0.0 when no
+    point qualifies.
+    """
+    qualifying = [p.recall for p in points if p.precision >= min_precision]
+    return max(qualifying) if qualifying else 0.0
+
+
+def pr_dominates(
+    ours: Sequence[PRPoint],
+    theirs: Sequence[PRPoint],
+    precision_grid: Sequence[float] = (0.3, 0.4, 0.5, 0.6, 0.7),
+) -> float:
+    """Fraction of precision thresholds where ``ours`` achieves at least the
+    recall of ``theirs`` (1.0 = dominates everywhere on the grid)."""
+    wins = 0
+    for threshold in precision_grid:
+        if best_recall_at_precision(ours, threshold) >= best_recall_at_precision(
+            theirs, threshold
+        ) - 1e-12:
+            wins += 1
+    return wins / len(tuple(precision_grid))

@@ -1,0 +1,37 @@
+"""Synthetic graph and pointset generators.
+
+These stand in for the paper's data sets (no network access and
+laptop-scale compute; see DESIGN.md §2):
+
+* :mod:`repro.generators.rmat`      — the rMAT generator the paper uses for
+  its scalability study (a=0.5, b=c=0.1, d=0.3);
+* :mod:`repro.generators.planted`   — planted-partition graphs with
+  (optionally overlapping) ground-truth communities;
+* :mod:`repro.generators.snap_like` — named surrogates for the SNAP graphs
+  (amazon, dblp, livejournal, orkut, twitter, friendster) with matched
+  qualitative statistics at reduced scale;
+* :mod:`repro.generators.pointsets` — Gaussian-mixture surrogates for the
+  UCI digits / letter pointsets;
+* :mod:`repro.generators.knn`       — cosine k-NN graph construction
+  (the paper uses ScaNN with k = 50; we use exact brute-force k-NN).
+"""
+
+from repro.generators.knn import approximate_knn_graph, knn_graph
+from repro.generators.lfr import lfr_like_graph
+from repro.generators.planted import PlantedPartition, planted_partition_graph
+from repro.generators.pointsets import digits_like_pointset, letter_like_pointset
+from repro.generators.rmat import rmat_graph
+from repro.generators.snap_like import SNAP_SURROGATES, load_snap_surrogate
+
+__all__ = [
+    "PlantedPartition",
+    "SNAP_SURROGATES",
+    "approximate_knn_graph",
+    "digits_like_pointset",
+    "knn_graph",
+    "letter_like_pointset",
+    "lfr_like_graph",
+    "load_snap_surrogate",
+    "planted_partition_graph",
+    "rmat_graph",
+]

@@ -1,0 +1,108 @@
+"""Gaussian-mixture pointset surrogates for the UCI digits / letter data.
+
+The paper's weighted-graph experiments (Appendix C.2, Figures 15–16) build
+k-NN graphs from the Optical Recognition of Handwritten Digits dataset
+(1,797 instances, 10 classes, 64 features) and the Letter Recognition
+dataset (20,000 instances, 26 classes, 16 features).  Without network
+access we generate Gaussian mixtures with the same instance/class/feature
+counts and controllable class separation, which exercises the identical
+code path: pointset -> cosine k-NN graph -> weighted clustering -> ARI/NMI
+against ground-truth labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import require_positive
+
+
+@dataclass
+class LabeledPointset:
+    """Points with ground-truth class labels."""
+
+    points: np.ndarray  # (num_points, num_features)
+    labels: np.ndarray  # (num_points,)
+    name: str
+
+    @property
+    def num_points(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+
+def gaussian_mixture_pointset(
+    num_points: int,
+    num_classes: int,
+    num_features: int,
+    separation: float = 3.0,
+    noise: float = 1.0,
+    informative_dims: Optional[int] = None,
+    seed: SeedLike = None,
+    name: str = "mixture",
+) -> LabeledPointset:
+    """Sample a labeled Gaussian mixture.
+
+    Class centers are drawn i.i.d. N(0, separation^2 I) on the first
+    ``informative_dims`` coordinates (all of them by default) and 0
+    elsewhere; points add isotropic N(0, noise^2 I) over *all* features.
+    Restricting the informative subspace while keeping noisy ambient
+    dimensions is what makes cosine k-NN neighborhoods imperfect — like
+    real feature data — so the weighted/unweighted clustering comparison
+    of Figures 15–16 has something to measure.
+    """
+    require_positive(num_points, "num_points")
+    require_positive(num_classes, "num_classes")
+    require_positive(num_features, "num_features")
+    effective = num_features if informative_dims is None else informative_dims
+    if not 1 <= effective <= num_features:
+        raise ValueError(
+            f"informative_dims must be in [1, {num_features}], got {effective}"
+        )
+    rng = make_rng(seed)
+    centers = np.zeros((num_classes, num_features))
+    centers[:, :effective] = rng.normal(0.0, separation, size=(num_classes, effective))
+    labels = rng.integers(0, num_classes, size=num_points, dtype=np.int64)
+    points = centers[labels] + rng.normal(0.0, noise, size=(num_points, num_features))
+    return LabeledPointset(points=points, labels=labels, name=name)
+
+
+def digits_like_pointset(seed: SeedLike = 0) -> LabeledPointset:
+    """Surrogate for UCI optical digits: 1,797 points, 10 classes, 64 dims.
+
+    Parameterized so k-NN clustering quality lands where the real digits
+    data does (ARI ~0.85-0.95 at good resolutions).
+    """
+    return gaussian_mixture_pointset(
+        num_points=1797,
+        num_classes=10,
+        num_features=64,
+        separation=2.0,
+        noise=1.0,
+        informative_dims=10,
+        seed=seed,
+        name="digits",
+    )
+
+
+def letter_like_pointset(seed: SeedLike = 0, num_points: int = 20000) -> LabeledPointset:
+    """Surrogate for UCI letter recognition: 20,000 points, 26 classes,
+    16 dims; heavily overlapping classes, matching letter's much lower
+    published clustering scores (ARI ~0.3-0.5)."""
+    return gaussian_mixture_pointset(
+        num_points=num_points,
+        num_classes=26,
+        num_features=16,
+        separation=1.6,
+        noise=1.0,
+        informative_dims=6,
+        seed=seed,
+        name="letter",
+    )

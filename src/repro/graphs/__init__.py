@@ -1,0 +1,23 @@
+"""Graph substrate: CSR graphs, builders, I/O, quotient compression.
+
+Graphs are undirected and stored in compressed-sparse-row form with both
+edge directions materialized (the layout GBBS and the paper's code use).
+Self-loops — which arise from graph compression — are stored out-of-band in
+a per-vertex array so adjacency scans during best-move computation never
+see them.
+"""
+
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.csr import CSRGraph
+from repro.graphs.karate import karate_club_graph
+from repro.graphs.quotient import compress_graph, compress_graph_naive
+from repro.graphs.stats import graph_footprint_bytes
+
+__all__ = [
+    "CSRGraph",
+    "compress_graph",
+    "compress_graph_naive",
+    "graph_footprint_bytes",
+    "graph_from_edges",
+    "karate_club_graph",
+]

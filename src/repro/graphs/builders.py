@@ -1,0 +1,148 @@
+"""Graph construction from edge lists.
+
+:func:`graph_from_edges` is the single entry point: it symmetrizes,
+deduplicates (summing weights of parallel edges, as the paper's compression
+does), separates self-loops into the out-of-band channel, and emits a
+validated :class:`~repro.graphs.csr.CSRGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graphs.csr import CSRGraph
+
+EdgeArray = Union[np.ndarray, Sequence[Tuple[int, int]]]
+
+
+def _as_edge_arrays(
+    edges: EdgeArray, weights: Optional[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.size == 0:
+        edges = edges.reshape(0, 2)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise GraphFormatError(f"edges must have shape (m, 2), got {edges.shape}")
+    if weights is None:
+        w = np.ones(edges.shape[0], dtype=np.float64)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (edges.shape[0],):
+            raise GraphFormatError(
+                f"weights must have shape ({edges.shape[0]},), got {w.shape}"
+            )
+    return edges[:, 0], edges[:, 1], w
+
+
+def graph_from_edges(
+    edges: EdgeArray,
+    weights: Optional[np.ndarray] = None,
+    num_vertices: Optional[int] = None,
+    node_weights: Optional[np.ndarray] = None,
+    combine_duplicates: bool = True,
+) -> CSRGraph:
+    """Build an undirected :class:`CSRGraph` from an edge list.
+
+    Parameters
+    ----------
+    edges:
+        ``(m, 2)`` integer array (or sequence of pairs).  Edges are
+        interpreted as undirected; both orientations may appear and are
+        combined.
+    weights:
+        Optional per-edge weights (default 1).
+    num_vertices:
+        Vertex-count override (``max id + 1`` by default) so isolated
+        trailing vertices survive.
+    node_weights:
+        Optional LambdaCC vertex weights ``k_v`` (default all-ones).
+    combine_duplicates:
+        Sum weights of duplicate edges (the compression semantics).  When
+        False, duplicates raise :class:`GraphFormatError`.
+    """
+    u, v, w = _as_edge_arrays(edges, weights)
+    if u.size and (u.min() < 0 or v.min() < 0):
+        raise GraphFormatError("vertex ids must be non-negative")
+    n = int(num_vertices) if num_vertices is not None else (
+        int(max(u.max(initial=-1), v.max(initial=-1))) + 1 if u.size else 0
+    )
+    if u.size and max(u.max(), v.max()) >= n:
+        raise GraphFormatError(
+            f"num_vertices={n} too small for max vertex id {max(u.max(), v.max())}"
+        )
+
+    self_mask = u == v
+    self_loops = np.zeros(n, dtype=np.float64)
+    if self_mask.any():
+        np.add.at(self_loops, u[self_mask], w[self_mask])
+        u, v, w = u[~self_mask], v[~self_mask], w[~self_mask]
+
+    # Canonicalize to u < v, then dedup.
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    if lo.size:
+        key = lo * np.int64(n) + hi
+        unique_key, inverse, counts = np.unique(
+            key, return_inverse=True, return_counts=True
+        )
+        if not combine_duplicates and np.any(counts > 1):
+            raise GraphFormatError("duplicate edges present and combine_duplicates=False")
+        summed = np.bincount(inverse, weights=w, minlength=unique_key.size)
+        lo = (unique_key // n).astype(np.int64)
+        hi = (unique_key % n).astype(np.int64)
+        w = summed
+    return _csr_from_canonical(n, lo, hi, w, self_loops, node_weights)
+
+
+def _csr_from_canonical(
+    n: int,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    w: np.ndarray,
+    self_loops: np.ndarray,
+    node_weights: Optional[np.ndarray],
+) -> CSRGraph:
+    """Assemble CSR arrays from a deduplicated ``u < v`` edge list."""
+    src = np.concatenate([lo, hi])
+    dst = np.concatenate([hi, lo])
+    ww = np.concatenate([w, w])
+    order = np.lexsort((dst, src))
+    src, dst, ww = src[order], dst[order], ww[order]
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    if src.size:
+        counts = np.bincount(src, minlength=n)
+        np.cumsum(counts, out=offsets[1:])
+    return CSRGraph(
+        offsets,
+        dst,
+        ww,
+        self_loops=self_loops,
+        node_weights=node_weights,
+    )
+
+
+def graph_from_adjacency(
+    matrix: np.ndarray, node_weights: Optional[np.ndarray] = None
+) -> CSRGraph:
+    """Build a graph from a dense symmetric adjacency/weight matrix.
+
+    Zero entries are non-edges; the diagonal populates ``self_loops``.
+    Used by tests and by the dense LambdaCC baseline's fixtures.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise GraphFormatError(f"adjacency must be square, got {matrix.shape}")
+    if not np.allclose(matrix, matrix.T):
+        raise GraphFormatError("adjacency must be symmetric")
+    n = matrix.shape[0]
+    iu, ju = np.triu_indices(n, k=1)
+    mask = matrix[iu, ju] != 0
+    edges = np.stack([iu[mask], ju[mask]], axis=1)
+    graph = graph_from_edges(
+        edges, weights=matrix[iu, ju][mask], num_vertices=n, node_weights=node_weights
+    )
+    graph.self_loops[:] = np.diag(matrix)
+    return graph

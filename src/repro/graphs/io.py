@@ -1,0 +1,194 @@
+"""Graph and community-file I/O.
+
+Supports the two text formats the paper's ecosystem uses:
+
+* SNAP-style edge lists: one ``u v [w]`` pair per line, ``#`` comments;
+* SNAP community files (for ground truth): one community per line,
+  whitespace-separated member ids — the format of the ``top5000`` files.
+
+Plus a compact ``.npz`` binary round-trip for benchmark caching.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.csr import CSRGraph
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(path: PathLike, num_vertices=None) -> CSRGraph:
+    """Read a SNAP-style (optionally weighted) edge-list file."""
+    us: List[int] = []
+    vs: List[int] = []
+    ws: List[float] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'u v [w]', got {line!r}"
+                )
+            us.append(int(parts[0]))
+            vs.append(int(parts[1]))
+            ws.append(float(parts[2]) if len(parts) == 3 else 1.0)
+    edges = np.stack(
+        [np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64)], axis=1
+    ) if us else np.zeros((0, 2), dtype=np.int64)
+    return graph_from_edges(
+        edges, weights=np.asarray(ws, dtype=np.float64), num_vertices=num_vertices
+    )
+
+
+def write_edge_list(graph: CSRGraph, path: PathLike, weighted: bool = False) -> None:
+    """Write the graph's undirected edges (``u < v``) as a text edge list."""
+    u, v, w = graph.edge_list()
+    with open(path, "w") as handle:
+        handle.write(f"# repro graph: n={graph.num_vertices} m={graph.num_edges}\n")
+        if weighted:
+            for a, b, ww in zip(u, v, w):
+                handle.write(f"{a} {b} {ww:.10g}\n")
+        else:
+            for a, b in zip(u, v):
+                handle.write(f"{a} {b}\n")
+
+
+def read_communities(path: PathLike) -> List[np.ndarray]:
+    """Read a SNAP community file: one community (id list) per line."""
+    out: List[np.ndarray] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            out.append(np.asarray([int(tok) for tok in line.split()], dtype=np.int64))
+    return out
+
+
+def write_communities(communities: List[np.ndarray], path: PathLike) -> None:
+    """Write communities in the SNAP one-per-line format."""
+    with open(path, "w") as handle:
+        for community in communities:
+            handle.write(" ".join(str(int(v)) for v in community) + "\n")
+
+
+def read_metis(path: PathLike) -> CSRGraph:
+    """Read a METIS-format graph file.
+
+    Header: ``n m [fmt]`` where fmt 1 or 11 marks edge weights; body: line
+    ``i`` lists vertex ``i``'s neighbors (1-indexed), optionally
+    interleaved with weights.  Comment lines start with ``%``.  The format
+    used by Grappolo and much of the partitioning/clustering ecosystem.
+    """
+    with open(path) as handle:
+        # Keep empty lines: an isolated vertex's adjacency line is empty.
+        lines = [
+            line.rstrip("\n")
+            for line in handle
+            if not line.lstrip().startswith("%")
+        ]
+    while lines and not lines[0].strip():
+        lines.pop(0)
+    if not lines:
+        raise GraphFormatError(f"{path}: empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphFormatError(f"{path}: METIS header needs 'n m [fmt]'")
+    n = int(header[0])
+    declared_edges = int(header[1])
+    fmt = header[2] if len(header) > 2 else "0"
+    has_edge_weights = fmt.endswith("1") and fmt != "10"
+    body = lines[1:]
+    if len(body) < n or any(chunk.strip() for chunk in body[n:]):
+        raise GraphFormatError(
+            f"{path}: header declares {n} vertices but file has "
+            f"{len(body)} adjacency lines"
+        )
+    lines = lines[: n + 1]
+    us: List[int] = []
+    vs: List[int] = []
+    ws: List[float] = []
+    for vertex, line in enumerate(lines[1:]):
+        tokens = line.split()
+        step = 2 if has_edge_weights else 1
+        if len(tokens) % step:
+            raise GraphFormatError(
+                f"{path}: vertex {vertex + 1} has a dangling weight token"
+            )
+        for position in range(0, len(tokens), step):
+            neighbor = int(tokens[position]) - 1  # METIS is 1-indexed
+            if not 0 <= neighbor < n:
+                raise GraphFormatError(
+                    f"{path}: vertex {vertex + 1} lists neighbor "
+                    f"{neighbor + 1} outside [1, {n}]"
+                )
+            us.append(vertex)
+            vs.append(neighbor)
+            ws.append(float(tokens[position + 1]) if has_edge_weights else 1.0)
+    edges = (
+        np.stack([np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64)], axis=1)
+        if us
+        else np.zeros((0, 2), dtype=np.int64)
+    )
+    # Both directions appear in METIS; the builder halves duplicate mass.
+    graph = graph_from_edges(
+        edges, weights=np.asarray(ws) / 2.0, num_vertices=n
+    )
+    if graph.num_edges != declared_edges:
+        raise GraphFormatError(
+            f"{path}: header declares {declared_edges} edges, found "
+            f"{graph.num_edges}"
+        )
+    return graph
+
+
+def write_metis(graph: CSRGraph, path: PathLike, weighted: bool = False) -> None:
+    """Write the graph in METIS format (1-indexed adjacency lines)."""
+    fmt = " 001" if weighted else ""
+    with open(path, "w") as handle:
+        handle.write(f"{graph.num_vertices} {graph.num_edges}{fmt}\n")
+        for v in range(graph.num_vertices):
+            nbrs, wts = graph.neighborhood(v)
+            if weighted:
+                tokens = []
+                for neighbor, weight in zip(nbrs.tolist(), wts.tolist()):
+                    tokens.append(f"{neighbor + 1} {weight:g}")
+                handle.write(" ".join(tokens) + "\n")
+            else:
+                handle.write(" ".join(str(u + 1) for u in nbrs.tolist()) + "\n")
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Binary round-trip save (benchmark caching)."""
+    np.savez_compressed(
+        path,
+        offsets=graph.offsets,
+        neighbors=graph.neighbors,
+        weights=graph.weights,
+        self_loops=graph.self_loops,
+        node_weights=graph.node_weights,
+        node_weight_sq=graph.node_weight_sq,
+    )
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Load a graph saved by :func:`save_npz`."""
+    data = np.load(path)
+    return CSRGraph(
+        data["offsets"],
+        data["neighbors"],
+        data["weights"],
+        self_loops=data["self_loops"],
+        node_weights=data["node_weights"],
+        node_weight_sq=data["node_weight_sq"],
+        validate=False,
+    )

@@ -1,0 +1,90 @@
+"""Graph transformations: induced subgraphs, component extraction, k-cores.
+
+Utilities a downstream user of the clustering library reaches for when
+preparing inputs (restrict to the giant component, peel low-degree
+periphery) and when inspecting outputs (extract one cluster's subgraph).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.csr import CSRGraph
+from repro.graphs.stats import connected_components
+
+
+def induced_subgraph(
+    graph: CSRGraph, vertices: np.ndarray
+) -> Tuple[CSRGraph, np.ndarray]:
+    """The subgraph induced by ``vertices``.
+
+    Returns ``(subgraph, original_ids)`` where ``original_ids[i]`` is the
+    input-graph vertex id of subgraph vertex ``i``.  Vertex weights,
+    squared-weight mass, and self-loops carry over.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    n = graph.num_vertices
+    if vertices.size and (vertices[0] < 0 or vertices[-1] >= n):
+        raise ValueError("vertex ids out of range")
+    new_id = np.full(n, -1, dtype=np.int64)
+    new_id[vertices] = np.arange(vertices.size, dtype=np.int64)
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.offsets))
+    keep = (new_id[src] >= 0) & (new_id[graph.neighbors] >= 0) & (
+        src < graph.neighbors
+    )
+    edges = np.stack([new_id[src[keep]], new_id[graph.neighbors[keep]]], axis=1)
+    sub = graph_from_edges(
+        edges,
+        weights=graph.weights[keep],
+        num_vertices=vertices.size,
+        node_weights=graph.node_weights[vertices],
+    )
+    sub.self_loops[:] = graph.self_loops[vertices]
+    sub.node_weight_sq[:] = graph.node_weight_sq[vertices]
+    return sub, vertices
+
+
+def cluster_subgraph(
+    graph: CSRGraph, assignments: np.ndarray, cluster: int
+) -> Tuple[CSRGraph, np.ndarray]:
+    """The induced subgraph of one cluster of a clustering."""
+    members = np.flatnonzero(np.asarray(assignments) == cluster)
+    if members.size == 0:
+        raise ValueError(f"cluster {cluster} has no members")
+    return induced_subgraph(graph, members)
+
+
+def largest_component(graph: CSRGraph) -> Tuple[CSRGraph, np.ndarray]:
+    """The induced subgraph of the largest connected component."""
+    labels = connected_components(graph)
+    counts = np.bincount(labels)
+    giant = int(np.argmax(counts))
+    return induced_subgraph(graph, np.flatnonzero(labels == giant))
+
+
+def k_core(graph: CSRGraph, k: int) -> Tuple[CSRGraph, np.ndarray]:
+    """The maximal subgraph in which every vertex has degree >= k.
+
+    Iterative peeling; returns an empty graph when no such core exists.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    alive = np.ones(graph.num_vertices, dtype=bool)
+    src = np.repeat(
+        np.arange(graph.num_vertices, dtype=np.int64), np.diff(graph.offsets)
+    )
+    while True:
+        live_edges = alive[src] & alive[graph.neighbors]
+        degrees = np.bincount(
+            src[live_edges], minlength=graph.num_vertices
+        )
+        peel = alive & (degrees < k)
+        if not peel.any():
+            break
+        alive &= ~peel
+        if not alive.any():
+            break
+    return induced_subgraph(graph, np.flatnonzero(alive))

@@ -1,0 +1,280 @@
+"""Simulated work-stealing scheduler: machine model and cost ledger.
+
+Why simulation
+--------------
+The paper's performance results come from a C++ work-stealing runtime on
+30/48-core machines.  In CPython the GIL serializes shared-memory threads,
+so instead of timing Python threads (which would measure the GIL, not the
+algorithms) every parallel primitive in this package *charges* its abstract
+cost to a :class:`CostLedger`:
+
+* ``work``   — total number of elementary operations across all workers;
+* ``depth``  — operations on the critical path (span);
+* ``serial`` — operations that cannot parallelize at any worker count,
+  chiefly queueing of atomic compare-and-swap updates on hot locations
+  (e.g. the cluster-weight counter of a giant cluster — the paper's
+  "twitter contention" effect, Section 4.2).
+
+Simulated time for ``P`` workers is then the Brent-style bound
+
+    T(P) = sum over regions [ work / eff(P) + depth * (1 + tau) + serial ]
+
+with ``eff(P)`` a hyper-threading-aware effective parallelism and ``tau``
+the per-depth-level scheduling overhead.  Speedup *shapes* — saturation at
+the physical core count, the hyper-threading knee, contention collapse when
+few clusters absorb most vertices — are properties of the (work, depth,
+serial) profile the algorithms generate, which is exactly what the paper's
+algorithmic contributions change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import SchedulerError
+
+#: Default per-depth-level scheduling overhead (steal attempts, fork/join),
+#: in elementary-operation units per unit of depth.  Work-stealing
+#: schedulers bound overhead by O(P * D) steals total, i.e. a small
+#: constant per depth unit per worker on the critical path.
+DEFAULT_TAU = 3.0
+
+#: Cost, in elementary operations, of one serialized compare-and-swap on a
+#: *contended* location: a failed/retried RMW forces a cross-core
+#: cache-line transfer, ~60-100 cycles on the paper's Xeon-class parts.
+CAS_COST = 64.0
+
+#: Simulated core frequency used to convert operation counts to seconds.
+#: One elementary operation ~ one cycle at 2 GHz; only relative times matter.
+OPS_PER_SECOND = 2.0e9
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A machine profile: physical cores and SMT (hyper-threading) lanes.
+
+    ``c2-standard-60()`` and ``m1-megamem-96()`` mirror the two Google Cloud
+    instances used in the paper's evaluation.
+    """
+
+    cores: int = 30
+    smt: int = 2
+    #: Aggregate throughput gain of fully-loaded SMT over one thread/core.
+    smt_yield: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise SchedulerError(f"cores must be >= 1, got {self.cores}")
+        if self.smt < 1:
+            raise SchedulerError(f"smt must be >= 1, got {self.smt}")
+
+    @property
+    def max_workers(self) -> int:
+        """Hardware thread count (cores times SMT ways)."""
+        return self.cores * self.smt
+
+    def effective_parallelism(self, num_workers: int) -> float:
+        """Throughput-equivalent worker count for ``num_workers`` threads.
+
+        Up to the physical core count each worker contributes fully; beyond
+        it, each extra hyper-thread contributes ``smt_yield`` of a core.
+        This produces the characteristic knee at ``cores`` seen in the
+        paper's thread-scaling plots (Figures 7 and 13).
+        """
+        if num_workers < 1:
+            raise SchedulerError(f"num_workers must be >= 1, got {num_workers}")
+        capped = min(num_workers, self.max_workers)
+        if capped <= self.cores:
+            return float(capped)
+        return self.cores + self.smt_yield * (capped - self.cores)
+
+    @staticmethod
+    def c2_standard_60() -> "Machine":
+        """30 cores, two-way hyper-threading (paper's main machine)."""
+        return Machine(cores=30, smt=2)
+
+    @staticmethod
+    def m1_megamem_96() -> "Machine":
+        """48 cores, two-way hyper-threading (paper's large-graph machine)."""
+        return Machine(cores=48, smt=2)
+
+
+@dataclass
+class Region:
+    """Cost of one parallel region (one primitive invocation)."""
+
+    label: str
+    work: float
+    depth: float
+    serial: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.work < 0 or self.depth < 0 or self.serial < 0:
+            raise SchedulerError(
+                f"region costs must be non-negative: {self.label!r} "
+                f"work={self.work} depth={self.depth} serial={self.serial}"
+            )
+
+
+class CostLedger:
+    """Accumulates per-region (work, depth, serial) charges.
+
+    The ledger is intentionally decoupled from any particular worker count:
+    an algorithm runs once, and :meth:`simulated_time` can then be evaluated
+    for *any* ``P`` — which is how the thread-scaling figures are produced
+    without rerunning the clustering per thread count.
+    """
+
+    def __init__(self) -> None:
+        self._regions: List[Region] = []
+        self._totals: Dict[str, float] = {"work": 0.0, "depth": 0.0, "serial": 0.0}
+
+    def charge(
+        self,
+        work: float,
+        depth: float,
+        label: str = "",
+        serial: float = 0.0,
+    ) -> None:
+        """Record one parallel region's cost."""
+        region = Region(label=label, work=float(work), depth=float(depth), serial=float(serial))
+        self._regions.append(region)
+        self._totals["work"] += region.work
+        self._totals["depth"] += region.depth
+        self._totals["serial"] += region.serial
+
+    @property
+    def total_work(self) -> float:
+        return self._totals["work"]
+
+    @property
+    def total_depth(self) -> float:
+        return self._totals["depth"]
+
+    @property
+    def total_serial(self) -> float:
+        return self._totals["serial"]
+
+    @property
+    def num_regions(self) -> int:
+        return len(self._regions)
+
+    def regions(self) -> Iterator[Region]:
+        return iter(self._regions)
+
+    def work_by_label(self) -> Dict[str, float]:
+        """Total work grouped by region label (for profiling benches)."""
+        out: Dict[str, float] = {}
+        for region in self._regions:
+            out[region.label] = out.get(region.label, 0.0) + region.work
+        return out
+
+    def merge(self, other: "CostLedger") -> None:
+        """Append all of ``other``'s regions to this ledger."""
+        for region in other.regions():
+            self.charge(region.work, region.depth, region.label, region.serial)
+
+    def simulated_time(
+        self,
+        num_workers: int,
+        machine: Optional[Machine] = None,
+        tau: float = DEFAULT_TAU,
+    ) -> float:
+        """Simulated seconds to execute all charged regions on ``P`` workers.
+
+        Applies the Brent bound per region; with ``num_workers == 1`` the
+        depth and serial terms fold into the work term (a sequential run
+        pays no scheduling overhead), matching how the paper's sequential
+        baselines are plain loops with no runtime.
+        """
+        machine = machine or Machine.c2_standard_60()
+        if num_workers == 1:
+            ops = self.total_work + self.total_serial
+            return ops / OPS_PER_SECOND
+        eff = machine.effective_parallelism(num_workers)
+        ops = (
+            self.total_work / eff
+            + self.total_depth * (1.0 + tau)
+            + self.total_serial
+        )
+        return ops / OPS_PER_SECOND
+
+    def snapshot(self) -> Dict[str, float]:
+        """Totals as a plain dict (stable API for result records)."""
+        return dict(self._totals)
+
+    def profile(self, top: int = 10) -> List[tuple]:
+        """Top regions by work: ``(label, work, share_of_total_work)``.
+
+        The profiling view benches use to attribute simulated time to
+        algorithm phases (best moves vs compression vs frontier vs CAS
+        contention).
+        """
+        by_label = self.work_by_label()
+        total = self.total_work or 1.0
+        ranked = sorted(by_label.items(), key=lambda kv: -kv[1])[:top]
+        return [(label, work, work / total) for label, work in ranked]
+
+
+class SimulatedScheduler:
+    """Facade bundling a machine profile, worker count, and cost ledger.
+
+    One scheduler is created per clustering run; primitives receive it (or
+    ``None`` to skip accounting) and call :meth:`charge`.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 60,
+        machine: Optional[Machine] = None,
+        tau: float = DEFAULT_TAU,
+    ) -> None:
+        self.machine = machine or Machine.c2_standard_60()
+        if num_workers < 1:
+            raise SchedulerError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+        self.tau = tau
+        self.ledger = CostLedger()
+
+    def charge(
+        self, work: float, depth: float, label: str = "", serial: float = 0.0
+    ) -> None:
+        self.ledger.charge(work, depth, label=label, serial=serial)
+
+    def charge_cas_contention(self, queue_lengths, label: str = "cas") -> None:
+        """Charge contention for concurrent CAS updates to shared counters.
+
+        ``queue_lengths`` holds, per contended location, the number of
+        concurrent updates in the current concurrency window.  A location
+        hit by ``q`` concurrent CASes serializes: the first succeeds, the
+        rest retry — ``q - 1`` retries of work and a serialized queue of
+        length ``q`` on the critical path of this window.
+        """
+        total_retries = 0.0
+        max_queue = 0.0
+        for q in queue_lengths:
+            if q > 1:
+                total_retries += q - 1
+                if q > max_queue:
+                    max_queue = q
+        if total_retries > 0:
+            self.charge(
+                work=CAS_COST * total_retries,
+                depth=0.0,
+                label=label,
+                serial=CAS_COST * max_queue,
+            )
+
+    def simulated_time(self, num_workers: Optional[int] = None) -> float:
+        """Simulated seconds at ``num_workers`` (default: this scheduler's)."""
+        workers = self.num_workers if num_workers is None else num_workers
+        return self.ledger.simulated_time(workers, machine=self.machine, tau=self.tau)
+
+    def fork(self) -> "SimulatedScheduler":
+        """A child scheduler with the same profile and a fresh ledger."""
+        return SimulatedScheduler(self.num_workers, self.machine, self.tau)
+
+    def absorb(self, child: "SimulatedScheduler") -> None:
+        """Merge a child scheduler's ledger into this one."""
+        self.ledger.merge(child.ledger)

@@ -1,0 +1,67 @@
+"""Union-find (disjoint set union) with path compression + union by size.
+
+A second connectivity substrate next to the label-propagation
+connected-components in :mod:`repro.graphs.stats`: union-find is the
+natural engine for incremental merging (used by tests as an independent
+oracle for the connectivity-dependent baselines and for the Leiden
+well-connectedness checks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+class UnionFind:
+    """Array-based DSU over ``n`` elements."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+        self.num_components = n
+
+    def find(self, x: int) -> int:
+        """Root of ``x``'s set, with path compression."""
+        root = x
+        parent = self.parent
+        while parent[root] != root:
+            root = parent[root]
+        # Compress the walked path.
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return int(root)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; returns True if they differed."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.num_components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def component_labels(self) -> np.ndarray:
+        """Dense component label per element."""
+        roots = np.asarray([self.find(i) for i in range(self.parent.size)])
+        _, dense = np.unique(roots, return_inverse=True)
+        return dense.astype(np.int64)
+
+
+def connected_components_uf(graph: CSRGraph) -> np.ndarray:
+    """Connected components via union-find (oracle for the vectorized
+    label-propagation version in :mod:`repro.graphs.stats`)."""
+    uf = UnionFind(graph.num_vertices)
+    u, v, _ = graph.edge_list()
+    for a, b in zip(u.tolist(), v.tolist()):
+        uf.union(a, b)
+    return uf.component_labels()

@@ -1,0 +1,27 @@
+"""Appendix D: P-completeness of Louvain for the CC objective.
+
+The paper proves that producing the Louvain method's clustering is
+P-complete via an NC reduction from the monotone circuit value problem
+(CVP): a circuit plus its input assignment become a weighted graph on
+which best-local-moves converge with every gate vertex clustered with the
+``t`` (true) or ``f`` (false) terminal according to the gate's value.
+
+* :mod:`repro.pcomplete.circuit`   — monotone circuit DAGs + evaluation;
+* :mod:`repro.pcomplete.reduction` — the Appendix D graph construction;
+* :mod:`repro.pcomplete.solver`    — solve CVP by running Louvain best
+  moves on the reduction graph (the constructive side of the proof,
+  exercised by tests on random circuits).
+"""
+
+from repro.pcomplete.circuit import Gate, GateKind, MonotoneCircuit
+from repro.pcomplete.reduction import CircuitReduction, reduce_circuit
+from repro.pcomplete.solver import solve_circuit_via_louvain
+
+__all__ = [
+    "CircuitReduction",
+    "Gate",
+    "GateKind",
+    "MonotoneCircuit",
+    "reduce_circuit",
+    "solve_circuit_via_louvain",
+]

@@ -1,0 +1,101 @@
+"""Monotone circuits (AND/OR gates over literal inputs).
+
+Nodes are numbered: literals ``0 .. num_inputs-1``, then gates in
+topological order (each gate may read literals or earlier gates).  The
+last gate is the circuit output.  Because the CVP instance fixes the truth
+assignment, negated literals are modeled simply as inputs whose value is
+the negation — matching the paper's treatment (literals and their
+negations are separate vertices wired to ``t``/``f`` by their fixed
+truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.utils.rng import SeedLike, make_rng
+
+
+class GateKind(Enum):
+    AND = "and"
+    OR = "or"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A two-input monotone gate; inputs are node ids strictly below it."""
+
+    kind: GateKind
+    in1: int
+    in2: int
+
+
+class MonotoneCircuit:
+    """A monotone circuit over ``num_inputs`` literal inputs."""
+
+    def __init__(self, num_inputs: int, gates: Sequence[Gate]) -> None:
+        if num_inputs < 1:
+            raise CircuitError(f"need at least one input, got {num_inputs}")
+        if not gates:
+            raise CircuitError("need at least one gate")
+        self.num_inputs = num_inputs
+        self.gates: List[Gate] = list(gates)
+        for index, gate in enumerate(self.gates):
+            node_id = num_inputs + index
+            for pin in (gate.in1, gate.in2):
+                if not 0 <= pin < node_id:
+                    raise CircuitError(
+                        f"gate {index} reads node {pin}, not below its id {node_id}"
+                    )
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_inputs + self.num_gates
+
+    @property
+    def output_node(self) -> int:
+        return self.num_nodes - 1
+
+    def evaluate(self, inputs: Sequence[bool]) -> np.ndarray:
+        """Value of every node under the given input assignment."""
+        if len(inputs) != self.num_inputs:
+            raise CircuitError(
+                f"expected {self.num_inputs} input values, got {len(inputs)}"
+            )
+        values = np.zeros(self.num_nodes, dtype=bool)
+        values[: self.num_inputs] = np.asarray(inputs, dtype=bool)
+        for index, gate in enumerate(self.gates):
+            a = values[gate.in1]
+            b = values[gate.in2]
+            values[self.num_inputs + index] = (
+                (a and b) if gate.kind is GateKind.AND else (a or b)
+            )
+        return values
+
+    def output(self, inputs: Sequence[bool]) -> bool:
+        """The circuit's output value."""
+        return bool(self.evaluate(inputs)[self.output_node])
+
+
+def random_circuit(
+    num_inputs: int, num_gates: int, seed: SeedLike = None
+) -> MonotoneCircuit:
+    """A random layered monotone circuit (for property tests/benches)."""
+    rng = make_rng(seed)
+    gates: List[Gate] = []
+    for index in range(num_gates):
+        node_id = num_inputs + index
+        in1 = int(rng.integers(0, node_id))
+        in2 = int(rng.integers(0, node_id))
+        kind = GateKind.AND if rng.random() < 0.5 else GateKind.OR
+        gates.append(Gate(kind, in1, in2))
+    return MonotoneCircuit(num_inputs, gates)

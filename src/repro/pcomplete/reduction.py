@@ -1,0 +1,190 @@
+"""The Appendix D reduction: monotone CVP instance -> LambdaCC graph.
+
+Construction (paper, Appendix D), with lambda = 0:
+
+* vertices ``t`` and ``f`` joined by a large negative edge;
+* each literal joined to its truth terminal (``t`` if true else ``f``)
+  by a large positive edge;
+* per gate ``g_k`` reading ``g_i op g_j`` (with gate weight
+  ``w_ijk = min(f(c(g_i)), f(c(g_j)))`` where ``f(c_i)`` is the inverse
+  prefix product of DAG degrees along the topological order):
+
+  - edges ``(g_i, g_k)`` and ``(g_j, g_k)`` of weight ``w_ijk``;
+  - a helper ``g'_k`` joined to ``g_k`` with weight ``(2 + 2/3 eps) w_ijk``;
+  - for OR:  ``(g_k, t)`` weight ``(1 + eps) w_ijk``,
+             ``(g_k, f)`` weight ``(1 + eps/2) w_ijk``;
+  - for AND: the ``t``/``f`` weights swapped.
+
+Weights are globally rescaled so the smallest gate weight is 1 (the
+reduction is scale-invariant at lambda = 0 but floating point is not), and
+the "large enough constant" is ten times the total positive gate mass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.csr import CSRGraph
+from repro.pcomplete.circuit import GateKind, MonotoneCircuit
+
+#: The fixed small epsilon of the construction.
+EPSILON = 0.1
+
+
+@dataclass
+class CircuitReduction:
+    """The reduction graph and its vertex layout."""
+
+    graph: CSRGraph
+    circuit: MonotoneCircuit
+    assignment: np.ndarray  # literal truth values
+    t_vertex: int
+    f_vertex: int
+    literal_vertices: np.ndarray  # per circuit input (x_i)
+    negation_vertices: np.ndarray  # per circuit input (not x_i)
+    gate_vertices: np.ndarray  # per gate (g_k)
+    helper_vertices: np.ndarray  # per gate (g'_k)
+    epsilon: float = EPSILON
+
+    def node_vertex(self, node: int) -> int:
+        """Graph vertex for circuit node id (literal or gate)."""
+        if node < self.circuit.num_inputs:
+            return int(self.literal_vertices[node])
+        return int(self.gate_vertices[node - self.circuit.num_inputs])
+
+
+def _out_degrees(circuit: MonotoneCircuit) -> np.ndarray:
+    """Fan-out (number of consuming gates) per circuit node."""
+    out = np.zeros(circuit.num_nodes, dtype=np.int64)
+    for gate in circuit.gates:
+        out[gate.in1] += 1
+        out[gate.in2] += 1
+    return out
+
+
+def _gate_weights(circuit: MonotoneCircuit, epsilon: float) -> np.ndarray:
+    """Per-gate weight ``w_ijk`` enforcing the construction's invariants.
+
+    The paper defines ``w_ijk`` through inverse prefix products of DAG
+    degrees and argues gates ignore their out-neighbors because the
+    out-edge weight sum stays below ``w_ijk``.  Tracing the proof's margin
+    analysis, the binding constraint is tighter: a waiting gate sits in its
+    two-vertex helper cluster with margin only ``(2 + 2/3 eps) - (2 + 1/2
+    eps) = eps/6`` times ``w_ijk`` over the strongest one-input terminal
+    attraction, so consumer pull must stay below ``eps/6 * w_ijk`` or a
+    gate can be dragged to the wrong terminal (we hit exactly this on
+    random circuits).  We therefore assign weights by a fan-out budget
+    recursion in topological order:
+
+        w(literal) = 1
+        w(gate m)  = min over inputs i of
+                     (eps / 12) * w(i) / max(outdeg(i), 1)
+
+    so the consumers of any node ``k`` receive at most ``eps/12 * w(k)``
+    in total — half the proof's margin.  Like the paper's form, weights
+    shrink geometrically with depth, hence the float-overflow guard.
+    """
+    out_deg = _out_degrees(circuit)
+    budget = epsilon / 12.0
+    node_weight = np.ones(circuit.num_nodes, dtype=np.float64)
+    gate_weights = np.empty(circuit.num_gates, dtype=np.float64)
+    for index, gate in enumerate(circuit.gates):
+        w = min(
+            budget * node_weight[gate.in1] / max(out_deg[gate.in1], 1),
+            budget * node_weight[gate.in2] / max(out_deg[gate.in2], 1),
+        )
+        if w < 1e-290:
+            raise CircuitError(
+                "circuit too deep for float64 gate weights; "
+                "use fewer than ~130 levels"
+            )
+        gate_weights[index] = w
+        node_weight[circuit.num_inputs + index] = w
+    return gate_weights
+
+
+def reduce_circuit(
+    circuit: MonotoneCircuit,
+    assignment: Sequence[bool],
+    epsilon: float = EPSILON,
+) -> CircuitReduction:
+    """Build the Appendix D graph for ``circuit`` under ``assignment``."""
+    if not 0.0 < epsilon < 0.5:
+        raise CircuitError(f"epsilon must be in (0, 0.5), got {epsilon}")
+    assignment = np.asarray(assignment, dtype=bool)
+    if assignment.shape != (circuit.num_inputs,):
+        raise CircuitError(
+            f"assignment must have {circuit.num_inputs} values, got {assignment.shape}"
+        )
+
+    gate_weights = _gate_weights(circuit, epsilon)
+    gate_weights = gate_weights / gate_weights.min()  # rescale smallest to 1
+
+    # Vertex layout: t, f, literals, negated literals, gates, helpers.
+    t_vertex, f_vertex = 0, 1
+    literal_vertices = 2 + np.arange(circuit.num_inputs, dtype=np.int64)
+    negation_vertices = literal_vertices + circuit.num_inputs
+    gate_vertices = (
+        2 + 2 * circuit.num_inputs + np.arange(circuit.num_gates, dtype=np.int64)
+    )
+    helper_vertices = gate_vertices + circuit.num_gates
+    num_vertices = 2 + 2 * circuit.num_inputs + 2 * circuit.num_gates
+
+    def vertex_of(node: int) -> int:
+        if node < circuit.num_inputs:
+            return int(literal_vertices[node])
+        return int(gate_vertices[node - circuit.num_inputs])
+
+    edges: List[tuple] = []
+    weights: List[float] = []
+
+    def add(u: int, v: int, w: float) -> None:
+        edges.append((u, v))
+        weights.append(w)
+
+    for index, gate in enumerate(circuit.gates):
+        w = float(gate_weights[index])
+        g_k = int(gate_vertices[index])
+        add(vertex_of(gate.in1), g_k, w)
+        add(vertex_of(gate.in2), g_k, w)
+        add(g_k, int(helper_vertices[index]), (2.0 + (2.0 / 3.0) * epsilon) * w)
+        if gate.kind is GateKind.OR:
+            add(g_k, t_vertex, (1.0 + epsilon) * w)
+            add(g_k, f_vertex, (1.0 + 0.5 * epsilon) * w)
+        else:
+            add(g_k, t_vertex, (1.0 + 0.5 * epsilon) * w)
+            add(g_k, f_vertex, (1.0 + epsilon) * w)
+
+    big = 10.0 * (sum(abs(w) for w in weights) + 1.0)
+    add(t_vertex, f_vertex, -big)
+    # Both each literal and its negation exist as vertices (the paper's
+    # construction); each anchors to its truth terminal, which guarantees
+    # both t and f hold a BIG anchor and never drift into gate clusters.
+    for input_id in range(circuit.num_inputs):
+        terminal = t_vertex if assignment[input_id] else f_vertex
+        other = f_vertex if assignment[input_id] else t_vertex
+        add(int(literal_vertices[input_id]), terminal, big)
+        add(int(negation_vertices[input_id]), other, big)
+
+    graph = graph_from_edges(
+        np.asarray(edges, dtype=np.int64),
+        weights=np.asarray(weights, dtype=np.float64),
+        num_vertices=num_vertices,
+    )
+    return CircuitReduction(
+        graph=graph,
+        circuit=circuit,
+        assignment=assignment,
+        t_vertex=t_vertex,
+        f_vertex=f_vertex,
+        literal_vertices=literal_vertices,
+        negation_vertices=negation_vertices,
+        gate_vertices=gate_vertices,
+        helper_vertices=helper_vertices,
+        epsilon=epsilon,
+    )

@@ -1,0 +1,71 @@
+"""Solve monotone CVP by running Louvain best moves on the reduction graph.
+
+The constructive half of the Appendix D proof: best-local-moves run to
+convergence at lambda = 0 cluster every gate vertex with ``t`` or ``f``
+according to its value in the circuit, so the output gate's cluster *is*
+the circuit's output.  Tests validate this on exhaustive small circuits
+and random larger ones.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import ClusteringConfig, Frontier, Objective
+from repro.core.louvain_seq import sequential_best_moves
+from repro.core.state import ClusterState
+from repro.pcomplete.circuit import MonotoneCircuit
+from repro.pcomplete.reduction import CircuitReduction, reduce_circuit
+from repro.utils.rng import SeedLike, make_rng
+
+#: Convergence bound for the best-moves process (the reduction converges in
+#: O(circuit depth) sweeps; this is a safety net, not a tuning knob).
+_MAX_SWEEPS = 10_000
+
+
+def louvain_clustering_of_reduction(
+    reduction: CircuitReduction, seed: SeedLike = None
+) -> np.ndarray:
+    """Best-local-moves clustering (to convergence) of a reduction graph."""
+    config = ClusteringConfig(
+        objective=Objective.CORRELATION,
+        resolution=0.0,
+        parallel=False,
+        frontier=Frontier.ALL,
+        refine=False,
+        num_iter=_MAX_SWEEPS,
+    )
+    state = ClusterState.singletons(reduction.graph)
+    sequential_best_moves(
+        reduction.graph,
+        state,
+        resolution=0.0,
+        config=config,
+        rng=make_rng(seed),
+    )
+    return state.assignments.copy()
+
+
+def solve_circuit_via_louvain(
+    circuit: MonotoneCircuit,
+    assignment: Sequence[bool],
+    seed: SeedLike = None,
+) -> bool:
+    """Evaluate ``circuit`` on ``assignment`` through the reduction.
+
+    Raises ``AssertionError`` if the clustering violates the reduction's
+    invariants (t and f must separate; the output gate must join one).
+    """
+    reduction = reduce_circuit(circuit, assignment)
+    clusters = louvain_clustering_of_reduction(reduction, seed=seed)
+    t_cluster = clusters[reduction.t_vertex]
+    f_cluster = clusters[reduction.f_vertex]
+    assert t_cluster != f_cluster, "t and f collapsed into one cluster"
+    output_vertex = reduction.node_vertex(circuit.output_node)
+    out_cluster = clusters[output_vertex]
+    assert out_cluster in (t_cluster, f_cluster), (
+        "output gate clustered with neither t nor f"
+    )
+    return bool(out_cluster == t_cluster)

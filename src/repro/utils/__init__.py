@@ -1,0 +1,20 @@
+"""Shared utilities: seeded RNG handling, timing, validation helpers."""
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timing import WallTimer
+from repro.utils.validation import (
+    require,
+    require_in_unit_interval,
+    require_nonnegative,
+    require_positive,
+)
+
+__all__ = [
+    "WallTimer",
+    "make_rng",
+    "require",
+    "require_in_unit_interval",
+    "require_nonnegative",
+    "require_positive",
+    "spawn_rngs",
+]

@@ -1,0 +1,40 @@
+"""Wall-clock timing helpers.
+
+The reproduction's performance claims are made in *simulated* time (see
+:mod:`repro.parallel.scheduler`); wall-clock timing is still reported by the
+benchmark harness for transparency about the Python process itself.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class WallTimer:
+    """A tiny context-manager stopwatch.
+
+    Example::
+
+        with WallTimer() as t:
+            work()
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+    def running(self) -> float:
+        """Elapsed seconds since entry, without stopping the timer."""
+        if self._start is None:
+            return 0.0
+        return time.perf_counter() - self._start

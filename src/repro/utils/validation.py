@@ -1,0 +1,39 @@
+"""Small argument-validation helpers used across the package.
+
+These raise :class:`ValueError` (or a caller-supplied exception class) with
+uniform messages, keeping validation one line at call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+
+def require(condition: bool, message: str, exc: Type[Exception] = ValueError) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise exc(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_nonnegative(value: float, name: str) -> None:
+    """Require ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_in_unit_interval(value: float, name: str, open_ends: bool = True) -> None:
+    """Require ``value`` in ``(0, 1)`` (or ``[0, 1]`` when ``open_ends=False``)."""
+    if open_ends:
+        ok = 0.0 < value < 1.0
+        interval = "(0, 1)"
+    else:
+        ok = 0.0 <= value <= 1.0
+        interval = "[0, 1]"
+    if not ok:
+        raise ValueError(f"{name} must lie in {interval}, got {value!r}")

@@ -1,0 +1,50 @@
+import numpy as np
+import pytest
+
+from repro.baselines.labelprop import label_propagation
+from repro.eval.ground_truth import average_precision_recall
+from repro.graphs.builders import graph_from_edges
+from repro.parallel.scheduler import SimulatedScheduler
+
+
+class TestLabelPropagation:
+    def test_two_cliques(self, two_cliques):
+        labels = label_propagation(two_cliques, seed=0)
+        assert len(np.unique(labels[:4])) == 1
+        assert len(np.unique(labels[4:])) == 1
+
+    def test_dense_labels(self, karate):
+        labels = label_propagation(karate, seed=0)
+        uniq = np.unique(labels)
+        assert np.array_equal(uniq, np.arange(uniq.size))
+
+    def test_deterministic_given_seed(self, karate):
+        assert np.array_equal(
+            label_propagation(karate, seed=3), label_propagation(karate, seed=3)
+        )
+
+    def test_isolated_vertices_keep_own_label(self):
+        g = graph_from_edges([(0, 1)], num_vertices=4)
+        labels = label_propagation(g, seed=0)
+        assert labels[2] != labels[3]
+
+    def test_weighted_majority(self):
+        # Vertex 2 ties to 0 (weight 3) and 1 (weight 1): joins 0's label.
+        g = graph_from_edges([(0, 2), (1, 2)], weights=np.asarray([3.0, 1.0]))
+        labels = label_propagation(g, seed=0, max_iterations=5)
+        assert labels[2] == labels[0]
+
+    def test_quality_on_planted(self, small_planted):
+        labels = label_propagation(small_planted.graph, seed=0)
+        pr = average_precision_recall(labels, small_planted.communities)
+        assert pr.recall > 0.3
+
+    def test_charges_work(self, karate):
+        sched = SimulatedScheduler(num_workers=8)
+        label_propagation(karate, seed=0, sched=sched)
+        assert sched.ledger.total_work > 0
+
+    def test_synchronous_variant_runs(self, karate):
+        labels = label_propagation(karate, seed=0, synchronous=True,
+                                   max_iterations=10)
+        assert labels.shape == (34,)

@@ -1,0 +1,53 @@
+import numpy as np
+import pytest
+
+from repro.baselines.lambdacc_dense import MAX_DENSE_VERTICES, dense_lambdacc_cluster
+from repro.core.api import correlation_clustering
+from repro.core.objective import lambdacc_objective
+from repro.graphs.builders import graph_from_edges
+from repro.parallel.scheduler import SimulatedScheduler
+
+
+class TestDenseLambdaCC:
+    def test_karate_quality_matches_sparse(self, karate):
+        """Same algorithm, different data structure: objective should land
+        in the same band as SEQ-CC."""
+        lam = 0.05
+        labels, _ = dense_lambdacc_cluster(karate, resolution=lam, seed=0)
+        dense_obj = lambdacc_objective(karate, labels, lam)
+        sparse_obj = correlation_clustering(
+            karate, resolution=lam, parallel=False, seed=0
+        ).f_objective
+        assert dense_obj > 0
+        assert dense_obj >= 0.8 * sparse_obj
+
+    def test_two_cliques(self, two_cliques):
+        labels, sweeps = dense_lambdacc_cluster(two_cliques, resolution=0.2, seed=0)
+        assert np.unique(labels).size == 2
+        assert sweeps >= 1
+
+    def test_scaling_wall(self):
+        g = graph_from_edges([(0, 1)], num_vertices=MAX_DENSE_VERTICES + 1)
+        with pytest.raises(ValueError, match="refuses"):
+            dense_lambdacc_cluster(g)
+
+    def test_quadratic_work_charged(self, karate):
+        """The point of the baseline: Theta(n) work per vertex visit."""
+        sched = SimulatedScheduler(num_workers=1)
+        dense_lambdacc_cluster(karate, resolution=0.05, seed=0, sched=sched)
+        n = karate.num_vertices
+        # At least one full sweep of n vertices at 4n each.
+        assert sched.ledger.total_work >= 4 * n * n
+
+    def test_orders_of_magnitude_slower_than_sparse(self, small_planted):
+        """Appendix C.1: the dense-matrix LambdaCC is orders of magnitude
+        slower than the sparse implementation.  At n=300 the Theta(n^2)
+        per-sweep wall already dominates the sparse cost by >10x (on the
+        paper's hundreds-of-vertices karate comparison the gap is ~300x,
+        amplified further by MATLAB's interpreter, which we don't model)."""
+        g = small_planted.graph
+        sched = SimulatedScheduler(num_workers=1)
+        dense_lambdacc_cluster(g, resolution=0.05, seed=0, sched=sched)
+        dense_time = sched.ledger.simulated_time(1)
+        seq = correlation_clustering(g, resolution=0.05, parallel=False, seed=0)
+        assert dense_time > 10 * seq.sim_time(1)

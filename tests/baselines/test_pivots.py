@@ -1,0 +1,111 @@
+"""KwikCluster / C4 / ClusterWild! tests (Appendix C.1 baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.c4 import c4_cluster, lex_first_mis
+from repro.baselines.clusterwild import clusterwild_cluster
+from repro.baselines.kwikcluster import kwikcluster
+from repro.core.objective import cc_objective
+from repro.generators.rmat import rmat_graph
+from repro.graphs.builders import graph_from_edges
+from repro.parallel.scheduler import SimulatedScheduler
+
+
+class TestKwikCluster:
+    def test_two_cliques(self, two_cliques):
+        labels = kwikcluster(two_cliques, seed=0)
+        # Pivot clustering keeps cliques mostly intact.
+        assert np.unique(labels).size <= 4
+
+    def test_pivot_claims_neighbors(self):
+        star = graph_from_edges([(0, i) for i in range(1, 6)])
+        labels = kwikcluster(star, permutation=np.arange(6))
+        assert np.all(labels == labels[0])  # 0 pivots first, claims all
+
+    def test_negative_edges_not_claimed(self):
+        g = graph_from_edges([(0, 1), (0, 2)], weights=np.asarray([1.0, -1.0]))
+        labels = kwikcluster(g, permutation=np.arange(3))
+        assert labels[0] == labels[1]
+        assert labels[2] != labels[0]
+
+    def test_deterministic_with_seed(self, karate):
+        assert np.array_equal(
+            kwikcluster(karate, seed=5), kwikcluster(karate, seed=5)
+        )
+
+    def test_charged_sequentially(self, karate):
+        sched = SimulatedScheduler(num_workers=8)
+        kwikcluster(karate, seed=0, sched=sched)
+        assert sched.ledger.total_depth == sched.ledger.total_work
+
+
+class TestC4:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_serializability(self, seed):
+        """C4's output equals sequential KwikCluster on the same ranks."""
+        g = rmat_graph(9, 4 * 512, seed=seed)
+        perm = np.random.default_rng(seed).permutation(g.num_vertices)
+        assert np.array_equal(
+            kwikcluster(g, permutation=perm), c4_cluster(g, permutation=perm)
+        )
+
+    def test_serializability_on_karate(self, karate):
+        perm = np.random.default_rng(3).permutation(34)
+        assert np.array_equal(
+            kwikcluster(karate, permutation=perm),
+            c4_cluster(karate, permutation=perm),
+        )
+
+    def test_mis_is_maximal_and_independent(self, karate):
+        n = karate.num_vertices
+        rank = np.random.default_rng(0).permutation(n)
+        src = np.repeat(np.arange(n), np.diff(karate.offsets))
+        in_mis, rounds = lex_first_mis(src, karate.neighbors, rank, n)
+        # Independence: no edge inside the MIS.
+        assert not np.any(in_mis[src] & in_mis[karate.neighbors])
+        # Maximality: every non-member has a member neighbor.
+        covered = np.zeros(n, dtype=bool)
+        covered[src[in_mis[karate.neighbors]]] = True
+        assert np.all(in_mis | covered)
+        assert rounds >= 1
+
+    def test_parallel_depth_charged(self, karate):
+        sched = SimulatedScheduler(num_workers=8)
+        c4_cluster(karate, seed=0, sched=sched)
+        assert sched.ledger.total_depth < sched.ledger.total_work
+
+
+class TestClusterWild:
+    def test_partitions_all_vertices(self, karate):
+        labels = clusterwild_cluster(karate, seed=0)
+        assert labels.shape == (34,)
+        assert labels.min() == 0
+
+    def test_epsilon_validated(self, karate):
+        with pytest.raises(ValueError):
+            clusterwild_cluster(karate, epsilon=0.0)
+
+    def test_deterministic(self, karate):
+        assert np.array_equal(
+            clusterwild_cluster(karate, seed=2), clusterwild_cluster(karate, seed=2)
+        )
+
+    def test_isolated_vertices_singletons(self):
+        g = graph_from_edges([(0, 1)], num_vertices=4)
+        labels = clusterwild_cluster(g, seed=0)
+        assert labels[2] != labels[3]
+
+
+class TestPivotQualityStory:
+    """Appendix C.1: pivots are fast but lose badly on the CC objective."""
+
+    def test_par_cc_beats_pivots_on_objective(self, small_planted):
+        from repro.core.api import correlation_clustering
+
+        g = small_planted.graph
+        ours = correlation_clustering(g, resolution=0.5, seed=0).objective
+        kwik = cc_objective(g, kwikcluster(g, seed=0), 0.5)
+        wild = cc_objective(g, clusterwild_cluster(g, seed=0), 0.5)
+        assert ours > kwik
+        assert ours > wild

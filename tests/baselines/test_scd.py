@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.baselines.scd import _initial_partition, _wcc_of_vertex, scd_cluster
+from repro.baselines.triangles import vertex_triangle_pairs
+from repro.eval.ground_truth import average_precision_recall
+from repro.graphs.builders import graph_from_edges
+
+
+class TestWccOfVertex:
+    def test_no_triangles_zero(self):
+        pairs = np.zeros((0, 2), dtype=np.int64)
+        assert _wcc_of_vertex(pairs, np.zeros(3, dtype=np.int64), np.ones(3, dtype=np.int64), 0, True) == 0.0
+
+    def test_fully_internal_triangle(self, triangle_graph):
+        pairs = vertex_triangle_pairs(triangle_graph)
+        labels = np.zeros(3, dtype=np.int64)
+        sizes = np.asarray([3, 0, 0], dtype=np.int64)
+        wcc = _wcc_of_vertex(pairs[0], labels, sizes, 0, True)
+        # t_in/t_tot = 1, vt = 2, |C\x| = 2, vt_out = 0 -> 1 * 2/2 = 1.
+        assert wcc == pytest.approx(1.0)
+
+    def test_external_triangle_scores_zero_inside(self, triangle_graph):
+        pairs = vertex_triangle_pairs(triangle_graph)
+        labels = np.asarray([0, 1, 1], dtype=np.int64)
+        sizes = np.asarray([1, 2, 0], dtype=np.int64)
+        assert _wcc_of_vertex(pairs[0], labels, sizes, 0, True) == 0.0
+
+
+class TestInitialPartition:
+    def test_covers_everyone(self, karate):
+        pairs = vertex_triangle_pairs(karate)
+        labels = _initial_partition(karate, pairs)
+        assert np.all(labels >= 0)
+
+    def test_clique_seeded_together(self, two_cliques):
+        pairs = vertex_triangle_pairs(two_cliques)
+        labels = _initial_partition(two_cliques, pairs)
+        assert np.unique(labels[:4]).size == 1 or np.unique(labels[4:]).size == 1
+
+
+class TestScdCluster:
+    def test_two_cliques(self, two_cliques):
+        labels = scd_cluster(two_cliques, seed=0)
+        assert labels[0] == labels[1] == labels[2] == labels[3]
+        assert labels[4] == labels[5] == labels[6] == labels[7]
+        assert labels[0] != labels[4]
+
+    def test_dense_labels(self, karate):
+        labels = scd_cluster(karate, seed=0)
+        assert labels.min() == 0
+        assert set(labels.tolist()) == set(range(labels.max() + 1))
+
+    def test_precomputed_pairs_reused(self, karate):
+        pairs = vertex_triangle_pairs(karate)
+        a = scd_cluster(karate, seed=1, triangle_pairs=pairs)
+        b = scd_cluster(karate, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_quality_on_planted(self, small_planted):
+        labels = scd_cluster(small_planted.graph, seed=0)
+        pr = average_precision_recall(labels, small_planted.communities)
+        assert pr.precision > 0.5
+        assert pr.recall > 0.3
+
+    def test_triangle_free_graph_degrades(self):
+        """SCD has no signal without triangles (the WCC is 0 everywhere),
+        the known failure mode the paper's triangle-based baselines share."""
+        star = graph_from_edges([(0, i) for i in range(1, 10)])
+        labels = scd_cluster(star, seed=0)
+        assert labels.shape == (10,)

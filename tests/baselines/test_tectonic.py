@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.baselines.tectonic import edge_supports, tectonic_cluster
+from repro.eval.ground_truth import average_precision_recall
+from repro.graphs.builders import graph_from_edges
+
+
+class TestEdgeSupports:
+    def test_triangle_fully_supported(self, triangle_graph):
+        supports = edge_supports(triangle_graph)
+        assert np.allclose(supports, 1.0)
+
+    def test_path_unsupported(self):
+        g = graph_from_edges([(0, 1), (1, 2)])
+        assert np.all(edge_supports(g) == 0.0)
+
+    def test_in_unit_interval(self, karate):
+        supports = edge_supports(karate)
+        assert supports.min() >= 0.0
+        assert supports.max() <= 1.0
+
+
+class TestTectonicCluster:
+    def test_zero_theta_is_components(self, two_cliques):
+        labels = tectonic_cluster(two_cliques, theta=0.0)
+        assert np.unique(labels).size == 1  # whole graph connected
+
+    def test_moderate_theta_splits_cliques(self, two_cliques):
+        # The bridge edge closes no triangles; any positive theta cuts it.
+        labels = tectonic_cluster(two_cliques, theta=0.1)
+        assert labels[0] == labels[1] == labels[2] == labels[3]
+        assert labels[4] == labels[5] == labels[6] == labels[7]
+        assert labels[0] != labels[4]
+
+    def test_huge_theta_singletons(self, karate):
+        labels = tectonic_cluster(karate, theta=2.0)
+        assert np.unique(labels).size == 34
+
+    def test_theta_monotone_in_cluster_count(self, karate):
+        counts = [
+            np.unique(tectonic_cluster(karate, theta=t)).size
+            for t in (0.0, 0.2, 0.5, 1.1)
+        ]
+        assert counts == sorted(counts)
+
+    def test_negative_theta_rejected(self, karate):
+        with pytest.raises(ValueError):
+            tectonic_cluster(karate, theta=-0.1)
+
+    def test_quality_on_planted(self, small_planted):
+        labels = tectonic_cluster(small_planted.graph, theta=0.15)
+        pr = average_precision_recall(labels, small_planted.communities)
+        assert pr.precision > 0.5
+        assert pr.recall > 0.3

@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.baselines.triangles import (
+    edge_triangle_counts,
+    total_triangles,
+    vertex_triangle_pairs,
+)
+from repro.graphs.builders import graph_from_edges
+
+
+class TestEdgeCounts:
+    def test_triangle(self, triangle_graph):
+        counts = edge_triangle_counts(triangle_graph)
+        assert np.all(counts == 1)
+
+    def test_path_has_none(self):
+        g = graph_from_edges([(0, 1), (1, 2)])
+        assert np.all(edge_triangle_counts(g) == 0)
+
+    def test_k4(self):
+        g = graph_from_edges(
+            [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        )
+        counts = edge_triangle_counts(g)
+        assert np.all(counts == 2)  # each K4 edge is in two triangles
+
+    def test_bowtie(self):
+        # Two triangles sharing vertex 2.
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        total = total_triangles(g)
+        assert total == 2
+
+    def test_empty_graph(self):
+        g = graph_from_edges([], num_vertices=3)
+        assert edge_triangle_counts(g).size == 0
+        assert total_triangles(g) == 0
+
+    def test_matches_bruteforce(self, rng):
+        edges = rng.integers(0, 20, size=(60, 2))
+        g = graph_from_edges(edges[edges[:, 0] != edges[:, 1]], num_vertices=20)
+        counts = edge_triangle_counts(g)
+        nbr_sets = [
+            set(g.neighbors[g.offsets[v]: g.offsets[v + 1]].tolist())
+            for v in range(20)
+        ]
+        src = np.repeat(np.arange(20), np.diff(g.offsets))
+        for e in range(g.num_directed_edges):
+            u, v = int(src[e]), int(g.neighbors[e])
+            assert counts[e] == len(nbr_sets[u] & nbr_sets[v])
+
+
+class TestTotalTriangles:
+    def test_karate_known_count(self, karate):
+        # Zachary's karate club has exactly 45 triangles.
+        assert total_triangles(karate) == 45
+
+
+class TestVertexTrianglePairs:
+    def test_triangle(self, triangle_graph):
+        pairs = vertex_triangle_pairs(triangle_graph)
+        assert pairs[0].shape == (1, 2)
+        assert np.array_equal(pairs[0][0], [1, 2])
+
+    def test_pair_ordering(self, karate):
+        pairs = vertex_triangle_pairs(karate)
+        for p in pairs:
+            if p.size:
+                assert np.all(p[:, 0] < p[:, 1])
+
+    def test_total_consistent_with_counts(self, karate):
+        pairs = vertex_triangle_pairs(karate)
+        # Each triangle contributes one pair to each of its 3 vertices.
+        assert sum(p.shape[0] for p in pairs) == 3 * total_triangles(karate)
+
+    def test_isolated_vertex_empty(self):
+        g = graph_from_edges([(0, 1)], num_vertices=3)
+        pairs = vertex_triangle_pairs(g)
+        assert pairs[2].shape == (0, 2)

@@ -1,0 +1,59 @@
+import numpy as np
+
+from repro.bench.datasets import (
+    SPEEDUP_GRAPHS,
+    TUNING_GRAPHS,
+    TUNING_RESOLUTIONS,
+    benchmark_surrogate,
+    quality_resolutions,
+    tuning_pairs,
+)
+
+
+class TestRegistry:
+    def test_paper_tuning_setup(self):
+        # Section 4.1: amazon, orkut, twitter, friendster at 0.01 / 0.85.
+        assert TUNING_GRAPHS == ("amazon", "orkut", "twitter", "friendster")
+        assert TUNING_RESOLUTIONS == (0.01, 0.85)
+        assert len(tuning_pairs()) == 8
+
+    def test_speedup_graphs_match_figure4(self):
+        assert len(SPEEDUP_GRAPHS) == 6
+
+
+class TestCaching:
+    def test_same_instance_returned(self):
+        a = benchmark_surrogate("amazon", seed=0, scale=0.2)
+        b = benchmark_surrogate("amazon", seed=0, scale=0.2)
+        assert a is b
+
+    def test_distinct_for_seeds(self):
+        a = benchmark_surrogate("amazon", seed=0, scale=0.2)
+        b = benchmark_surrogate("amazon", seed=1, scale=0.2)
+        assert a is not b
+
+
+class TestSweeps:
+    def test_cc_grid_subsample(self):
+        grid = quality_resolutions("cc", count=10)
+        assert grid.size == 10
+        assert grid[0] == 0.01
+        assert grid[-1] == 0.99
+
+    def test_full_grid_when_count_large(self):
+        assert quality_resolutions("cc", count=500).size == 99
+
+    def test_mod_grid_geometric(self):
+        grid = quality_resolutions("mod", count=99)
+        ratios = grid[1:] / grid[:-1]
+        assert np.allclose(ratios, 1.2)
+
+    def test_theta_grid(self):
+        grid = quality_resolutions("theta", count=299)
+        assert grid.size == 299
+
+    def test_unknown_kind(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            quality_resolutions("bogus")

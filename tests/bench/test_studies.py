@@ -1,0 +1,83 @@
+import pytest
+
+from repro.bench.studies import (
+    SPEEDUP_SCALES,
+    StudyRecord,
+    TUNING_SCALES,
+    TUNING_SETTINGS,
+    lookup,
+    select,
+)
+from repro.core.api import correlation_clustering
+from repro.core.config import Frontier, Mode
+from repro.graphs.karate import karate_club_graph
+
+
+@pytest.fixture(scope="module")
+def records():
+    """A miniature study built on karate (the real studies are bench-only)."""
+    graph = karate_club_graph()
+    out = []
+    for lam in (0.1, 0.5):
+        for variant in ("par", "seq"):
+            result = correlation_clustering(
+                graph, resolution=lam, parallel=variant == "par", seed=1
+            )
+            out.append(StudyRecord.from_result("karate", "cc", variant, result))
+    return out
+
+
+class TestStudyRecord:
+    def test_fields_populated(self, records):
+        record = records[0]
+        assert record.graph == "karate"
+        assert record.sim_time_seq > 0
+        assert record.sim_time_par > 0
+        assert record.rounds > 0
+
+    def test_par_time_below_seq_time(self, records):
+        # Only meaningful for parallel runs: a sequential ledger's depth
+        # equals its work, so evaluating it "at 60 workers" adds overhead.
+        for record in select(records, variant="par"):
+            assert record.sim_time_par <= record.sim_time_seq
+
+
+class TestSelect:
+    def test_filters(self, records):
+        par = select(records, variant="par")
+        assert len(par) == 2
+        assert all(r.variant == "par" for r in par)
+
+    def test_chained_criteria(self, records):
+        out = select(records, variant="par", resolution=0.1)
+        assert len(out) == 1
+
+    def test_lookup_unique(self, records):
+        record = lookup(records, variant="seq", resolution=0.5)
+        assert record.variant == "seq"
+
+    def test_lookup_ambiguous_raises(self, records):
+        with pytest.raises(LookupError):
+            lookup(records, variant="par")
+
+    def test_lookup_missing_raises(self, records):
+        with pytest.raises(LookupError):
+            lookup(records, variant="par", resolution=0.77)
+
+
+class TestStudyConfiguration:
+    def test_tuning_settings_match_section41(self):
+        # The paper's grid: base plus one-at-a-time toggles plus all-on.
+        assert TUNING_SETTINGS["base"] == (Mode.SYNC, Frontier.ALL, False)
+        assert TUNING_SETTINGS["async"][0] is Mode.ASYNC
+        assert TUNING_SETTINGS["vertex-nbrs"][1] is Frontier.VERTEX_NEIGHBORS
+        assert TUNING_SETTINGS["refine"][2] is True
+        assert TUNING_SETTINGS["all-opts"] == (
+            Mode.ASYNC, Frontier.VERTEX_NEIGHBORS, True
+        )
+
+    def test_scales_cover_paper_graphs(self):
+        assert set(TUNING_SCALES) == {"amazon", "orkut", "twitter", "friendster"}
+        assert set(SPEEDUP_SCALES) == {
+            "amazon", "dblp", "livejournal", "orkut", "twitter", "friendster"
+        }

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.generators.planted import planted_partition_graph
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.karate import karate_club_graph
+
+
+@pytest.fixture
+def karate():
+    """Zachary's karate club graph (34 vertices, 78 edges)."""
+    return karate_club_graph()
+
+
+@pytest.fixture
+def triangle_graph():
+    """A 3-cycle."""
+    return graph_from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def two_cliques():
+    """Two 4-cliques joined by one bridge edge — an obvious 2-clustering."""
+    edges = []
+    for base in (0, 4):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                edges.append((base + i, base + j))
+    edges.append((0, 4))
+    return graph_from_edges(edges)
+
+
+@pytest.fixture
+def weighted_path():
+    """A weighted path 0-1-2 with unequal weights."""
+    return graph_from_edges([(0, 1), (1, 2)], weights=np.asarray([2.0, 0.5]))
+
+
+@pytest.fixture
+def small_planted():
+    """A small planted-partition instance with ground truth."""
+    return planted_partition_graph(
+        num_vertices=300,
+        intra_degree=8.0,
+        inter_degree=1.0,
+        size_min=10,
+        size_max=40,
+        seed=42,
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,124 @@
+import numpy as np
+import pytest
+
+from repro.core.api import cluster, correlation_clustering, modularity_clustering
+from repro.core.config import ClusteringConfig, Mode, Objective
+from repro.core.objective import cc_objective, modularity
+from repro.graphs.builders import graph_from_edges
+
+
+class TestCorrelationClustering:
+    def test_karate_smoke(self, karate):
+        result = correlation_clustering(karate, resolution=0.1, seed=1)
+        assert result.assignments.shape == (34,)
+        assert result.num_clusters >= 2
+        assert result.objective > 0
+
+    def test_reported_objective_matches_recomputation(self, karate):
+        result = correlation_clustering(karate, resolution=0.1, seed=1)
+        assert result.objective == pytest.approx(
+            cc_objective(karate, result.assignments, 0.1)
+        )
+
+    def test_labels_dense(self, karate):
+        result = correlation_clustering(karate, resolution=0.3, seed=0)
+        labels = np.unique(result.assignments)
+        assert np.array_equal(labels, np.arange(labels.size))
+
+    def test_sequential_variant(self, karate):
+        result = correlation_clustering(karate, resolution=0.1, parallel=False, seed=1)
+        assert not result.config.parallel
+        assert result.objective > 0
+
+    def test_convergence_variant_tagged(self, karate):
+        result = correlation_clustering(
+            karate, resolution=0.1, parallel=False, num_iter=None, seed=1
+        )
+        assert "^CON" in result.config.describe()
+
+    def test_empty_graph_rejected(self):
+        g = graph_from_edges([], num_vertices=0)
+        with pytest.raises(ValueError):
+            correlation_clustering(g)
+
+    def test_modularity_always_reported(self, karate):
+        result = correlation_clustering(karate, resolution=0.1, seed=1)
+        assert result.modularity == pytest.approx(
+            modularity(karate, result.assignments, gamma=1.0)
+        )
+
+
+class TestModularityClustering:
+    def test_karate_quality(self, karate):
+        result = modularity_clustering(karate, gamma=1.0, seed=1)
+        # Known-good modularity territory for karate under the paper's
+        # (diagonal-free) definition: Newman-optimal ~0.42 plus the
+        # constant ~0.048.
+        assert result.modularity > 0.4
+        assert 2 <= result.num_clusters <= 10
+
+    def test_reported_modularity_matches_recomputation(self, karate):
+        result = modularity_clustering(karate, gamma=1.3, seed=1)
+        assert result.modularity == pytest.approx(
+            modularity(karate, result.assignments, gamma=1.3)
+        )
+
+    def test_gamma_controls_granularity(self, small_planted):
+        g = small_planted.graph
+        low = modularity_clustering(g, gamma=0.3, seed=0)
+        high = modularity_clustering(g, gamma=12.0, seed=0)
+        assert low.num_clusters <= high.num_clusters
+
+    def test_effective_lambda(self, karate):
+        result = modularity_clustering(karate, gamma=2.0, seed=0)
+        assert result.effective_lambda == pytest.approx(2.0 / (2 * 78))
+
+
+class TestClusterResult:
+    def test_clusters_partition_vertices(self, karate):
+        result = correlation_clustering(karate, resolution=0.2, seed=2)
+        members = np.concatenate(result.clusters())
+        assert np.array_equal(np.sort(members), np.arange(34))
+
+    def test_sim_time_decreases_with_workers(self, small_planted):
+        result = cluster(
+            small_planted.graph, ClusteringConfig(resolution=0.05, seed=1)
+        )
+        assert result.sim_time(60) < result.sim_time(2)
+
+    def test_sequential_sim_time_uses_one_worker(self, karate):
+        result = correlation_clustering(karate, resolution=0.1, parallel=False, seed=1)
+        assert result.sim_time() == pytest.approx(result.sim_time(1))
+
+    def test_memory_overhead_at_least_one(self, karate):
+        result = correlation_clustering(karate, resolution=0.1, seed=1)
+        assert result.memory_overhead >= 1.0
+
+    def test_summary_mentions_variant(self, karate):
+        result = correlation_clustering(karate, resolution=0.1, seed=1)
+        assert "PAR-CC" in result.summary()
+
+    def test_rounds_counted(self, karate):
+        result = correlation_clustering(karate, resolution=0.1, seed=1)
+        assert result.rounds >= result.num_levels
+
+
+class TestLambdaEffect:
+    def test_resolution_controls_cluster_count(self, small_planted):
+        """Lower resolutions produce fewer clusters (Section 4.1)."""
+        g = small_planted.graph
+        few = correlation_clustering(g, resolution=0.01, seed=0)
+        many = correlation_clustering(g, resolution=0.9, seed=0)
+        assert few.num_clusters < many.num_clusters
+
+
+class TestSyncVsAsync:
+    def test_async_objective_at_least_sync(self, small_planted):
+        """Section 4.1: asynchronous improves the objective over
+        synchronous (1.29–156% in the paper)."""
+        g = small_planted.graph
+        lam = 0.85
+        sync = correlation_clustering(g, resolution=lam, mode=Mode.SYNC, seed=3)
+        async_ = correlation_clustering(g, resolution=lam, mode=Mode.ASYNC, seed=3)
+        assert async_.objective >= sync.objective
+        assert async_.objective > 0

@@ -1,0 +1,101 @@
+"""Public-API edge cases: degenerate graphs, extreme resolutions, loops."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import cluster, correlation_clustering, modularity_clustering
+from repro.core.config import ClusteringConfig
+from repro.graphs.builders import graph_from_edges
+
+
+class TestDegenerateGraphs:
+    def test_single_vertex(self):
+        g = graph_from_edges([], num_vertices=1)
+        result = correlation_clustering(g, resolution=0.5, seed=0)
+        assert result.num_clusters == 1
+        assert result.objective == 0.0
+
+    def test_edgeless_graph(self):
+        g = graph_from_edges([], num_vertices=10)
+        result = correlation_clustering(g, resolution=0.5, seed=0)
+        assert result.num_clusters == 10
+
+    def test_single_edge(self):
+        g = graph_from_edges([(0, 1)])
+        result = correlation_clustering(g, resolution=0.3, seed=0)
+        assert result.num_clusters == 1
+        assert result.f_objective == pytest.approx(1 - 0.3)
+
+    def test_isolated_vertices_stay_singleton(self):
+        g = graph_from_edges([(0, 1)], num_vertices=5)
+        result = correlation_clustering(g, resolution=0.3, seed=0)
+        labels = result.assignments
+        assert labels[0] == labels[1]
+        assert len({int(labels[i]) for i in (2, 3, 4)}) == 3
+
+    def test_self_loop_only_graph(self):
+        g = graph_from_edges([(0, 0), (1, 1)], num_vertices=2)
+        result = correlation_clustering(g, resolution=0.5, seed=0)
+        # Self-loops are intra by definition; singletons keep them.
+        assert result.f_objective == pytest.approx(2.0)
+
+    def test_modularity_needs_edges(self):
+        g = graph_from_edges([], num_vertices=3)
+        with pytest.raises(ValueError):
+            modularity_clustering(g, gamma=1.0, seed=0)
+
+    def test_star_graph(self):
+        g = graph_from_edges([(0, i) for i in range(1, 20)])
+        low = correlation_clustering(g, resolution=0.01, seed=0)
+        assert low.num_clusters == 1
+        high = correlation_clustering(g, resolution=0.95, seed=0)
+        assert high.num_clusters >= 10  # mostly pairs/singletons
+
+
+class TestExtremeResolutions:
+    def test_lambda_zero_merges_connected(self, karate):
+        result = correlation_clustering(karate, resolution=0.0, seed=0)
+        assert result.num_clusters == 1  # everything positive, no penalty
+
+    def test_lambda_near_one_only_dense_clusters(self, karate):
+        # At lambda -> 1 only near-cliques remain profitable (every
+        # non-edge pair costs ~1); karate's largest cliques have 5 members.
+        result = correlation_clustering(karate, resolution=0.999, seed=0)
+        sizes = np.bincount(result.assignments)
+        assert sizes.max() <= 6
+        assert np.median(sizes) <= 2
+
+    def test_huge_gamma(self, karate):
+        result = modularity_clustering(karate, gamma=100.0, seed=0)
+        assert result.num_clusters > 10
+
+
+class TestConfigPlumbing:
+    def test_workers_affect_nothing_but_time(self, karate):
+        a = cluster(karate, ClusteringConfig(resolution=0.1, num_workers=2, seed=3))
+        b = cluster(karate, ClusteringConfig(resolution=0.1, num_workers=60, seed=3))
+        assert np.array_equal(a.assignments, b.assignments)
+
+    def test_kernel_threshold_affects_nothing_but_cost(self, karate):
+        a = cluster(
+            karate, ClusteringConfig(resolution=0.1, kernel_threshold=2, seed=3)
+        )
+        b = cluster(
+            karate, ClusteringConfig(resolution=0.1, kernel_threshold=10**6, seed=3)
+        )
+        assert np.array_equal(a.assignments, b.assignments)
+        assert a.ledger.total_work != b.ledger.total_work
+
+    def test_max_levels_one_still_valid(self, small_planted):
+        result = cluster(
+            small_planted.graph,
+            ClusteringConfig(resolution=0.05, max_levels=1, seed=0),
+        )
+        assert result.num_levels == 1
+        assert result.objective > 0
+
+    def test_escape_disabled_still_runs(self, karate):
+        result = cluster(
+            karate, ClusteringConfig(resolution=0.9, escape_moves=False, seed=0)
+        )
+        assert result.assignments.shape == (34,)

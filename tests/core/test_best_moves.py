@@ -1,0 +1,128 @@
+import numpy as np
+import pytest
+
+from repro.core.best_moves import _windows, run_best_moves
+from repro.core.config import ClusteringConfig, Frontier, Mode
+from repro.core.objective import lambdacc_objective
+from repro.core.state import ClusterState
+from repro.parallel.scheduler import SimulatedScheduler
+from repro.utils.rng import make_rng
+
+
+def async_config(**kw):
+    defaults = dict(mode=Mode.ASYNC, refine=False, resolution=0.0)
+    defaults.update(kw)
+    return ClusteringConfig(**defaults)
+
+
+class TestWindows:
+    def test_sync_single_window(self):
+        config = async_config(mode=Mode.SYNC)
+        windows = _windows(np.arange(100), config)
+        assert len(windows) == 1
+        assert windows[0].size == 100
+
+    def test_async_splits_into_configured_windows(self):
+        config = async_config(async_windows=8)
+        windows = _windows(np.arange(100), config)
+        assert len(windows) == 8
+        assert sum(w.size for w in windows) == 100
+
+    def test_async_small_frontier_single_vertex_windows(self):
+        config = async_config(async_windows=32)
+        windows = _windows(np.arange(5), config)
+        assert len(windows) == 5
+        assert all(w.size == 1 for w in windows)
+
+
+class TestRunBestMoves:
+    def test_two_cliques_cluster_together(self, two_cliques):
+        state = ClusterState.singletons(two_cliques)
+        config = async_config(resolution=0.2, num_iter=20)
+        stats = run_best_moves(two_cliques, state, 0.2, config, rng=make_rng(0))
+        labels = state.assignments
+        assert len(np.unique(labels[:4])) == 1
+        assert len(np.unique(labels[4:])) == 1
+        assert stats.total_moves >= 6
+        state.check_invariants()
+
+    def test_converges_and_reports(self, two_cliques):
+        state = ClusterState.singletons(two_cliques)
+        config = async_config(resolution=0.2, num_iter=50)
+        stats = run_best_moves(two_cliques, state, 0.2, config, rng=make_rng(0))
+        assert stats.converged
+        assert stats.iterations < 50
+
+    def test_iteration_bound_respected(self, small_planted):
+        g = small_planted.graph
+        state = ClusterState.singletons(g)
+        config = async_config(resolution=0.05, num_iter=2)
+        stats = run_best_moves(g, state, 0.05, config, rng=make_rng(0))
+        assert stats.iterations <= 2
+
+    def test_initial_frontier_restricts_consideration(self, two_cliques):
+        state = ClusterState.singletons(two_cliques)
+        config = async_config(resolution=0.2, num_iter=1)
+        stats = run_best_moves(
+            two_cliques, state, 0.2, config, rng=make_rng(0),
+            initial_frontier=np.asarray([0]),
+        )
+        assert stats.frontier_sizes[0] == 1
+        assert stats.total_moves <= 1
+
+    def test_empty_frontier_converges_immediately(self, karate):
+        state = ClusterState.singletons(karate)
+        config = async_config()
+        stats = run_best_moves(
+            karate, state, 0.1, config, initial_frontier=np.zeros(0, dtype=np.int64)
+        )
+        assert stats.converged
+        assert stats.iterations == 0
+
+    def test_objective_improves_from_singletons(self, karate):
+        for mode in (Mode.ASYNC, Mode.SYNC):
+            state = ClusterState.singletons(karate)
+            config = async_config(mode=mode, resolution=0.1, num_iter=10)
+            run_best_moves(karate, state, 0.1, config, rng=make_rng(1))
+            if mode is Mode.ASYNC:
+                assert lambdacc_objective(karate, state.assignments, 0.1) > 0
+
+    def test_frontier_sizes_recorded(self, karate):
+        state = ClusterState.singletons(karate)
+        config = async_config(resolution=0.1, num_iter=10,
+                              frontier=Frontier.VERTEX_NEIGHBORS)
+        stats = run_best_moves(karate, state, 0.1, config, rng=make_rng(0))
+        assert stats.frontier_sizes[0] == 34
+        assert len(stats.frontier_sizes) == stats.iterations
+
+    def test_vertex_neighbor_frontier_shrinks(self, small_planted):
+        g = small_planted.graph
+        state = ClusterState.singletons(g)
+        config = async_config(resolution=0.1, num_iter=10,
+                              frontier=Frontier.VERTEX_NEIGHBORS)
+        stats = run_best_moves(g, state, 0.1, config, rng=make_rng(0))
+        assert stats.frontier_sizes[-1] < stats.frontier_sizes[0]
+
+    def test_all_frontier_stays_full_while_moving(self, small_planted):
+        g = small_planted.graph
+        state = ClusterState.singletons(g)
+        config = async_config(resolution=0.1, num_iter=3, frontier=Frontier.ALL)
+        stats = run_best_moves(g, state, 0.1, config, rng=make_rng(0))
+        assert all(s == g.num_vertices for s in stats.frontier_sizes)
+
+    def test_charges_to_scheduler(self, karate):
+        sched = SimulatedScheduler(num_workers=8)
+        state = ClusterState.singletons(karate)
+        config = async_config(resolution=0.1)
+        run_best_moves(karate, state, 0.1, config, sched=sched, rng=make_rng(0))
+        assert sched.ledger.total_work > 0
+
+    def test_deterministic_given_seed(self, small_planted):
+        g = small_planted.graph
+        config = async_config(resolution=0.1, num_iter=10)
+        results = []
+        for _ in range(2):
+            state = ClusterState.singletons(g)
+            run_best_moves(g, state, 0.1, config, rng=make_rng(123))
+            results.append(state.assignments.copy())
+        assert np.array_equal(results[0], results[1])

@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+
+from repro.core.coloring import (
+    greedy_coloring,
+    run_colored_best_moves,
+    verify_coloring,
+)
+from repro.core.config import ClusteringConfig, Frontier
+from repro.core.objective import lambdacc_objective
+from repro.core.state import ClusterState
+from repro.graphs.builders import graph_from_edges
+from repro.parallel.scheduler import SimulatedScheduler
+from repro.utils.rng import make_rng
+
+
+def config(**kw):
+    defaults = dict(resolution=0.1, refine=False, frontier=Frontier.ALL)
+    defaults.update(kw)
+    return ClusteringConfig(**defaults)
+
+
+class TestGreedyColoring:
+    def test_valid_on_karate(self, karate):
+        colors = greedy_coloring(karate)
+        assert verify_coloring(karate, colors)
+
+    def test_color_count_bounded_by_degree(self, karate):
+        colors = greedy_coloring(karate)
+        assert colors.max() + 1 <= karate.degrees().max() + 1
+
+    def test_bipartite_two_colors(self):
+        g = graph_from_edges([(i, i + 1) for i in range(9)])  # path
+        colors = greedy_coloring(g)
+        assert colors.max() + 1 == 2
+
+    def test_complete_graph_needs_n_colors(self):
+        g = graph_from_edges([(i, j) for i in range(5) for j in range(i + 1, 5)])
+        colors = greedy_coloring(g)
+        assert colors.max() + 1 == 5
+
+    def test_edgeless(self):
+        g = graph_from_edges([], num_vertices=4)
+        colors = greedy_coloring(g)
+        assert np.all(colors == 0)
+
+    def test_charges(self, karate):
+        sched = SimulatedScheduler(num_workers=8)
+        greedy_coloring(karate, sched=sched)
+        assert "coloring" in sched.ledger.work_by_label()
+
+    def test_verify_detects_violation(self, karate):
+        colors = np.zeros(34, dtype=np.int64)
+        assert not verify_coloring(karate, colors)
+
+
+class TestColoredBestMoves:
+    def test_two_cliques(self, two_cliques):
+        state = ClusterState.singletons(two_cliques)
+        stats = run_colored_best_moves(
+            two_cliques, state, 0.2, config(resolution=0.2), rng=make_rng(0)
+        )
+        assert stats.total_moves > 0
+        labels = state.assignments
+        assert len(np.unique(labels[:4])) == 1
+        assert len(np.unique(labels[4:])) == 1
+        state.check_invariants()
+
+    def test_karate_positive_objective(self, karate):
+        state = ClusterState.singletons(karate)
+        run_colored_best_moves(karate, state, 0.1, config(), rng=make_rng(1))
+        assert lambdacc_objective(karate, state.assignments, 0.1) > 0
+
+    def test_high_resolution_stays_positive(self, small_planted):
+        """Unlike plain synchronous lockstep, color classes never contain
+        adjacent vertices, so the Figure-1 pathology cannot occur and the
+        objective stays positive even at high resolutions."""
+        g = small_planted.graph
+        state = ClusterState.singletons(g)
+        run_colored_best_moves(
+            g, state, 0.85, config(resolution=0.85), rng=make_rng(0)
+        )
+        assert lambdacc_objective(g, state.assignments, 0.85) > 0
+
+    def test_precomputed_colors_honoured(self, karate):
+        colors = greedy_coloring(karate)
+        state = ClusterState.singletons(karate)
+        stats = run_colored_best_moves(
+            karate, state, 0.1, config(), rng=make_rng(0), colors=colors
+        )
+        assert stats.total_moves > 0
+
+    def test_deterministic(self, small_planted):
+        g = small_planted.graph
+        results = []
+        for _ in range(2):
+            state = ClusterState.singletons(g)
+            run_colored_best_moves(g, state, 0.1, config(), rng=make_rng(4))
+            results.append(state.assignments.copy())
+        assert np.array_equal(results[0], results[1])

@@ -1,0 +1,81 @@
+import pytest
+
+from repro.core.config import ClusteringConfig, Frontier, Mode, Objective
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_are_papers_best_settings(self):
+        config = ClusteringConfig()
+        assert config.mode is Mode.ASYNC
+        assert config.frontier is Frontier.VERTEX_NEIGHBORS
+        assert config.refine is True
+        assert config.num_iter == 10  # the paper's default
+
+    def test_cc_lambda_range(self):
+        ClusteringConfig(resolution=0.0)  # degenerate allowed for tests
+        with pytest.raises(ConfigError):
+            ClusteringConfig(resolution=1.0)
+        with pytest.raises(ConfigError):
+            ClusteringConfig(resolution=-0.1)
+
+    def test_modularity_gamma_positive(self):
+        ClusteringConfig(objective=Objective.MODULARITY, resolution=5.0)
+        with pytest.raises(ConfigError):
+            ClusteringConfig(objective=Objective.MODULARITY, resolution=0.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_iter", 0),
+            ("num_workers", 0),
+            ("async_windows", 0),
+            ("max_levels", 0),
+            ("kernel_threshold", 0),
+        ],
+    )
+    def test_positive_int_fields(self, field, value):
+        with pytest.raises(ConfigError):
+            ClusteringConfig(**{field: value})
+
+
+class TestConvergenceMode:
+    def test_none_num_iter_is_convergence(self):
+        config = ClusteringConfig(num_iter=None)
+        assert config.run_to_convergence
+        assert config.iteration_bound == 10_000
+
+    def test_bounded(self):
+        config = ClusteringConfig(num_iter=7)
+        assert not config.run_to_convergence
+        assert config.iteration_bound == 7
+
+
+class TestDescribe:
+    def test_par_cc(self):
+        assert ClusteringConfig().describe().startswith("PAR-CC[")
+
+    def test_seq_mod_con(self):
+        config = ClusteringConfig(
+            objective=Objective.MODULARITY,
+            resolution=1.0,
+            parallel=False,
+            num_iter=None,
+        )
+        assert config.describe().startswith("SEQ-MOD^CON[")
+
+    def test_options_listed(self):
+        tag = ClusteringConfig(mode=Mode.SYNC, refine=False).describe()
+        assert "sync" in tag and "no-refine" in tag
+
+
+class TestWithOptions:
+    def test_copy_modified(self):
+        base = ClusteringConfig()
+        mod = base.with_options(mode=Mode.SYNC)
+        assert mod.mode is Mode.SYNC
+        assert base.mode is Mode.ASYNC
+
+    def test_validation_applies_to_copy(self):
+        with pytest.raises(ConfigError):
+            ClusteringConfig().with_options(num_workers=-1)

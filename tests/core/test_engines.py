@@ -1,0 +1,57 @@
+import numpy as np
+import pytest
+
+from repro.core.config import ClusteringConfig
+from repro.core.engines import ENGINES, get_engine, multilevel_with_engine
+from repro.core.objective import lambdacc_objective
+from repro.utils.rng import make_rng
+
+
+class TestRegistry:
+    def test_all_engines_listed(self):
+        assert set(ENGINES) == {
+            "relaxed", "prefix", "colored", "event", "sequential"
+        }
+
+    def test_lookup(self):
+        assert get_engine("relaxed") is ENGINES["relaxed"]
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            get_engine("quantum")
+
+
+class TestMultilevelWithEngine:
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_every_engine_finds_two_cliques(self, two_cliques, engine):
+        config = ClusteringConfig(resolution=0.2, seed=1, num_workers=4)
+        assignments, stats = multilevel_with_engine(
+            two_cliques, 0.2, config, engine=engine, rng=make_rng(0)
+        )
+        assert len(np.unique(assignments[:4])) == 1
+        assert len(np.unique(assignments[4:])) == 1
+        assert stats.num_levels >= 1
+
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_every_engine_positive_on_karate(self, karate, engine):
+        config = ClusteringConfig(resolution=0.1, seed=1, num_workers=4)
+        assignments, _ = multilevel_with_engine(
+            karate, 0.1, config, engine=engine, rng=make_rng(1)
+        )
+        assert lambdacc_objective(karate, assignments, 0.1) > 0
+
+    def test_engines_quality_comparable(self, small_planted):
+        """All conflict-managed engines land in the same objective band
+        on a well-structured graph."""
+        g = small_planted.graph
+        lam = 0.1
+        values = {}
+        for engine in ("relaxed", "colored", "event", "sequential"):
+            config = ClusteringConfig(resolution=lam, seed=1, num_workers=8)
+            assignments, _ = multilevel_with_engine(
+                g, lam, config, engine=engine, rng=make_rng(2)
+            )
+            values[engine] = lambdacc_objective(g, assignments, lam)
+        best = max(values.values())
+        for engine, value in values.items():
+            assert value > 0.85 * best, (engine, values)

@@ -1,0 +1,76 @@
+"""The paper's Figure 1: concurrent moves can lower the total objective.
+
+Path graph a - b - c with lambda = 0 and singleton start.  If b and c move
+simultaneously (synchronous scheduling), both pick cluster {a}, producing
+{a, b, c} whose objective includes the missing (b, c) non-edge... with
+lambda = 0 the non-edge costs nothing, so the paper's figure uses the
+rescaled-weight convention where (b, c) is a -1 pair; we reproduce the
+figure with an explicit negative edge, and separately show the lambda
+version at a resolution where the merged cluster is strictly worse.
+"""
+
+import numpy as np
+
+from repro.core.best_moves import run_best_moves
+from repro.core.config import ClusteringConfig, Frontier, Mode
+from repro.core.objective import lambdacc_objective
+from repro.core.state import ClusterState
+from repro.graphs.builders import graph_from_edges
+from repro.utils.rng import make_rng
+
+
+def figure1_graph():
+    """a=0, b=1, c=2: positive edges (a,b), (a,c); negative edge (b,c).
+
+    The (b, c) weight of -3 makes the merged cluster {a, b, c} score
+    1 + 1 - 3 = -1, the value in the paper's Figure 1 caption, while each
+    of b and c individually stands to gain +1 by joining {a}.
+    """
+    return graph_from_edges(
+        [(0, 1), (0, 2), (1, 2)], weights=np.asarray([1.0, 1.0, -3.0])
+    )
+
+
+class TestFigure1:
+    def test_synchronous_single_step_merges_badly(self):
+        """One synchronous iteration sends b and c both into {a}, producing
+        the single cluster {a, b, c} with objective -1 (Figure 1)."""
+        g = figure1_graph()
+        state = ClusterState.singletons(g)
+        config = ClusteringConfig(
+            mode=Mode.SYNC, frontier=Frontier.ALL, refine=False, num_iter=1,
+            resolution=0.0,
+        )
+        run_best_moves(g, state, 0.0, config)
+        assert len(np.unique(state.assignments)) == 1
+        assert lambdacc_objective(g, state.assignments, 0.0) == -1.0
+
+    def test_asynchronous_converges_to_optimum(self):
+        """Fine-grained asynchrony avoids the pathological joint move."""
+        g = figure1_graph()
+        config = ClusteringConfig(
+            mode=Mode.ASYNC, frontier=Frontier.ALL, refine=False, num_iter=20,
+            resolution=0.0,
+        )
+        best = -np.inf
+        for seed in range(5):
+            state = ClusterState.singletons(g)
+            run_best_moves(g, state, 0.0, config, rng=make_rng(seed))
+            best = max(best, lambdacc_objective(g, state.assignments, 0.0))
+        # Optimum: {a, b, c} has value 1; {a,b} or {a,c} has value 1; but
+        # async can also settle there — the invariant we check is that the
+        # async objective never ends *below* the sync single-step result.
+        assert best >= 1.0
+
+    def test_paper_lambda_variant_sync_is_negative(self):
+        """With unit weights and a high resolution, one synchronous round
+        on a star merges leaves into a negative-objective cluster —
+        the general phenomenon behind the paper's negative sync results."""
+        star = graph_from_edges([(0, i) for i in range(1, 8)])
+        config = ClusteringConfig(
+            mode=Mode.SYNC, frontier=Frontier.ALL, refine=False, num_iter=1,
+            resolution=0.6,
+        )
+        state = ClusterState.singletons(star)
+        run_best_moves(star, state, 0.6, config)
+        assert lambdacc_objective(star, state.assignments, 0.6) < 0

@@ -1,0 +1,58 @@
+import numpy as np
+import pytest
+
+from repro.core.config import Frontier
+from repro.core.frontier import next_frontier
+from repro.graphs.builders import graph_from_edges
+
+
+@pytest.fixture
+def path5():
+    return graph_from_edges([(i, i + 1) for i in range(4)])
+
+
+class TestNextFrontier:
+    def test_no_movers_empty(self, path5):
+        out = next_frontier(
+            path5, np.arange(5), np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            Frontier.VERTEX_NEIGHBORS,
+        )
+        assert out.size == 0
+
+    def test_all(self, path5):
+        out = next_frontier(
+            path5, np.arange(5), np.asarray([2]), np.asarray([2]),
+            np.asarray([1]), Frontier.ALL,
+        )
+        assert np.array_equal(out, np.arange(5))
+
+    def test_vertex_neighbors(self, path5):
+        out = next_frontier(
+            path5, np.arange(5), np.asarray([2]), np.asarray([2]),
+            np.asarray([1]), Frontier.VERTEX_NEIGHBORS,
+        )
+        assert np.array_equal(out, [1, 3])
+
+    def test_cluster_neighbors_superset(self, path5):
+        # Vertex 2 moved from cluster 2 to cluster 1 (which contains 1).
+        assignments = np.asarray([0, 1, 1, 3, 4])
+        vertex_nbrs = next_frontier(
+            path5, assignments, np.asarray([2]), np.asarray([2]),
+            np.asarray([1]), Frontier.VERTEX_NEIGHBORS,
+        )
+        cluster_nbrs = next_frontier(
+            path5, assignments, np.asarray([2]), np.asarray([2]),
+            np.asarray([1]), Frontier.CLUSTER_NEIGHBORS,
+        )
+        # Figure 11's relationship: the cluster-neighbor frontier covers the
+        # members of affected clusters plus their neighborhoods.
+        assert set(vertex_nbrs.tolist()) - {2} <= set(cluster_nbrs.tolist())
+        assert 1 in cluster_nbrs  # member of the destination cluster
+
+    def test_unknown_kind(self, path5):
+        with pytest.raises(ValueError):
+            next_frontier(
+                path5, np.arange(5), np.asarray([1]), np.asarray([1]),
+                np.asarray([0]), "bogus",
+            )

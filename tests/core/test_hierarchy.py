@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.core.config import ClusteringConfig, Objective
+from repro.core.hierarchy import ClusterHierarchy, HierarchyLevel, cluster_hierarchy
+from repro.core.objective import lambdacc_objective
+from repro.graphs.builders import graph_from_edges
+
+
+class TestClusterHierarchy:
+    def test_levels_recorded(self, small_planted):
+        hierarchy = cluster_hierarchy(
+            small_planted.graph, ClusteringConfig(resolution=0.05, seed=1)
+        )
+        assert hierarchy.num_levels >= 1
+        assert hierarchy.finest().level == 0
+
+    def test_cluster_counts_non_increasing(self, small_planted):
+        hierarchy = cluster_hierarchy(
+            small_planted.graph, ClusteringConfig(resolution=0.05, seed=1)
+        )
+        counts = [lv.num_clusters for lv in hierarchy.levels]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_nesting_property(self, small_planted):
+        hierarchy = cluster_hierarchy(
+            small_planted.graph, ClusteringConfig(resolution=0.05, seed=1)
+        )
+        assert hierarchy.is_nested()
+
+    def test_objectives_consistent(self, small_planted):
+        g = small_planted.graph
+        hierarchy = cluster_hierarchy(g, ClusteringConfig(resolution=0.05, seed=1))
+        for level in hierarchy.levels:
+            assert level.objective == pytest.approx(
+                lambdacc_objective(g, level.assignments, 0.05)
+            )
+
+    def test_labels_dense_per_level(self, karate):
+        hierarchy = cluster_hierarchy(karate, ClusteringConfig(resolution=0.1, seed=1))
+        for level in hierarchy.levels:
+            uniq = np.unique(level.assignments)
+            assert np.array_equal(uniq, np.arange(uniq.size))
+
+    def test_modularity_objective_supported(self, karate):
+        hierarchy = cluster_hierarchy(
+            karate,
+            ClusteringConfig(
+                objective=Objective.MODULARITY, resolution=1.0, seed=1
+            ),
+        )
+        assert hierarchy.num_levels >= 1
+        assert hierarchy.coarsest().num_clusters < 34
+
+    def test_best_level_selection(self, small_planted):
+        hierarchy = cluster_hierarchy(
+            small_planted.graph, ClusteringConfig(resolution=0.05, seed=1)
+        )
+        best = hierarchy.best_level()
+        assert best.objective == max(lv.objective for lv in hierarchy.levels)
+
+    def test_level_with_clusters(self, small_planted):
+        hierarchy = cluster_hierarchy(
+            small_planted.graph, ClusteringConfig(resolution=0.05, seed=1)
+        )
+        coarse = hierarchy.coarsest().num_clusters
+        pick = hierarchy.level_with_clusters(coarse)
+        assert pick.num_clusters == coarse
+
+    def test_edgeless_graph(self):
+        g = graph_from_edges([], num_vertices=4)
+        hierarchy = cluster_hierarchy(g, ClusteringConfig(resolution=0.5, seed=0))
+        assert hierarchy.finest().num_clusters == 4
+
+
+class TestNestingDetection:
+    def test_detects_violation(self):
+        fine = HierarchyLevel(0, np.asarray([0, 0, 1, 1]), 2, 0.0)
+        split = HierarchyLevel(1, np.asarray([0, 1, 1, 1]), 2, 0.0)
+        broken = ClusterHierarchy(levels=[fine, split])
+        assert not broken.is_nested()
+
+    def test_accepts_merge(self):
+        fine = HierarchyLevel(0, np.asarray([0, 0, 1, 1]), 2, 0.0)
+        merged = HierarchyLevel(1, np.asarray([0, 0, 0, 0]), 1, 0.0)
+        ok = ClusterHierarchy(levels=[fine, merged])
+        assert ok.is_nested()

@@ -1,0 +1,96 @@
+import numpy as np
+import pytest
+
+from repro.core.api import correlation_clustering
+from repro.core.leiden import (
+    count_disconnected_clusters,
+    leiden_refine,
+    split_disconnected_clusters,
+)
+from repro.core.objective import lambdacc_objective
+from repro.graphs.builders import graph_from_edges
+
+
+@pytest.fixture
+def disconnected_clustering():
+    """Two disjoint edges labeled as ONE cluster (disconnected)."""
+    g = graph_from_edges([(0, 1), (2, 3)])
+    labels = np.zeros(4, dtype=np.int64)
+    return g, labels
+
+
+class TestCountDisconnected:
+    def test_detects(self, disconnected_clustering):
+        g, labels = disconnected_clustering
+        assert count_disconnected_clusters(g, labels) == 1
+
+    def test_connected_cluster_clean(self, two_cliques):
+        labels = np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+        assert count_disconnected_clusters(two_cliques, labels) == 0
+
+    def test_singletons_clean(self, karate):
+        assert count_disconnected_clusters(karate, np.arange(34)) == 0
+
+    def test_negative_edges_do_not_connect(self):
+        g = graph_from_edges([(0, 1)], weights=np.asarray([-1.0]))
+        labels = np.zeros(2, dtype=np.int64)
+        # The only "link" is a negative edge: the cluster is disconnected
+        # in the positive subgraph.
+        assert count_disconnected_clusters(g, labels) == 1
+
+
+class TestSplit:
+    def test_splits_components(self, disconnected_clustering):
+        g, labels = disconnected_clustering
+        new_labels, num_split = split_disconnected_clusters(g, labels)
+        assert num_split == 1
+        assert new_labels[0] == new_labels[1]
+        assert new_labels[2] == new_labels[3]
+        assert new_labels[0] != new_labels[2]
+
+    def test_noop_on_connected(self, two_cliques):
+        labels = np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+        new_labels, num_split = split_disconnected_clusters(two_cliques, labels)
+        assert num_split == 0
+        # Same partition up to relabeling.
+        assert len(np.unique(new_labels)) == 2
+
+    def test_split_never_lowers_objective(self, small_planted, rng):
+        """Severing disconnected components removes only non-edge pairs,
+        each contributing -lambda k_u k_v <= 0."""
+        g = small_planted.graph
+        for lam in (0.05, 0.5):
+            labels = rng.integers(0, 10, size=g.num_vertices)
+            before = lambdacc_objective(g, labels, lam)
+            new_labels, _ = split_disconnected_clusters(g, labels)
+            after = lambdacc_objective(g, new_labels, lam)
+            assert after >= before - 1e-9
+
+
+class TestLeidenRefine:
+    def test_result_well_connected(self, small_planted):
+        g = small_planted.graph
+        base = correlation_clustering(g, resolution=0.03, seed=0)
+        refined, _rounds = leiden_refine(g, base.assignments, 0.03)
+        assert count_disconnected_clusters(g, refined) == 0
+
+    def test_objective_not_degraded(self, small_planted):
+        g = small_planted.graph
+        lam = 0.05
+        base = correlation_clustering(g, resolution=lam, seed=0)
+        refined, _ = leiden_refine(g, base.assignments, lam)
+        assert lambdacc_objective(g, refined, lam) >= (
+            lambdacc_objective(g, base.assignments, lam) - 1e-9
+        )
+
+    def test_labels_dense(self, karate):
+        base = correlation_clustering(karate, resolution=0.1, seed=0)
+        refined, _ = leiden_refine(karate, base.assignments, 0.1)
+        uniq = np.unique(refined)
+        assert np.array_equal(uniq, np.arange(uniq.size))
+
+    def test_rounds_reported(self, disconnected_clustering):
+        g, labels = disconnected_clustering
+        refined, rounds = leiden_refine(g, labels, 0.1)
+        assert rounds >= 1
+        assert count_disconnected_clusters(g, refined) == 0

@@ -1,0 +1,143 @@
+import numpy as np
+import pytest
+
+from repro.core.objective import (
+    cc_objective,
+    cluster_weight_penalty,
+    intra_cluster_edge_weight,
+    lambdacc_objective,
+    modularity,
+    modularity_graph,
+    modularity_lambda,
+    move_delta,
+)
+from repro.core.state import ClusterState
+from repro.graphs.builders import graph_from_edges
+
+
+class TestIntraWeight:
+    def test_singletons_zero(self, karate):
+        assert intra_cluster_edge_weight(karate, np.arange(34)) == 0.0
+
+    def test_single_cluster_counts_all(self, karate):
+        assert intra_cluster_edge_weight(karate, np.zeros(34)) == 78.0
+
+    def test_self_loops_always_intra(self):
+        g = graph_from_edges([(0, 0), (0, 1)], num_vertices=2)
+        assert intra_cluster_edge_weight(g, np.asarray([0, 1])) == 1.0
+
+    def test_weighted(self, weighted_path):
+        assert intra_cluster_edge_weight(
+            weighted_path, np.asarray([0, 0, 1])
+        ) == pytest.approx(2.0)
+
+
+class TestPenalty:
+    def test_singletons_zero(self, karate):
+        assert cluster_weight_penalty(karate, np.arange(34)) == 0.0
+
+    def test_pair(self):
+        g = graph_from_edges([(0, 1)], node_weights=np.asarray([2.0, 3.0]))
+        # One intra pair: k_u * k_v = 6.
+        assert cluster_weight_penalty(g, np.zeros(2)) == pytest.approx(6.0)
+
+    def test_matches_bruteforce(self, karate, rng):
+        assignments = rng.integers(0, 4, size=34)
+        expected = sum(
+            float(karate.node_weights[i] * karate.node_weights[j])
+            for i in range(34)
+            for j in range(i + 1, 34)
+            if assignments[i] == assignments[j]
+        )
+        assert cluster_weight_penalty(karate, assignments) == pytest.approx(expected)
+
+
+class TestLambdaCCObjective:
+    def test_matches_pair_sum_bruteforce(self, karate, rng):
+        """F(C) equals the direct sum over intra pairs of rescaled weights."""
+        lam = 0.3
+        assignments = rng.integers(0, 5, size=34)
+        adjacency = np.zeros((34, 34))
+        src = np.repeat(np.arange(34), np.diff(karate.offsets))
+        adjacency[src, karate.neighbors] = karate.weights
+        expected = sum(
+            adjacency[i, j] - lam
+            for i in range(34)
+            for j in range(i + 1, 34)
+            if assignments[i] == assignments[j]
+        )
+        assert lambdacc_objective(karate, assignments, lam) == pytest.approx(expected)
+
+    def test_cc_objective_is_double(self, karate, rng):
+        assignments = rng.integers(0, 5, size=34)
+        assert cc_objective(karate, assignments, 0.2) == pytest.approx(
+            2 * lambdacc_objective(karate, assignments, 0.2)
+        )
+
+    def test_singletons_zero_everywhere(self, karate):
+        assert lambdacc_objective(karate, np.arange(34), 0.7) == 0.0
+
+
+class TestModularity:
+    def test_paper_definition_excludes_diagonal(self, karate):
+        """The paper's Q (Reichardt–Bornholdt over i != j) differs from
+        Newman's Q by the constant gamma * sum(d^2) / (4 m^2)."""
+        labels = np.zeros(34, dtype=np.int64)
+        # Newman Q of the whole-graph cluster is exactly 1 - 1 = 0... with
+        # the i != j convention it is sum(d^2) / (4 m^2) instead.
+        degrees = karate.degrees().astype(float)
+        m = 78.0
+        expected = float((degrees**2).sum()) / (4 * m * m)
+        assert modularity(karate, labels, gamma=1.0) == pytest.approx(expected)
+
+    def test_singletons_zero(self, karate):
+        assert modularity(karate, np.arange(34)) == pytest.approx(0.0)
+
+    def test_equivalence_with_lambdacc(self, karate, rng):
+        """Q == F(mod graph, gamma / 2m) / m — the Section 2 reduction."""
+        gamma = 1.4
+        assignments = rng.integers(0, 6, size=34)
+        mod_graph = modularity_graph(karate)
+        lam = modularity_lambda(karate, gamma)
+        f_value = lambdacc_objective(mod_graph, assignments, lam)
+        assert modularity(karate, assignments, gamma) == pytest.approx(
+            f_value / karate.total_edge_weight
+        )
+
+    def test_known_good_partition_beats_random(self, karate, rng):
+        from repro.graphs.karate import karate_club_factions
+
+        good = modularity(karate, karate_club_factions())
+        rand = modularity(karate, rng.integers(0, 2, size=34))
+        assert good > rand
+        assert good > 0.3
+
+    def test_empty_weight_rejected(self):
+        g = graph_from_edges([], num_vertices=2)
+        with pytest.raises(ValueError):
+            modularity(g, np.zeros(2))
+
+
+class TestMoveDelta:
+    def test_matches_objective_difference(self, karate, rng):
+        """The Appendix A delta formula equals F(after) - F(before)."""
+        lam = 0.25
+        assignments = rng.integers(0, 5, size=34).astype(np.int64)
+        state = ClusterState.from_assignments(karate, assignments)
+        for v in [0, 5, 33]:
+            for target in range(5):
+                if target == assignments[v]:
+                    continue
+                before = lambdacc_objective(karate, assignments, lam)
+                moved = assignments.copy()
+                moved[v] = target
+                after = lambdacc_objective(karate, moved, lam)
+                delta = move_delta(
+                    karate, assignments, state.cluster_weights, v, target, lam
+                )
+                assert delta == pytest.approx(after - before), (v, target)
+
+    def test_same_cluster_zero(self, karate):
+        assignments = np.zeros(34, dtype=np.int64)
+        state = ClusterState.from_assignments(karate, assignments)
+        assert move_delta(karate, assignments, state.cluster_weights, 0, 0, 0.3) == 0.0

@@ -1,0 +1,129 @@
+import numpy as np
+import pytest
+
+from repro.core.config import ClusteringConfig, Frontier
+from repro.core.moves import compute_batch_moves
+from repro.core.objective import lambdacc_objective
+from repro.core.prefix import conflict_free_prefix, run_prefix_best_moves
+from repro.core.state import ClusterState
+from repro.graphs.builders import graph_from_edges
+from repro.parallel.scheduler import SimulatedScheduler
+from repro.utils.rng import make_rng
+
+
+def config(**kw):
+    defaults = dict(resolution=0.1, refine=False, frontier=Frontier.ALL)
+    defaults.update(kw)
+    return ClusteringConfig(**defaults)
+
+
+class TestConflictFreePrefix:
+    def test_non_movers_never_conflict(self, karate):
+        state = ClusterState.singletons(karate)
+        order = np.arange(34)
+        targets = state.assignments[order].copy()  # everyone stays
+        assert conflict_free_prefix(karate, state, order, targets) == 34
+
+    def test_adjacent_movers_conflict(self):
+        # Path 0-1: both want to merge; the second conflicts with the first.
+        g = graph_from_edges([(0, 1)])
+        state = ClusterState.singletons(g)
+        order = np.asarray([0, 1])
+        targets, _ = compute_batch_moves(g, state, order, 0.1)
+        length = conflict_free_prefix(g, state, order, targets)
+        assert length == 1
+
+    def test_disjoint_movers_allowed(self):
+        # Two disjoint edges: all four vertices can move... the two later
+        # vertices target already-touched clusters, so the prefix holds
+        # exactly one mover per component pair ordering.
+        g = graph_from_edges([(0, 1), (2, 3)])
+        state = ClusterState.singletons(g)
+        order = np.asarray([0, 2, 1, 3])
+        targets, _ = compute_batch_moves(g, state, order, 0.1)
+        length = conflict_free_prefix(g, state, order, targets)
+        assert length == 2  # movers 0 and 2 touch disjoint cluster pairs
+
+    def test_always_progresses(self, karate):
+        state = ClusterState.singletons(karate)
+        order = np.arange(34)
+        targets, _ = compute_batch_moves(karate, state, order, 0.05)
+        assert conflict_free_prefix(karate, state, order, targets) >= 1
+
+
+class TestPrefixEquivalence:
+    def test_prefix_moves_equal_sequential_application(self, small_planted, rng):
+        """Applying a conflict-free prefix in parallel equals applying its
+        moves one at a time: each vertex's recomputed gain is unchanged."""
+        g = small_planted.graph
+        lam = 0.1
+        state = ClusterState.from_assignments(
+            g, rng.integers(0, 40, size=g.num_vertices)
+        )
+        order = rng.permutation(g.num_vertices).astype(np.int64)[:500]
+        targets, _ = compute_batch_moves(g, state, order, lam)
+        length = conflict_free_prefix(g, state, order, targets)
+        window = order[:length]
+        window_targets = targets[:length]
+
+        parallel_state = ClusterState(
+            state.assignments.copy(), state.cluster_weights.copy(),
+            state.cluster_sizes.copy(), state.node_weights,
+        )
+        parallel_state.apply_moves(window, window_targets)
+
+        seq_state = ClusterState(
+            state.assignments.copy(), state.cluster_weights.copy(),
+            state.cluster_sizes.copy(), state.node_weights,
+        )
+        for v, t in zip(window.tolist(), window_targets.tolist()):
+            # Each move is still this vertex's computed target: the earlier
+            # prefix moves did not affect it (conflict freedom).
+            new_target, _ = compute_batch_moves(
+                g, seq_state, np.asarray([v]), lam
+            )
+            if seq_state.assignments[v] != t:
+                assert new_target[0] == t, v
+            seq_state.move_one(v, t)
+        assert np.array_equal(parallel_state.assignments, seq_state.assignments)
+
+
+class TestRunPrefixBestMoves:
+    def test_two_cliques(self, two_cliques):
+        state = ClusterState.singletons(two_cliques)
+        stats = run_prefix_best_moves(
+            two_cliques, state, 0.2, config(resolution=0.2), rng=make_rng(0)
+        )
+        assert stats.total_moves > 0
+        labels = state.assignments
+        assert len(np.unique(labels[:4])) == 1
+        assert len(np.unique(labels[4:])) == 1
+
+    def test_objective_positive(self, karate):
+        state = ClusterState.singletons(karate)
+        run_prefix_best_moves(karate, state, 0.1, config(), rng=make_rng(1))
+        assert lambdacc_objective(karate, state.assignments, 0.1) > 0
+        state.check_invariants()
+
+    def test_charges_prefix_overhead(self, karate):
+        sched = SimulatedScheduler(num_workers=8)
+        state = ClusterState.singletons(karate)
+        run_prefix_best_moves(
+            karate, state, 0.1, config(), sched=sched, rng=make_rng(0)
+        )
+        assert "prefix-scan" in sched.ledger.work_by_label()
+
+    def test_more_expensive_than_relaxed_async(self, small_planted):
+        """The paper's rationale for rejecting this design: the prefix
+        computation overhead makes it slower than the relaxed engine."""
+        from repro.core.best_moves import run_best_moves
+
+        g = small_planted.graph
+        cfg = config(resolution=0.1)
+        prefix_sched = SimulatedScheduler(num_workers=60)
+        state = ClusterState.singletons(g)
+        run_prefix_best_moves(g, state, 0.1, cfg, sched=prefix_sched, rng=make_rng(0))
+        relaxed_sched = SimulatedScheduler(num_workers=60)
+        state = ClusterState.singletons(g)
+        run_best_moves(g, state, 0.1, cfg, sched=relaxed_sched, rng=make_rng(0))
+        assert prefix_sched.simulated_time(60) > relaxed_sched.simulated_time(60)

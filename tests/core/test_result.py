@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.core.api import correlation_clustering
+
+
+@pytest.fixture(scope="module")
+def result(request):
+    from repro.graphs.karate import karate_club_graph
+
+    return correlation_clustering(karate_club_graph(), resolution=0.1, seed=1)
+
+
+class TestClusterResult:
+    def test_clusters_grouped_by_label(self, result):
+        for label, members in enumerate(result.clusters()):
+            assert np.all(result.assignments[members] == label)
+
+    def test_clusters_cover_everything(self, result):
+        total = sum(len(c) for c in result.clusters())
+        assert total == 34
+
+    def test_num_clusters_consistent(self, result):
+        assert result.num_clusters == len(result.clusters())
+
+    def test_summary_contains_key_numbers(self, result):
+        text = result.summary()
+        assert str(result.num_clusters) in text
+        assert "resolution=0.1" in text
+
+    def test_rounds_and_levels(self, result):
+        assert result.num_levels >= 1
+        assert result.rounds >= result.num_levels
+
+    def test_memory_fields(self, result):
+        assert result.input_bytes > 0
+        assert result.peak_memory_bytes >= result.input_bytes
+        assert result.memory_overhead >= 1.0
+
+    def test_extras_default_empty(self, result):
+        assert result.extras == {}
+
+    def test_seed_recorded(self, result):
+        assert result.seed == 1
+
+    def test_effective_lambda_for_cc(self, result):
+        assert result.effective_lambda == result.resolution
+
+    def test_wall_seconds_positive(self, result):
+        assert result.wall_seconds > 0
+
+    def test_ledger_snapshot_keys(self, result):
+        snap = result.ledger.snapshot()
+        assert set(snap) == {"work", "depth", "serial"}
+        assert snap["work"] > 0

@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from repro.core.state import ClusterState
+from repro.parallel.scheduler import SimulatedScheduler
+
+
+class TestSingletons:
+    def test_layout(self, karate):
+        state = ClusterState.singletons(karate)
+        assert np.array_equal(state.assignments, np.arange(34))
+        assert np.allclose(state.cluster_weights, 1.0)
+        assert np.all(state.cluster_sizes == 1)
+        assert state.num_clusters == 34
+
+    def test_respects_node_weights(self, karate):
+        g = karate.with_node_weights(np.full(34, 2.5))
+        state = ClusterState.singletons(g)
+        assert np.allclose(state.cluster_weights, 2.5)
+
+
+class TestFromAssignments:
+    def test_aggregates(self, karate):
+        assignments = np.zeros(34, dtype=np.int64)
+        state = ClusterState.from_assignments(karate, assignments)
+        assert state.cluster_weights[0] == pytest.approx(34.0)
+        assert state.cluster_sizes[0] == 34
+        assert state.num_clusters == 1
+
+    def test_out_of_range_rejected(self, karate):
+        with pytest.raises(ValueError):
+            ClusterState.from_assignments(karate, np.full(34, 40))
+
+    def test_shape_rejected(self, karate):
+        with pytest.raises(ValueError):
+            ClusterState.from_assignments(karate, np.zeros(3, dtype=np.int64))
+
+    def test_copies_input(self, karate):
+        assignments = np.arange(34)
+        state = ClusterState.from_assignments(karate, assignments)
+        state.assignments[0] = 5
+        assert assignments[0] == 0
+
+
+class TestApplyMoves:
+    def test_moves_and_aggregates(self, karate):
+        state = ClusterState.singletons(karate)
+        moved = state.apply_moves(np.asarray([1, 2]), np.asarray([0, 0]))
+        assert moved == 2
+        assert state.assignments[1] == 0
+        assert state.cluster_weights[0] == pytest.approx(3.0)
+        assert state.cluster_sizes[0] == 3
+        assert state.cluster_sizes[1] == 0
+        state.check_invariants(karate)
+
+    def test_noop_moves_ignored(self, karate):
+        state = ClusterState.singletons(karate)
+        assert state.apply_moves(np.asarray([1]), np.asarray([1])) == 0
+
+    def test_contention_charged_for_hot_target(self, karate):
+        state = ClusterState.singletons(karate)
+        sched = SimulatedScheduler(num_workers=8)
+        state.apply_moves(np.asarray([1, 2, 3, 4]), np.zeros(4, dtype=np.int64), sched)
+        assert sched.ledger.total_serial > 0
+
+    def test_empty_window(self, karate):
+        state = ClusterState.singletons(karate)
+        assert state.apply_moves(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)) == 0
+
+
+class TestMoveOne:
+    def test_single_move(self, karate):
+        state = ClusterState.singletons(karate)
+        assert state.move_one(3, 0)
+        assert not state.move_one(3, 0)
+        state.check_invariants()
+
+    def test_weights_follow(self, karate):
+        g = karate.with_node_weights(np.arange(34, dtype=np.float64) + 1)
+        state = ClusterState.singletons(g)
+        state.move_one(5, 0)
+        assert state.cluster_weights[0] == pytest.approx(1.0 + 6.0)
+        assert state.cluster_weights[5] == pytest.approx(0.0)
+
+
+class TestInvariantCheck:
+    def test_detects_corruption(self, karate):
+        state = ClusterState.singletons(karate)
+        state.cluster_weights[0] += 1.0
+        with pytest.raises(AssertionError):
+            state.check_invariants()

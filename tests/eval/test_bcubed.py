@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+
+from repro.eval.bcubed import bcubed
+
+
+class TestBcubed:
+    def test_perfect_clustering(self):
+        assignments = np.asarray([0, 0, 1, 1])
+        pr = bcubed(assignments, [np.asarray([0, 1]), np.asarray([2, 3])])
+        assert pr.precision == pytest.approx(1.0)
+        assert pr.recall == pytest.approx(1.0)
+
+    def test_everything_one_cluster(self):
+        assignments = np.zeros(4, dtype=np.int64)
+        pr = bcubed(assignments, [np.asarray([0, 1]), np.asarray([2, 3])])
+        assert pr.recall == pytest.approx(1.0)
+        # Each item: 2 of its 4 cluster-mates (incl. itself) share a
+        # community -> precision 0.5.
+        assert pr.precision == pytest.approx(0.5)
+
+    def test_singletons(self):
+        assignments = np.arange(4)
+        pr = bcubed(assignments, [np.asarray([0, 1, 2, 3])])
+        assert pr.precision == pytest.approx(1.0)
+        assert pr.recall == pytest.approx(0.25)
+
+    def test_penalizes_giant_cluster_unlike_matching(self, small_planted):
+        """The community-matching metric gives a giant cluster recall 1.0;
+        B-cubed's precision collapses on it — the gaming-resistance that
+        motivates reporting both."""
+        from repro.eval.ground_truth import average_precision_recall
+
+        n = small_planted.graph.num_vertices
+        giant = np.zeros(n, dtype=np.int64)
+        matching = average_precision_recall(giant, small_planted.communities)
+        cubed = bcubed(giant, small_planted.communities)
+        assert matching.recall == pytest.approx(1.0)
+        assert cubed.precision < matching.recall / 2
+
+    def test_agrees_on_good_clusterings(self, small_planted):
+        from repro.core.api import correlation_clustering
+
+        result = correlation_clustering(
+            small_planted.graph, resolution=0.05, seed=0
+        )
+        pr = bcubed(result.assignments, small_planted.communities)
+        assert pr.precision > 0.7
+        assert pr.recall > 0.6
+
+    def test_overlap_counts_once(self):
+        # Items 0,1 share two communities; precision still capped at 1.
+        assignments = np.asarray([0, 0])
+        pr = bcubed(
+            assignments, [np.asarray([0, 1]), np.asarray([0, 1])]
+        )
+        assert pr.precision == pytest.approx(1.0)
+
+    def test_empty_communities_rejected(self):
+        with pytest.raises(ValueError):
+            bcubed(np.zeros(3, dtype=np.int64), [])
+
+    def test_uncovered_items_penalize_mixed_clusters(self):
+        # Item 2 belongs to no community but sits in a 3-item cluster.
+        assignments = np.asarray([0, 0, 0])
+        pr = bcubed(assignments, [np.asarray([0, 1])])
+        assert pr.precision < 1.0

@@ -1,0 +1,69 @@
+import numpy as np
+import pytest
+
+from repro.eval.conductance import cluster_conductances, conductance_summary
+from repro.graphs.builders import graph_from_edges
+
+
+class TestClusterConductances:
+    def test_perfect_split_zero_cut(self):
+        g = graph_from_edges([(0, 1), (2, 3)])
+        phis = cluster_conductances(g, np.asarray([0, 0, 1, 1]))
+        assert np.allclose(phis, 0.0)
+
+    def test_two_cliques_with_bridge(self, two_cliques):
+        phis = cluster_conductances(
+            two_cliques, np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+        )
+        # Each clique: cut = 1 (the bridge), volume = 12 intra-endpoints + 1.
+        assert phis.shape == (2,)
+        assert np.allclose(phis, 1.0 / 13.0)
+
+    def test_bad_clustering_high_conductance(self, two_cliques):
+        # Split a clique down the middle: heavy cut.
+        labels = np.asarray([0, 0, 1, 1, 2, 2, 2, 2])
+        phis = cluster_conductances(two_cliques, labels)
+        assert phis[0] > 0.4
+
+    def test_single_cluster_zero(self, karate):
+        phis = cluster_conductances(karate, np.zeros(34, dtype=np.int64))
+        assert np.allclose(phis, 0.0)
+
+    def test_isolated_vertices_zero(self):
+        g = graph_from_edges([(0, 1)], num_vertices=3)
+        phis = cluster_conductances(g, np.asarray([0, 0, 1]))
+        assert phis[1] == 0.0
+
+    def test_shape_validated(self, karate):
+        with pytest.raises(ValueError):
+            cluster_conductances(karate, np.zeros(3, dtype=np.int64))
+
+    def test_weighted_cut(self):
+        g = graph_from_edges(
+            [(0, 1), (1, 2)], weights=np.asarray([4.0, 1.0])
+        )
+        phis = cluster_conductances(g, np.asarray([0, 0, 1]))
+        # Cluster {0,1}: cut 1, volume 4+4+1=9; cluster {2}: cut 1, vol 1.
+        assert phis[0] == pytest.approx(1.0 / min(9.0, 1.0))
+
+
+class TestSummary:
+    def test_keys(self, karate):
+        from repro.core.api import correlation_clustering
+
+        result = correlation_clustering(karate, resolution=0.1, seed=1)
+        summary = conductance_summary(karate, result.assignments)
+        assert set(summary) == {"mean", "median", "max"}
+        assert 0.0 <= summary["median"] <= summary["max"] <= 1.0
+
+    def test_good_clustering_lower_conductance(self, small_planted):
+        from repro.core.api import correlation_clustering
+
+        g = small_planted.graph
+        good = correlation_clustering(g, resolution=0.05, seed=1).assignments
+        rng = np.random.default_rng(0)
+        random_labels = rng.integers(0, len(np.unique(good)), size=g.num_vertices)
+        assert (
+            conductance_summary(g, good)["mean"]
+            < conductance_summary(g, random_labels)["mean"]
+        )

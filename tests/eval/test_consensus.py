@@ -1,0 +1,99 @@
+import numpy as np
+import pytest
+
+from repro.core.api import correlation_clustering
+from repro.eval.ari import adjusted_rand_index
+from repro.eval.consensus import (
+    coassociation_counts,
+    consensus_clustering,
+    consensus_from_runs,
+)
+from repro.graphs.builders import graph_from_edges
+
+
+class TestCoassociation:
+    def test_counts(self):
+        g = graph_from_edges([(0, 1), (1, 2)])
+        labelings = [np.asarray([0, 0, 1]), np.asarray([0, 0, 0])]
+        counts = coassociation_counts(g, labelings)
+        # Edge (0,1): co-clustered in both; edge (1,2): only in the second.
+        src = np.repeat(np.arange(3), np.diff(g.offsets))
+        for e in range(g.num_directed_edges):
+            pair = (int(src[e]), int(g.neighbors[e]))
+            expected = 2 if set(pair) == {0, 1} else 1
+            assert counts[e] == expected
+
+    def test_requires_labelings(self, karate):
+        with pytest.raises(ValueError):
+            coassociation_counts(karate, [])
+
+    def test_shape_checked(self, karate):
+        with pytest.raises(ValueError):
+            coassociation_counts(karate, [np.zeros(3, dtype=np.int64)])
+
+
+class TestConsensusClustering:
+    def test_unanimous_agreement_preserved(self, two_cliques):
+        labels = np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+        consensus = consensus_clustering(two_cliques, [labels, labels, labels])
+        assert adjusted_rand_index(consensus, labels) == 1.0
+
+    def test_no_agreement_gives_singletons(self, two_cliques):
+        # Labelings that never co-cluster anything.
+        a = np.arange(8)
+        consensus = consensus_clustering(two_cliques, [a], threshold=0.99)
+        assert np.unique(consensus).size == 8
+
+    def test_majority_rules(self):
+        g = graph_from_edges([(0, 1)])
+        together = np.asarray([0, 0])
+        apart = np.asarray([0, 1])
+        consensus = consensus_clustering(g, [together, together, apart])
+        assert consensus[0] == consensus[1]
+        consensus = consensus_clustering(g, [together, apart, apart])
+        assert consensus[0] != consensus[1]
+
+    def test_threshold_validated(self, karate):
+        with pytest.raises(ValueError):
+            consensus_clustering(karate, [np.zeros(34, dtype=np.int64)], threshold=2.0)
+
+
+class TestConsensusFromRuns:
+    def test_stabilizes_async_nondeterminism(self, small_planted):
+        """Consensus over seeds agrees with each individual run at least
+        as well as the runs agree with each other — the stability payoff."""
+        g = small_planted.graph
+
+        def run(seed):
+            return correlation_clustering(g, resolution=0.1, seed=seed).assignments
+
+        consensus = consensus_from_runs(g, run, num_runs=5)
+        runs = [run(seed) for seed in range(5)]
+        inter_run = np.mean([
+            adjusted_rand_index(runs[i], runs[j])
+            for i in range(5) for j in range(i + 1, 5)
+        ])
+        to_consensus = np.mean([
+            adjusted_rand_index(consensus, r) for r in runs
+        ])
+        assert to_consensus >= inter_run - 0.05
+
+    def test_recovers_planted_structure(self, small_planted):
+        g = small_planted.graph
+
+        def run(seed):
+            return correlation_clustering(g, resolution=0.1, seed=seed).assignments
+
+        consensus = consensus_from_runs(g, run, num_runs=3)
+        ari = adjusted_rand_index(consensus, small_planted.labels)
+        assert ari > 0.5
+
+    def test_custom_seeds(self, two_cliques):
+        calls = []
+
+        def run(seed):
+            calls.append(seed)
+            return np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+
+        consensus_from_runs(two_cliques, run, seeds=[7, 11])
+        assert calls == [7, 11]

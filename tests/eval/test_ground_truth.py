@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.eval.ground_truth import (
+    PrecisionRecall,
+    average_precision_recall,
+    match_communities,
+)
+
+
+class TestMatchCommunities:
+    def test_best_overlap_chosen(self):
+        assignments = np.asarray([0, 0, 0, 1, 1])
+        matches = match_communities(assignments, [np.asarray([0, 1, 3])])
+        assert matches == [(0, 2)]
+
+    def test_multiple_communities_can_match_same_cluster(self):
+        assignments = np.zeros(6, dtype=np.int64)
+        matches = match_communities(
+            assignments, [np.asarray([0, 1]), np.asarray([2, 3])]
+        )
+        assert matches[0][0] == matches[1][0] == 0
+
+
+class TestAveragePrecisionRecall:
+    def test_perfect_clustering(self):
+        assignments = np.asarray([0, 0, 1, 1])
+        pr = average_precision_recall(
+            assignments, [np.asarray([0, 1]), np.asarray([2, 3])]
+        )
+        assert pr.precision == 1.0
+        assert pr.recall == 1.0
+        assert pr.f1 == 1.0
+
+    def test_everything_one_cluster(self):
+        assignments = np.zeros(10, dtype=np.int64)
+        pr = average_precision_recall(assignments, [np.asarray([0, 1])])
+        assert pr.recall == 1.0
+        assert pr.precision == pytest.approx(0.2)
+
+    def test_singleton_clustering(self):
+        assignments = np.arange(10)
+        pr = average_precision_recall(assignments, [np.asarray([0, 1, 2, 3])])
+        assert pr.precision == 1.0
+        assert pr.recall == pytest.approx(0.25)
+
+    def test_overlapping_communities_supported(self):
+        assignments = np.asarray([0, 0, 0, 1, 1, 1])
+        communities = [np.asarray([0, 1, 2, 3]), np.asarray([3, 4, 5])]
+        pr = average_precision_recall(assignments, communities)
+        # Community 1 matches cluster 0 (overlap 3/4); community 2 matches
+        # cluster 1 (overlap 3/3... members 3,4,5 -> labels 1,1,1).
+        assert pr.recall == pytest.approx((3 / 4 + 1.0) / 2)
+
+    def test_empty_communities_rejected(self):
+        with pytest.raises(ValueError):
+            average_precision_recall(np.zeros(3, dtype=np.int64), [])
+
+    def test_f1_zero_when_degenerate(self):
+        pr = PrecisionRecall(precision=0.0, recall=0.0)
+        assert pr.f1 == 0.0
+
+    def test_matches_paper_methodology_on_planted(self, small_planted):
+        """Clustering = ground-truth labels gives precision ~1 but recall
+        below 1 when communities overlap (the overlapping members can only
+        be in one cluster)."""
+        pr = average_precision_recall(
+            small_planted.labels, small_planted.communities
+        )
+        assert pr.precision > 0.95
+        assert pr.recall > 0.95

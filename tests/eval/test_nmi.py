@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.eval.nmi import mutual_information, normalized_mutual_information
+
+
+class TestMutualInformation:
+    def test_identical_equals_entropy(self):
+        labels = np.asarray([0, 0, 1, 1])
+        assert mutual_information(labels, labels) == pytest.approx(np.log(2))
+
+    def test_independent_near_zero(self, rng):
+        a = rng.integers(0, 4, size=5000)
+        b = rng.integers(0, 4, size=5000)
+        assert mutual_information(a, b) < 0.01
+
+    def test_nonnegative(self, rng):
+        for _ in range(5):
+            a = rng.integers(0, 3, size=100)
+            b = rng.integers(0, 5, size=100)
+            assert mutual_information(a, b) >= -1e-12
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mutual_information(np.zeros(3), np.zeros(4))
+
+
+class TestNMI:
+    def test_identical_is_one(self):
+        labels = np.asarray([0, 1, 1, 2, 2, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self):
+        a = np.asarray([0, 0, 1, 1])
+        b = np.asarray([9, 9, 4, 4])
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_bounded(self, rng):
+        for _ in range(5):
+            a = rng.integers(0, 6, size=300)
+            b = rng.integers(0, 3, size=300)
+            nmi = normalized_mutual_information(a, b)
+            assert -1e-9 <= nmi <= 1.0 + 1e-9
+
+    def test_trivial_partition_zero(self):
+        a = np.zeros(10, dtype=np.int64)
+        b = np.asarray([0, 1] * 5)
+        assert normalized_mutual_information(a, b) == 0.0
+
+    def test_both_trivial_is_one(self):
+        a = np.zeros(5, dtype=np.int64)
+        assert normalized_mutual_information(a, a) == 1.0
+
+    def test_refinement_has_high_nmi(self):
+        """Splitting each true cluster in half keeps substantial NMI."""
+        truth = np.repeat(np.arange(4), 50)
+        refined = truth * 2 + (np.arange(200) % 2)
+        nmi = normalized_mutual_information(truth, refined)
+        assert 0.5 < nmi < 1.0

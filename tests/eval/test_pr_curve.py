@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.eval.pr_curve import (
+    PRPoint,
+    best_recall_at_precision,
+    paper_gamma_sweep,
+    paper_lambda_sweep,
+    pr_curve,
+    pr_dominates,
+)
+
+
+class TestSweepGrids:
+    def test_lambda_grid_matches_paper(self):
+        grid = paper_lambda_sweep()
+        assert grid.size == 99
+        assert grid[0] == pytest.approx(0.01)
+        assert grid[-1] == pytest.approx(0.99)
+
+    def test_gamma_grid_matches_paper(self):
+        grid = paper_gamma_sweep()
+        assert grid[0] == pytest.approx(0.024)
+        assert np.all(np.diff(grid) > 0)
+
+
+class TestPrCurve:
+    def test_sweep_calls_clusterer(self, small_planted):
+        calls = []
+
+        def fake_cluster(resolution):
+            calls.append(resolution)
+            return small_planted.labels
+
+        points = pr_curve(fake_cluster, [0.1, 0.2], small_planted.communities)
+        assert calls == [0.1, 0.2]
+        assert len(points) == 2
+        assert points[0].precision > 0.9
+
+    def test_num_clusters_recorded(self, small_planted):
+        points = pr_curve(
+            lambda r: small_planted.labels, [0.5], small_planted.communities
+        )
+        assert points[0].num_clusters == small_planted.num_communities
+
+
+class TestBestRecall:
+    def test_filters_by_precision(self):
+        points = [
+            PRPoint(0.1, precision=0.9, recall=0.3),
+            PRPoint(0.2, precision=0.4, recall=0.9),
+        ]
+        assert best_recall_at_precision(points, 0.5) == 0.3
+        assert best_recall_at_precision(points, 0.3) == 0.9
+
+    def test_none_qualify(self):
+        points = [PRPoint(0.1, precision=0.2, recall=0.9)]
+        assert best_recall_at_precision(points, 0.5) == 0.0
+
+
+class TestDominates:
+    def test_self_domination(self):
+        points = [PRPoint(0.1, precision=0.8, recall=0.6)]
+        assert pr_dominates(points, points) == 1.0
+
+    def test_strictly_better_curve(self):
+        better = [PRPoint(0.1, precision=0.9, recall=0.9)]
+        worse = [PRPoint(0.1, precision=0.9, recall=0.2)]
+        assert pr_dominates(better, worse) == 1.0
+        assert pr_dominates(worse, better) < 1.0
+
+    def test_f1(self):
+        p = PRPoint(0.1, precision=0.5, recall=0.5)
+        assert p.f1 == pytest.approx(0.5)
+        assert PRPoint(0.1, precision=0.0, recall=0.0).f1 == 0.0

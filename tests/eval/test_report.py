@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from repro.core.api import correlation_clustering
+from repro.eval.report import (
+    ClusterReport,
+    cluster_report,
+    compare_reports,
+    intra_edge_fraction,
+)
+from repro.graphs.builders import graph_from_edges
+
+
+class TestIntraEdgeFraction:
+    def test_single_cluster_is_one(self, karate):
+        assert intra_edge_fraction(karate, np.zeros(34)) == 1.0
+
+    def test_singletons_zero(self, karate):
+        assert intra_edge_fraction(karate, np.arange(34)) == 0.0
+
+    def test_weighted_split(self, weighted_path):
+        # Edges (0,1)=2.0 and (1,2)=0.5; cluster {0,1} keeps 2.0 of 2.5.
+        frac = intra_edge_fraction(weighted_path, np.asarray([0, 0, 1]))
+        assert frac == pytest.approx(2.0 / 2.5)
+
+    def test_empty_graph(self):
+        g = graph_from_edges([], num_vertices=3)
+        assert intra_edge_fraction(g, np.zeros(3)) == 0.0
+
+
+class TestClusterReport:
+    def test_basic_fields(self, two_cliques):
+        labels = np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+        report = cluster_report(two_cliques, labels, resolution=0.2)
+        assert report.num_clusters == 2
+        assert report.max_cluster_size == 4
+        assert report.mean_cluster_size == 4.0
+        assert report.singleton_fraction == 0.0
+        assert report.cc_objective > 0
+
+    def test_with_communities(self, small_planted):
+        result = correlation_clustering(
+            small_planted.graph, resolution=0.05, seed=0
+        )
+        report = cluster_report(
+            small_planted.graph,
+            result.assignments,
+            resolution=0.05,
+            communities=small_planted.communities,
+            reference_labels=small_planted.labels,
+        )
+        assert report.precision is not None and report.precision > 0.5
+        assert report.ari is not None and report.ari > 0.3
+        assert report.nmi is not None
+
+    def test_shape_validated(self, karate):
+        with pytest.raises(ValueError):
+            cluster_report(karate, np.zeros(5, dtype=np.int64))
+
+    def test_as_row_lengths(self, karate):
+        bare = cluster_report(karate, np.arange(34))
+        assert len(bare.as_row()) == 6
+        with_truth = cluster_report(
+            karate, np.arange(34), reference_labels=np.arange(34)
+        )
+        assert len(with_truth.as_row()) == 8
+
+
+class TestCompareReports:
+    def test_multiple_methods(self, karate):
+        reports = compare_reports(
+            karate,
+            {"singletons": np.arange(34), "whole": np.zeros(34, dtype=np.int64)},
+            resolution=0.1,
+        )
+        assert set(reports) == {"singletons", "whole"}
+        assert reports["singletons"].num_clusters == 34
+        assert reports["whole"].num_clusters == 1

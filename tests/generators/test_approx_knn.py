@@ -1,0 +1,105 @@
+import numpy as np
+import pytest
+
+from repro.core.api import correlation_clustering
+from repro.eval import adjusted_rand_index
+from repro.generators.knn import (
+    approximate_cosine_knn,
+    approximate_knn_graph,
+    cosine_knn,
+    knn_graph,
+    knn_recall,
+)
+from repro.generators.pointsets import gaussian_mixture_pointset
+
+
+@pytest.fixture(scope="module")
+def pointset():
+    return gaussian_mixture_pointset(600, 5, 16, separation=4.0, seed=0)
+
+
+class TestApproximateKnn:
+    def test_shapes(self, pointset):
+        idx, sims = approximate_cosine_knn(pointset.points, 10, seed=0)
+        assert idx.shape == (600, 10)
+        assert sims.shape == (600, 10)
+
+    def test_no_self_neighbors(self, pointset):
+        idx, _ = approximate_cosine_knn(pointset.points, 10, seed=0)
+        own = np.arange(600)[:, None]
+        assert not np.any(idx == own)
+
+    def test_recall_reasonable(self, pointset):
+        """LSH with a few tables recovers most true neighbors on
+        well-separated data (ScaNN-like operating point)."""
+        approx_idx, _ = approximate_cosine_knn(
+            pointset.points, 10, num_tables=6, num_projections=6, seed=0
+        )
+        exact_idx, _ = cosine_knn(pointset.points, 10)
+        assert knn_recall(approx_idx, exact_idx) > 0.5
+
+    def test_more_tables_more_recall(self, pointset):
+        exact_idx, _ = cosine_knn(pointset.points, 10)
+        recalls = []
+        for tables in (1, 8):
+            idx, _ = approximate_cosine_knn(
+                pointset.points, 10, num_tables=tables, num_projections=8, seed=0
+            )
+            recalls.append(knn_recall(idx, exact_idx))
+        assert recalls[1] > recalls[0]
+
+    def test_missing_neighbors_marked(self):
+        """With aggressive hashing, sparse buckets yield < k candidates."""
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(50, 4))
+        idx, sims = approximate_cosine_knn(
+            points, 20, num_tables=1, num_projections=10, seed=0
+        )
+        if (idx == -1).any():
+            assert np.all(sims[idx == -1] == -np.inf)
+
+    def test_k_validated(self, pointset):
+        with pytest.raises(ValueError):
+            approximate_cosine_knn(pointset.points, 600)
+
+
+class TestKnnRecall:
+    def test_perfect(self):
+        idx = np.asarray([[1, 2], [0, 2]])
+        assert knn_recall(idx, idx) == 1.0
+
+    def test_zero(self):
+        a = np.asarray([[1], [0]])
+        b = np.asarray([[2], [2]])
+        assert knn_recall(a, b) == 0.0
+
+    def test_ignores_missing(self):
+        approx = np.asarray([[1, -1]])
+        exact = np.asarray([[1, 2]])
+        assert knn_recall(approx, exact) == 0.5
+
+
+class TestApproximateGraphPipeline:
+    def test_graph_valid(self, pointset):
+        graph = approximate_knn_graph(pointset.points, k=15, seed=0)
+        assert graph.num_vertices == 600
+        assert graph.is_symmetric()
+        assert graph.weights.min() > 0
+
+    def test_downstream_clustering_close_to_exact(self, pointset):
+        """The paper's point in using ScaNN: approximate neighbors are
+        good enough for clustering."""
+        exact_graph = knn_graph(pointset.points, k=15)
+        approx_graph = approximate_knn_graph(
+            pointset.points, k=15, num_tables=6, seed=0
+        )
+        exact_labels = correlation_clustering(
+            exact_graph, resolution=0.05, seed=1
+        ).assignments
+        approx_labels = correlation_clustering(
+            approx_graph, resolution=0.05, seed=1
+        ).assignments
+        exact_ari = adjusted_rand_index(exact_labels, pointset.labels)
+        approx_ari = adjusted_rand_index(approx_labels, pointset.labels)
+        assert approx_ari > exact_ari - 0.15
+        assert approx_ari > 0.5

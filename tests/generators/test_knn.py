@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.generators.knn import cosine_knn, knn_graph
+from repro.generators.pointsets import gaussian_mixture_pointset
+
+
+class TestCosineKnn:
+    def test_shapes(self):
+        points = np.random.default_rng(0).normal(size=(50, 8))
+        idx, sims = cosine_knn(points, 5)
+        assert idx.shape == (50, 5)
+        assert sims.shape == (50, 5)
+
+    def test_no_self_neighbors(self):
+        points = np.random.default_rng(0).normal(size=(30, 4))
+        idx, _ = cosine_knn(points, 3)
+        assert not np.any(idx == np.arange(30)[:, None])
+
+    def test_similarities_sorted_descending(self):
+        points = np.random.default_rng(1).normal(size=(40, 6))
+        _, sims = cosine_knn(points, 4)
+        assert np.all(np.diff(sims, axis=1) <= 1e-12)
+
+    def test_exactness_against_bruteforce(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(25, 5))
+        idx, sims = cosine_knn(points, 3)
+        unit = points / np.linalg.norm(points, axis=1, keepdims=True)
+        full = unit @ unit.T
+        np.fill_diagonal(full, -np.inf)
+        for i in range(25):
+            expected = np.sort(full[i])[::-1][:3]
+            assert np.allclose(np.sort(sims[i])[::-1], expected)
+
+    def test_identical_points_full_similarity(self):
+        points = np.ones((5, 3))
+        _, sims = cosine_knn(points, 2)
+        assert np.allclose(sims, 1.0)
+
+    def test_k_too_large(self):
+        with pytest.raises(ValueError):
+            cosine_knn(np.zeros((3, 2)), 3)
+
+
+class TestKnnGraph:
+    def test_symmetrized(self):
+        ps = gaussian_mixture_pointset(100, 3, 8, seed=0)
+        g = knn_graph(ps.points, k=10)
+        assert g.is_symmetric()
+        assert g.num_vertices == 100
+
+    def test_weights_are_similarities(self):
+        ps = gaussian_mixture_pointset(80, 3, 8, seed=1)
+        g = knn_graph(ps.points, k=8)
+        assert g.weights.max() <= 1.0 + 1e-9
+        assert g.weights.min() > 0.0
+
+    def test_min_similarity_filter(self):
+        ps = gaussian_mixture_pointset(80, 3, 8, seed=1)
+        loose = knn_graph(ps.points, k=8, min_similarity=0.0)
+        strict = knn_graph(ps.points, k=8, min_similarity=0.9)
+        assert strict.num_edges < loose.num_edges
+
+    def test_classes_mostly_intra_connected(self):
+        """k-NN on separated mixtures wires mostly within classes — the
+        property that makes the weighted-graph experiments meaningful."""
+        ps = gaussian_mixture_pointset(300, 3, 16, separation=5.0, seed=2)
+        g = knn_graph(ps.points, k=10)
+        src = np.repeat(np.arange(300), np.diff(g.offsets))
+        same = ps.labels[src] == ps.labels[g.neighbors]
+        assert same.mean() > 0.9

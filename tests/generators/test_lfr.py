@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.core.api import correlation_clustering
+from repro.eval import adjusted_rand_index
+from repro.generators.lfr import lfr_like_graph, realized_mixing
+
+
+class TestLfrGeneration:
+    def test_covers_all_vertices(self):
+        part = lfr_like_graph(500, seed=0)
+        assert part.graph.num_vertices == 500
+        covered = np.unique(np.concatenate(part.communities))
+        assert covered.size == 500
+
+    def test_deterministic(self):
+        a = lfr_like_graph(300, seed=4)
+        b = lfr_like_graph(300, seed=4)
+        assert a.graph.num_edges == b.graph.num_edges
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_mixing_controls_structure(self):
+        tight = lfr_like_graph(800, mixing=0.1, seed=1)
+        loose = lfr_like_graph(800, mixing=0.6, seed=1)
+        assert realized_mixing(tight) < realized_mixing(loose)
+
+    def test_realized_mixing_tracks_parameter(self):
+        for mu in (0.1, 0.3, 0.5):
+            part = lfr_like_graph(1500, mixing=mu, seed=2)
+            assert abs(realized_mixing(part) - mu) < 0.15, mu
+
+    def test_degree_heterogeneity(self):
+        part = lfr_like_graph(1000, min_degree=4, max_degree=80,
+                              degree_exponent=2.2, seed=3)
+        degrees = part.graph.degrees()
+        assert degrees.max() > 4 * max(1, int(np.median(degrees)))
+
+    def test_invalid_mixing(self):
+        with pytest.raises(ValueError):
+            lfr_like_graph(100, mixing=1.5)
+
+    def test_invalid_degrees(self):
+        with pytest.raises(ValueError):
+            lfr_like_graph(100, min_degree=10, max_degree=5)
+
+
+class TestLfrClusterability:
+    def test_low_mixing_recoverable(self):
+        part = lfr_like_graph(800, mixing=0.1, seed=5)
+        result = correlation_clustering(part.graph, resolution=0.05, seed=0)
+        assert adjusted_rand_index(result.assignments, part.labels) > 0.5
+
+    def test_quality_degrades_with_mixing(self):
+        scores = []
+        for mu in (0.1, 0.5):
+            part = lfr_like_graph(800, mixing=mu, seed=6)
+            result = correlation_clustering(part.graph, resolution=0.05, seed=0)
+            scores.append(adjusted_rand_index(result.assignments, part.labels))
+        assert scores[0] > scores[1]

@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.generators.planted import planted_partition_graph
+
+
+class TestPlantedPartition:
+    def test_covers_all_vertices(self):
+        part = planted_partition_graph(500, seed=0)
+        assert part.graph.num_vertices == 500
+        assert part.labels.shape == (500,)
+        covered = np.unique(np.concatenate(part.communities))
+        assert covered.size == 500
+
+    def test_disjoint_primary_labels(self):
+        part = planted_partition_graph(400, seed=1)
+        assert part.labels.max() + 1 == part.num_communities
+
+    def test_sizes_within_bounds(self):
+        part = planted_partition_graph(
+            600, size_min=10, size_max=30, overlap_fraction=0.0, seed=2
+        )
+        sizes = [len(c) for c in part.communities]
+        assert min(sizes) >= 1
+        assert max(sizes) <= 30
+
+    def test_intra_density_exceeds_inter(self):
+        part = planted_partition_graph(
+            800, intra_degree=10.0, inter_degree=1.0, seed=3
+        )
+        g = part.graph
+        src = np.repeat(
+            np.arange(g.num_vertices), np.diff(g.offsets)
+        )
+        same = part.labels[src] == part.labels[g.neighbors]
+        assert same.mean() > 0.6
+
+    def test_overlap_adds_members(self):
+        base = planted_partition_graph(500, overlap_fraction=0.0, seed=4)
+        over = planted_partition_graph(500, overlap_fraction=0.2, seed=4)
+        assert sum(len(c) for c in over.communities) > sum(
+            len(c) for c in base.communities
+        )
+
+    def test_top_communities_sorted(self):
+        part = planted_partition_graph(500, seed=5)
+        top = part.top_communities(3)
+        sizes = [len(c) for c in top]
+        assert sizes == sorted(sizes, reverse=True)
+        assert len(top) == 3
+
+    def test_deterministic(self):
+        a = planted_partition_graph(300, seed=6)
+        b = planted_partition_graph(300, seed=6)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.graph.num_edges == b.graph.num_edges
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            planted_partition_graph(0)
+        with pytest.raises(ValueError):
+            planted_partition_graph(10, size_min=5, size_max=2)
+        with pytest.raises(ValueError):
+            planted_partition_graph(10, overlap_fraction=2.0)

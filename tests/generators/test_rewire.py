@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.core.api import correlation_clustering
+from repro.generators.planted import planted_partition_graph
+from repro.generators.rewire import degree_sequence_preserved, rewire
+from repro.graphs.builders import graph_from_edges
+
+
+class TestRewire:
+    def test_degrees_preserved(self, karate):
+        rewired = rewire(karate, seed=0)
+        assert degree_sequence_preserved(karate, rewired)
+
+    def test_edge_count_preserved(self, karate):
+        rewired = rewire(karate, seed=0)
+        assert rewired.num_edges == karate.num_edges
+
+    def test_structure_destroyed(self):
+        part = planted_partition_graph(600, intra_degree=10.0,
+                                       inter_degree=1.0, seed=0)
+        rewired = rewire(part.graph, seed=1)
+        src = np.repeat(
+            np.arange(600, dtype=np.int64), np.diff(rewired.offsets)
+        )
+        same = part.labels[src] == part.labels[rewired.neighbors]
+        original_src = np.repeat(
+            np.arange(600, dtype=np.int64), np.diff(part.graph.offsets)
+        )
+        original_same = (
+            part.labels[original_src] == part.labels[part.graph.neighbors]
+        )
+        assert same.mean() < original_same.mean() - 0.2
+
+    def test_no_self_loops_or_duplicates(self, karate):
+        rewired = rewire(karate, seed=2)
+        assert np.all(rewired.self_loops == 0)
+        for v in range(rewired.num_vertices):
+            nbrs, _ = rewired.neighborhood(v)
+            assert np.unique(nbrs).size == nbrs.size
+
+    def test_deterministic(self, karate):
+        a = rewire(karate, seed=5)
+        b = rewire(karate, seed=5)
+        assert np.array_equal(a.neighbors, b.neighbors)
+
+    def test_zero_swaps_identity(self, karate):
+        rewired = rewire(karate, num_swaps=0, seed=0)
+        assert np.array_equal(rewired.neighbors, karate.neighbors)
+
+    def test_tiny_graph_passthrough(self):
+        g = graph_from_edges([(0, 1)])
+        rewired = rewire(g, seed=0)
+        assert rewired.num_edges == 1
+
+
+class TestSignificance:
+    def test_real_structure_beats_null(self):
+        """The significance-testing use case: LambdaCC objective on the
+        real graph far exceeds the rewired null at the same resolution."""
+        part = planted_partition_graph(500, intra_degree=10.0,
+                                       inter_degree=1.0, seed=0)
+        real = correlation_clustering(part.graph, resolution=0.2, seed=1)
+        null_graph = rewire(part.graph, seed=2)
+        null = correlation_clustering(null_graph, resolution=0.2, seed=1)
+        assert real.objective > 1.5 * max(null.objective, 1.0)

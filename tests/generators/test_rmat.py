@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.generators.rmat import density_regimes, rmat_edges, rmat_graph
+
+
+class TestRmatEdges:
+    def test_shape(self):
+        edges = rmat_edges(8, 1000, seed=0)
+        assert edges.shape == (1000, 2)
+        assert edges.max() < 256
+
+    def test_deterministic(self):
+        a = rmat_edges(8, 100, seed=5)
+        b = rmat_edges(8, 100, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_skew_toward_low_ids(self):
+        """a=0.5 concentrates mass in the (0,0) quadrant: low vertex ids."""
+        edges = rmat_edges(12, 20000, seed=1)
+        below = (edges < 2048).mean()
+        assert below > 0.6  # uniform would give 0.5
+
+    def test_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_edges(8, 10, a=0.5, b=0.5, c=0.5, d=0.5)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            rmat_edges(0, 10)
+
+
+class TestRmatGraph:
+    def test_vertex_count(self):
+        g = rmat_graph(9, 2000, seed=0)
+        assert g.num_vertices == 512
+
+    def test_no_self_loops_in_adjacency(self):
+        g = rmat_graph(8, 2000, seed=0)
+        assert np.all(g.self_loops == 0)
+
+    def test_dedup_reduces_edges(self):
+        g = rmat_graph(6, 5000, seed=0)  # heavy duplication at small scale
+        assert g.num_edges < 5000
+
+    def test_symmetric(self):
+        assert rmat_graph(7, 500, seed=3).is_symmetric()
+
+
+class TestDensityRegimes:
+    def test_paper_regimes(self):
+        regimes = density_regimes(10)
+        n = 1024
+        assert regimes["very-sparse"] == 5 * n
+        assert regimes["sparse"] == 50 * n
+        assert regimes["dense"] == int(n**1.5)
+        assert regimes["very-dense"] == n * (n - 1) // 2  # capped
+
+    def test_monotone(self):
+        regimes = density_regimes(12)
+        assert (
+            regimes["very-sparse"]
+            < regimes["sparse"]
+            < regimes["dense"]
+            < regimes["very-dense"]
+        )

@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+
+from repro.generators.snap_like import (
+    SNAP_SURROGATES,
+    load_snap_surrogate,
+    surrogate_table,
+)
+
+
+class TestRegistry:
+    def test_all_paper_graphs_present(self):
+        # Table 1's graphs.
+        assert set(SNAP_SURROGATES) == {
+            "amazon", "dblp", "livejournal", "orkut", "twitter", "friendster",
+        }
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_snap_surrogate("facebook")
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = load_snap_surrogate("amazon", seed=3)
+        b = load_snap_surrogate("amazon", seed=3)
+        assert a.graph.num_edges == b.graph.num_edges
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_scale(self):
+        small = load_snap_surrogate("amazon", seed=0, scale=0.25)
+        full = load_snap_surrogate("amazon", seed=0, scale=1.0)
+        assert small.graph.num_vertices < full.graph.num_vertices
+
+    def test_relative_ordering_matches_table1(self):
+        """orkut is denser than amazon; twitter/friendster are the largest
+        (mirroring the paper's Table 1 ordering)."""
+        sizes = {name: load_snap_surrogate(name, seed=0) for name in SNAP_SURROGATES}
+        mean_deg = {
+            k: 2 * v.graph.num_edges / v.graph.num_vertices for k, v in sizes.items()
+        }
+        assert mean_deg["orkut"] > mean_deg["amazon"]
+        assert sizes["twitter"].graph.num_vertices >= sizes["orkut"].graph.num_vertices
+
+    def test_twitter_has_extreme_hubs(self):
+        """The hub grafting reproduces twitter's degree-skew story
+        (max degree 2.99M vs friendster's 5.2K in the paper)."""
+        twitter = load_snap_surrogate("twitter", seed=0)
+        friendster = load_snap_surrogate("friendster", seed=0)
+        assert twitter.graph.degrees().max() > 4 * friendster.graph.degrees().max()
+
+    def test_twitter_communities_giant(self):
+        twitter = load_snap_surrogate("twitter", seed=0)
+        top = twitter.top_communities(5)
+        assert len(top[0]) > 1000
+
+    def test_ground_truth_overlaps(self):
+        part = load_snap_surrogate("amazon", seed=0)
+        total_members = sum(len(c) for c in part.communities)
+        assert total_members > part.graph.num_vertices  # overlap present
+
+
+class TestSurrogateTable:
+    def test_rows(self):
+        rows = surrogate_table(seed=0, scale=0.2)
+        assert len(rows) == 6
+        for name, n, m in rows:
+            assert n > 0 and m > 0

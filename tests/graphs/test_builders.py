@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.builders import graph_from_adjacency, graph_from_edges
+
+
+class TestGraphFromEdges:
+    def test_symmetrizes(self):
+        g = graph_from_edges([(0, 1)])
+        assert np.array_equal(g.neighborhood(1)[0], [0])
+
+    def test_combines_duplicates(self):
+        g = graph_from_edges([(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+        assert g.weights[0] == 3.0
+
+    def test_duplicate_rejected_when_disabled(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_edges([(0, 1), (0, 1)], combine_duplicates=False)
+
+    def test_weights_summed(self):
+        g = graph_from_edges(
+            [(0, 1), (1, 0)], weights=np.asarray([1.5, 2.5])
+        )
+        assert g.weights[0] == 4.0
+
+    def test_num_vertices_override(self):
+        g = graph_from_edges([(0, 1)], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0
+
+    def test_num_vertices_too_small(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_edges([(0, 3)], num_vertices=2)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_edges([(-1, 0)])
+
+    def test_bad_shape(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_edges(np.zeros((3, 3), dtype=np.int64))
+
+    def test_weight_shape_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_edges([(0, 1)], weights=np.asarray([1.0, 2.0]))
+
+    def test_self_loops_routed(self):
+        g = graph_from_edges([(2, 2), (0, 1)], weights=np.asarray([5.0, 1.0]))
+        assert g.self_loops[2] == 5.0
+        assert g.num_edges == 1
+
+    def test_empty_edge_list(self):
+        g = graph_from_edges([], num_vertices=4)
+        assert g.num_vertices == 4
+
+    def test_node_weights_passthrough(self):
+        g = graph_from_edges([(0, 1)], node_weights=np.asarray([2.0, 3.0]))
+        assert np.allclose(g.node_weights, [2, 3])
+
+    def test_csr_sorted_per_row(self, rng):
+        edges = rng.integers(0, 30, size=(200, 2))
+        g = graph_from_edges(edges[edges[:, 0] != edges[:, 1]], num_vertices=30)
+        for v in range(30):
+            nbrs, _ = g.neighborhood(v)
+            assert np.all(np.diff(nbrs) > 0)  # sorted, no duplicates
+        assert g.is_symmetric()
+
+
+class TestGraphFromAdjacency:
+    def test_simple(self):
+        matrix = np.asarray(
+            [[0.0, 2.0, 0.0], [2.0, 0.0, 1.0], [0.0, 1.0, 0.0]]
+        )
+        g = graph_from_adjacency(matrix)
+        assert g.num_edges == 2
+        assert g.total_edge_weight == pytest.approx(3.0)
+
+    def test_diagonal_becomes_self_loops(self):
+        matrix = np.asarray([[1.5, 1.0], [1.0, 0.0]])
+        g = graph_from_adjacency(matrix)
+        assert g.self_loops[0] == 1.5
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_adjacency(np.asarray([[0.0, 1.0], [0.0, 0.0]]))
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_adjacency(np.zeros((2, 3)))

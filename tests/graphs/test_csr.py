@@ -1,0 +1,122 @@
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.csr import CSRGraph
+
+
+class TestBasics:
+    def test_counts(self, karate):
+        assert karate.num_vertices == 34
+        assert karate.num_edges == 78
+        assert karate.num_directed_edges == 156
+
+    def test_degrees(self, karate):
+        degs = karate.degrees()
+        assert degs.sum() == 156
+        assert degs[33] == 17  # the instructor hub
+        assert degs[0] == 16
+
+    def test_neighborhood(self, triangle_graph):
+        nbrs, wts = triangle_graph.neighborhood(0)
+        assert np.array_equal(np.sort(nbrs), [1, 2])
+        assert np.allclose(wts, 1.0)
+
+    def test_total_edge_weight(self, weighted_path):
+        assert weighted_path.total_edge_weight == pytest.approx(2.5)
+
+    def test_repr(self, triangle_graph):
+        assert "n=3" in repr(triangle_graph)
+
+
+class TestWeightedDegrees:
+    def test_unweighted_equals_degree(self, karate):
+        assert np.allclose(karate.weighted_degrees(), karate.degrees())
+
+    def test_weighted(self, weighted_path):
+        assert np.allclose(weighted_path.weighted_degrees(), [2.0, 2.5, 0.5])
+
+    def test_self_loop_counts_twice(self):
+        g = graph_from_edges([(0, 1), (1, 1)], num_vertices=2)
+        assert g.weighted_degrees()[1] == pytest.approx(1.0 + 2.0)
+
+
+class TestSelfLoops:
+    def test_separated_from_adjacency(self):
+        g = graph_from_edges([(0, 0), (0, 1)], num_vertices=2)
+        assert g.self_loops[0] == 1.0
+        assert g.num_edges == 1
+
+    def test_total_weight_includes_self_loops(self):
+        g = graph_from_edges([(0, 0), (0, 1)], num_vertices=2)
+        assert g.total_edge_weight == pytest.approx(2.0)
+
+    def test_adjacency_self_loop_rejected(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(
+                offsets=np.asarray([0, 1]),
+                neighbors=np.asarray([0]),
+                weights=np.asarray([1.0]),
+            )
+
+
+class TestValidation:
+    def test_bad_offsets_start(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.asarray([1, 2]), np.asarray([0]), np.asarray([1.0]))
+
+    def test_decreasing_offsets(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.asarray([0, 2, 1]), np.asarray([1, 0]), np.asarray([1.0, 1.0]))
+
+    def test_neighbor_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.asarray([0, 1, 2]), np.asarray([1, 5]), np.ones(2))
+
+    def test_length_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.asarray([0, 2]), np.asarray([1, 0]), np.ones(3))
+
+
+class TestDerivedGraphs:
+    def test_with_node_weights(self, triangle_graph):
+        g = triangle_graph.with_node_weights(np.asarray([2.0, 3.0, 4.0]))
+        assert np.allclose(g.node_weights, [2, 3, 4])
+        assert np.allclose(g.node_weight_sq, [4, 9, 16])
+        # Shares adjacency arrays with the original.
+        assert g.neighbors is triangle_graph.neighbors
+
+    def test_with_unit_weights(self, weighted_path):
+        g = weighted_path.with_unit_weights()
+        assert np.allclose(g.weights, 1.0)
+        assert weighted_path.weights.max() == 2.0  # original untouched
+
+
+class TestIntrospection:
+    def test_symmetry(self, karate):
+        assert karate.is_symmetric()
+
+    def test_asymmetric_detected(self):
+        g = CSRGraph(
+            offsets=np.asarray([0, 1, 1]),
+            neighbors=np.asarray([1]),
+            weights=np.asarray([1.0]),
+            validate=False,
+        )
+        assert not g.is_symmetric()
+
+    def test_edge_list_canonical(self, karate):
+        u, v, w = karate.edge_list()
+        assert u.size == 78
+        assert np.all(u < v)
+        assert np.allclose(w, 1.0)
+
+    def test_nbytes_positive(self, karate):
+        assert karate.nbytes > 0
+
+    def test_empty_graph(self):
+        g = graph_from_edges(np.zeros((0, 2), dtype=np.int64), num_vertices=3)
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+        assert g.total_edge_weight == 0.0

@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.io import (
+    load_npz,
+    read_communities,
+    read_edge_list,
+    save_npz,
+    write_communities,
+    write_edge_list,
+)
+
+
+class TestEdgeListRoundtrip:
+    def test_unweighted(self, karate, tmp_path):
+        path = tmp_path / "karate.txt"
+        write_edge_list(karate, path)
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices == karate.num_vertices
+        assert loaded.num_edges == karate.num_edges
+
+    def test_weighted(self, weighted_path, tmp_path):
+        path = tmp_path / "weighted.txt"
+        write_edge_list(weighted_path, path, weighted=True)
+        loaded = read_edge_list(path)
+        assert loaded.total_edge_weight == pytest.approx(
+            weighted_path.total_edge_weight
+        )
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n% also comment\n0 1\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 2 3\n")
+        with pytest.raises(GraphFormatError, match="bad.txt:1"):
+            read_edge_list(path)
+
+    def test_num_vertices_override(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        assert read_edge_list(path, num_vertices=10).num_vertices == 10
+
+
+class TestCommunities:
+    def test_roundtrip(self, tmp_path):
+        comms = [np.asarray([0, 1, 2]), np.asarray([3, 4])]
+        path = tmp_path / "comms.txt"
+        write_communities(comms, path)
+        loaded = read_communities(path)
+        assert len(loaded) == 2
+        assert np.array_equal(loaded[0], [0, 1, 2])
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "comms.txt"
+        path.write_text("# header\n5 6 7\n")
+        assert len(read_communities(path)) == 1
+
+
+class TestNpz:
+    def test_roundtrip_exact(self, karate, tmp_path):
+        path = tmp_path / "karate.npz"
+        save_npz(karate, path)
+        loaded = load_npz(path)
+        assert np.array_equal(loaded.offsets, karate.offsets)
+        assert np.array_equal(loaded.neighbors, karate.neighbors)
+        assert np.allclose(loaded.weights, karate.weights)
+        assert np.allclose(loaded.node_weights, karate.node_weights)

@@ -1,0 +1,32 @@
+import numpy as np
+
+from repro.graphs.karate import karate_club_factions, karate_club_graph
+
+
+class TestKarate:
+    def test_size_matches_paper(self):
+        # Appendix C.1: "the karate graph, which consists of 34 vertices
+        # and 78 edges".
+        g = karate_club_graph()
+        assert g.num_vertices == 34
+        assert g.num_edges == 78
+
+    def test_unweighted(self):
+        assert np.allclose(karate_club_graph().weights, 1.0)
+
+    def test_symmetric(self):
+        assert karate_club_graph().is_symmetric()
+
+    def test_factions_are_binary_partition(self):
+        labels = karate_club_factions()
+        assert labels.shape == (34,)
+        assert set(labels.tolist()) == {0, 1}
+
+    def test_faction_sizes(self):
+        labels = karate_club_factions()
+        assert (labels == 0).sum() == 17
+        assert (labels == 1).sum() == 17
+
+    def test_hubs_in_opposite_factions(self):
+        labels = karate_club_factions()
+        assert labels[0] != labels[33]  # Mr. Hi vs the officer

@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.io import read_metis, write_metis
+
+
+class TestMetisRoundtrip:
+    def test_unweighted(self, karate, tmp_path):
+        path = tmp_path / "karate.graph"
+        write_metis(karate, path)
+        loaded = read_metis(path)
+        assert loaded.num_vertices == 34
+        assert loaded.num_edges == 78
+        assert np.array_equal(loaded.neighbors, karate.neighbors)
+
+    def test_weighted(self, weighted_path, tmp_path):
+        path = tmp_path / "w.graph"
+        write_metis(weighted_path, path, weighted=True)
+        loaded = read_metis(path)
+        assert loaded.total_edge_weight == pytest.approx(
+            weighted_path.total_edge_weight
+        )
+
+    def test_isolated_vertices(self, tmp_path):
+        g = graph_from_edges([(0, 1)], num_vertices=4)
+        path = tmp_path / "iso.graph"
+        write_metis(g, path)
+        loaded = read_metis(path)
+        assert loaded.num_vertices == 4
+        assert loaded.degree(3) == 0
+
+
+class TestMetisParsing:
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "c.graph"
+        path.write_text("% a comment\n2 1\n2\n1\n")
+        g = read_metis(path)
+        assert g.num_edges == 1
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.graph"
+        path.write_text("")
+        with pytest.raises(GraphFormatError, match="empty"):
+            read_metis(path)
+
+    def test_wrong_line_count(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("3 1\n2\n1\n")  # declares 3 vertices, 2 lines
+        with pytest.raises(GraphFormatError, match="adjacency lines"):
+            read_metis(path)
+
+    def test_neighbor_out_of_range(self, tmp_path):
+        path = tmp_path / "oob.graph"
+        path.write_text("2 1\n3\n1\n")
+        with pytest.raises(GraphFormatError, match="outside"):
+            read_metis(path)
+
+    def test_edge_count_mismatch(self, tmp_path):
+        path = tmp_path / "m.graph"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(GraphFormatError, match="declares 5 edges"):
+            read_metis(path)
+
+    def test_dangling_weight(self, tmp_path):
+        path = tmp_path / "d.graph"
+        path.write_text("2 1 001\n2\n1 1.0\n")
+        with pytest.raises(GraphFormatError, match="dangling"):
+            read_metis(path)
+
+    def test_header_too_short(self, tmp_path):
+        path = tmp_path / "h.graph"
+        path.write_text("5\n")
+        with pytest.raises(GraphFormatError, match="header"):
+            read_metis(path)
+
+
+class TestMetisInterop:
+    def test_cluster_metis_input_end_to_end(self, tmp_path, two_cliques):
+        from repro.core.api import correlation_clustering
+
+        path = tmp_path / "g.graph"
+        write_metis(two_cliques, path)
+        graph = read_metis(path)
+        result = correlation_clustering(graph, resolution=0.2, seed=0)
+        assert result.num_clusters == 2

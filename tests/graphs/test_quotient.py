@@ -1,0 +1,99 @@
+import numpy as np
+import pytest
+
+from repro.core.objective import lambdacc_objective
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.quotient import compress_graph, compress_graph_naive
+from repro.parallel.scheduler import SimulatedScheduler
+
+
+class TestCompressBasics:
+    def test_two_cliques_compress_to_two_vertices(self, two_cliques):
+        assignments = np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+        compressed, v2s = compress_graph(two_cliques, assignments)
+        assert compressed.num_vertices == 2
+        # Six intra edges per clique become self-loops.
+        assert np.allclose(compressed.self_loops, [6.0, 6.0])
+        # One bridge edge remains.
+        assert compressed.num_edges == 1
+        assert compressed.weights[0] == 1.0
+
+    def test_vertex_weights_accumulate(self, two_cliques):
+        assignments = np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+        compressed, _ = compress_graph(two_cliques, assignments)
+        assert np.allclose(compressed.node_weights, [4.0, 4.0])
+        assert np.allclose(compressed.node_weight_sq, [4.0, 4.0])
+
+    def test_vertex_to_super_is_dense_relabel(self):
+        g = graph_from_edges([(0, 1), (1, 2)])
+        _, v2s = compress_graph(g, np.asarray([7, 7, 2]))
+        assert np.array_equal(v2s, [1, 1, 0])  # sorted unique labels [2, 7]
+
+    def test_parallel_edges_merge(self):
+        # Path 0-1-2-3; clusters {0,1} and {2,3}; edges (1,2) only.
+        g = graph_from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        compressed, _ = compress_graph(g, np.asarray([0, 0, 1, 1]))
+        # (1,2) and (0,3) both become cluster edge (0,1) with weight 2.
+        assert compressed.num_edges == 1
+        assert compressed.weights[0] == 2.0
+
+    def test_existing_self_loops_carry(self):
+        g = graph_from_edges([(0, 0), (0, 1)], num_vertices=2)
+        compressed, _ = compress_graph(g, np.asarray([0, 0]))
+        assert compressed.self_loops[0] == pytest.approx(2.0)
+
+    def test_singleton_clustering_is_isomorphic(self, karate):
+        compressed, v2s = compress_graph(karate, np.arange(34))
+        assert compressed.num_vertices == 34
+        assert compressed.num_edges == karate.num_edges
+        assert np.array_equal(v2s, np.arange(34))
+
+    def test_shape_mismatch(self, karate):
+        with pytest.raises(ValueError):
+            compress_graph(karate, np.zeros(3, dtype=np.int64))
+
+
+class TestObjectiveInvariance:
+    """The core multilevel invariant: compressing preserves the objective."""
+
+    @pytest.mark.parametrize("lam", [0.0, 0.05, 0.5, 0.9])
+    def test_karate_random_clustering(self, karate, rng, lam):
+        assignments = rng.integers(0, 6, size=34)
+        before = lambdacc_objective(karate, assignments, lam)
+        compressed, v2s = compress_graph(karate, assignments)
+        # On the compressed graph the induced clustering is the identity.
+        after = lambdacc_objective(
+            compressed, np.arange(compressed.num_vertices), lam
+        )
+        assert after == pytest.approx(before)
+
+    def test_two_level_composition(self, small_planted, rng):
+        g = small_planted.graph
+        lam = 0.1
+        level1 = rng.integers(0, 40, size=g.num_vertices)
+        c1, v2s1 = compress_graph(g, level1)
+        level2 = rng.integers(0, 5, size=c1.num_vertices)
+        c2, v2s2 = compress_graph(c1, level2)
+        flattened = level2[v2s1]
+        assert lambdacc_objective(
+            c2, np.arange(c2.num_vertices), lam
+        ) == pytest.approx(lambdacc_objective(g, flattened, lam))
+
+
+class TestNaiveCompress:
+    def test_same_graph_as_efficient(self, karate, rng):
+        assignments = rng.integers(0, 5, size=34)
+        a, v2s_a = compress_graph(karate, assignments)
+        b, v2s_b = compress_graph_naive(karate, assignments)
+        assert np.array_equal(v2s_a, v2s_b)
+        assert np.array_equal(a.offsets, b.offsets)
+        assert np.array_equal(a.neighbors, b.neighbors)
+        assert np.allclose(a.weights, b.weights)
+
+    def test_naive_charges_more(self, karate, rng):
+        assignments = rng.integers(0, 5, size=34)
+        fast = SimulatedScheduler(num_workers=8)
+        slow = SimulatedScheduler(num_workers=8)
+        compress_graph(karate, assignments, sched=fast)
+        compress_graph_naive(karate, assignments, sched=slow)
+        assert slow.ledger.total_work > fast.ledger.total_work

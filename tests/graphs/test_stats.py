@@ -1,0 +1,94 @@
+import numpy as np
+import pytest
+
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.stats import (
+    BYTES_PER_UNDIRECTED_EDGE,
+    MemoryTracker,
+    connected_components,
+    degree_statistics,
+    graph_footprint_bytes,
+)
+
+
+class TestFootprint:
+    def test_paper_convention(self, karate):
+        assert graph_footprint_bytes(karate) == 78 * BYTES_PER_UNDIRECTED_EDGE
+
+    def test_actual_bytes(self, karate):
+        assert graph_footprint_bytes(karate, paper_convention=False) == karate.nbytes
+
+    def test_empty_graph_nonzero(self):
+        g = graph_from_edges([], num_vertices=2)
+        assert graph_footprint_bytes(g) >= 1
+
+
+class TestMemoryTracker:
+    def test_peak_tracks_holds(self, karate, two_cliques):
+        tracker = MemoryTracker()
+        tracker.hold(0, karate)
+        tracker.hold(1, two_cliques)
+        peak = tracker.peak_bytes
+        assert peak == karate.nbytes + two_cliques.nbytes
+        tracker.release(1)
+        assert tracker.current_bytes == karate.nbytes
+        assert tracker.peak_bytes == peak  # peak never decreases
+
+    def test_rehold_replaces(self, karate):
+        tracker = MemoryTracker()
+        tracker.hold(0, karate)
+        tracker.hold(0, karate)
+        assert tracker.current_bytes == karate.nbytes
+
+    def test_release_unknown_level_noop(self):
+        tracker = MemoryTracker()
+        tracker.release(5)
+        assert tracker.current_bytes == 0
+
+    def test_overhead(self, karate):
+        tracker = MemoryTracker()
+        tracker.hold(0, karate)
+        assert tracker.overhead(karate.nbytes) == pytest.approx(1.0)
+
+
+class TestDegreeStatistics:
+    def test_karate(self, karate):
+        stats = degree_statistics(karate)
+        assert stats["max"] == 17
+        assert stats["min"] == 1
+        assert stats["mean"] == pytest.approx(156 / 34)
+
+    def test_empty(self):
+        g = graph_from_edges([], num_vertices=0)
+        assert degree_statistics(g)["max"] == 0.0
+
+
+class TestConnectedComponents:
+    def test_single_component(self, karate):
+        labels = connected_components(karate)
+        assert np.all(labels == 0)
+
+    def test_two_components(self):
+        g = graph_from_edges([(0, 1), (2, 3)], num_vertices=4)
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+
+    def test_isolated_vertices(self):
+        g = graph_from_edges([(0, 1)], num_vertices=4)
+        labels = connected_components(g)
+        assert len(set(labels.tolist())) == 3
+
+    def test_labels_dense(self, rng):
+        edges = rng.integers(0, 60, size=(40, 2))
+        g = graph_from_edges(edges[edges[:, 0] != edges[:, 1]], num_vertices=60)
+        labels = connected_components(g)
+        assert labels.min() == 0
+        assert set(labels.tolist()) == set(range(labels.max() + 1))
+
+    def test_long_path(self):
+        # Exercises the pointer-jumping convergence on a high-diameter graph.
+        n = 500
+        g = graph_from_edges([(i, i + 1) for i in range(n - 1)])
+        assert np.all(connected_components(g) == 0)

@@ -1,0 +1,98 @@
+import numpy as np
+import pytest
+
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.transform import (
+    cluster_subgraph,
+    induced_subgraph,
+    k_core,
+    largest_component,
+)
+
+
+class TestInducedSubgraph:
+    def test_identity(self, karate):
+        sub, ids = induced_subgraph(karate, np.arange(34))
+        assert sub.num_edges == karate.num_edges
+        assert np.array_equal(ids, np.arange(34))
+
+    def test_clique_extraction(self, two_cliques):
+        sub, ids = induced_subgraph(two_cliques, np.asarray([0, 1, 2, 3]))
+        assert sub.num_vertices == 4
+        assert sub.num_edges == 6  # the full K4, bridge edge dropped
+
+    def test_node_weights_carry(self):
+        g = graph_from_edges([(0, 1), (1, 2)],
+                             node_weights=np.asarray([1.0, 2.0, 3.0]))
+        sub, _ = induced_subgraph(g, np.asarray([1, 2]))
+        assert np.allclose(sub.node_weights, [2.0, 3.0])
+
+    def test_self_loops_carry(self):
+        g = graph_from_edges([(0, 0), (0, 1)], num_vertices=2)
+        sub, _ = induced_subgraph(g, np.asarray([0]))
+        assert sub.self_loops[0] == 1.0
+
+    def test_out_of_range(self, karate):
+        with pytest.raises(ValueError):
+            induced_subgraph(karate, np.asarray([50]))
+
+    def test_duplicate_ids_collapsed(self, karate):
+        sub, ids = induced_subgraph(karate, np.asarray([3, 3, 5]))
+        assert sub.num_vertices == 2
+        assert np.array_equal(ids, [3, 5])
+
+
+class TestClusterSubgraph:
+    def test_extracts_members(self, two_cliques):
+        labels = np.asarray([0, 0, 0, 0, 1, 1, 1, 1])
+        sub, ids = cluster_subgraph(two_cliques, labels, 1)
+        assert np.array_equal(ids, [4, 5, 6, 7])
+        assert sub.num_edges == 6
+
+    def test_missing_cluster(self, two_cliques):
+        with pytest.raises(ValueError):
+            cluster_subgraph(two_cliques, np.zeros(8, dtype=np.int64), 5)
+
+
+class TestLargestComponent:
+    def test_picks_giant(self):
+        g = graph_from_edges([(0, 1), (1, 2), (3, 4)], num_vertices=5)
+        sub, ids = largest_component(g)
+        assert np.array_equal(ids, [0, 1, 2])
+
+    def test_connected_graph_unchanged(self, karate):
+        sub, ids = largest_component(karate)
+        assert sub.num_vertices == 34
+
+
+class TestKCore:
+    def test_two_core_peels_leaves(self):
+        # Triangle with a pendant vertex.
+        g = graph_from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        core, ids = k_core(g, 2)
+        assert np.array_equal(ids, [0, 1, 2])
+        assert core.num_edges == 3
+
+    def test_zero_core_is_everything(self, karate):
+        core, ids = k_core(karate, 0)
+        assert ids.size == 34
+
+    def test_impossible_core_empty(self):
+        g = graph_from_edges([(0, 1)])
+        core, ids = k_core(g, 5)
+        assert ids.size == 0
+
+    def test_cascading_peel(self):
+        # A path: 2-core is empty (endpoints peel, then everything).
+        g = graph_from_edges([(i, i + 1) for i in range(5)])
+        _, ids = k_core(g, 2)
+        assert ids.size == 0
+
+    def test_negative_k(self, karate):
+        with pytest.raises(ValueError):
+            k_core(karate, -1)
+
+    def test_karate_has_4core(self, karate):
+        core, ids = k_core(karate, 4)
+        assert ids.size > 0
+        assert core.degrees().min() >= 4

@@ -1,0 +1,124 @@
+"""Quality against brute-force optima on tiny graphs.
+
+For n <= 9 we can enumerate every partition (Bell numbers stay small) and
+compute the exact LambdaCC optimum.  Louvain is a heuristic with no
+approximation guarantee, but on small instances it should land on (or
+within a whisker of) the optimum — a strong end-to-end quality check for
+the whole move/compress/refine pipeline.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.api import correlation_clustering
+from repro.core.objective import lambdacc_objective
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.csr import CSRGraph
+
+
+def all_partitions(n):
+    """Yield every partition of range(n) as an assignment array.
+
+    Restricted-growth-string enumeration: labels[i] <= max(labels[:i]) + 1.
+    """
+    labels = np.zeros(n, dtype=np.int64)
+
+    def rec(i, max_label):
+        if i == n:
+            yield labels.copy()
+            return
+        for label in range(max_label + 2):
+            labels[i] = label
+            yield from rec(i + 1, max(max_label, label))
+
+    yield from rec(0, -1)
+
+
+def brute_force_optimum(graph: CSRGraph, lam: float) -> float:
+    return max(
+        lambdacc_objective(graph, partition, lam)
+        for partition in all_partitions(graph.num_vertices)
+    )
+
+
+class TestPartitionEnumerator:
+    def test_bell_numbers(self):
+        # B(1..5) = 1, 2, 5, 15, 52.
+        for n, bell in [(1, 1), (2, 2), (3, 5), (4, 15), (5, 52)]:
+            assert sum(1 for _ in all_partitions(n)) == bell
+
+    def test_partitions_are_canonical(self):
+        seen = set()
+        for partition in all_partitions(4):
+            key = tuple(partition.tolist())
+            assert key not in seen
+            seen.add(key)
+            # Restricted growth: first occurrence of each label is in order.
+            assert partition[0] == 0
+
+
+TINY_GRAPHS = {
+    "triangle+pendant": [(0, 1), (1, 2), (0, 2), (2, 3)],
+    "two-triangles": [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+    "path6": [(i, i + 1) for i in range(5)],
+    "star6": [(0, i) for i in range(1, 6)],
+    "cycle7": [(i, (i + 1) % 7) for i in range(7)],
+}
+
+
+class TestLouvainNearOptimal:
+    @pytest.mark.parametrize("name", sorted(TINY_GRAPHS))
+    @pytest.mark.parametrize("lam", [0.1, 0.35, 0.6, 0.85])
+    def test_unweighted(self, name, lam):
+        graph = graph_from_edges(TINY_GRAPHS[name])
+        optimum = brute_force_optimum(graph, lam)
+        achieved = max(
+            lambdacc_objective(
+                graph,
+                correlation_clustering(graph, resolution=lam, seed=seed).assignments,
+                lam,
+            )
+            for seed in range(3)
+        )
+        if optimum <= 0:
+            assert achieved >= optimum - 1e-9
+        else:
+            assert achieved >= 0.9 * optimum - 1e-9, (name, lam, achieved, optimum)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_weighted(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 7
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)
+                 if rng.random() < 0.5]
+        if not edges:
+            edges = [(0, 1)]
+        weights = rng.normal(0.5, 1.0, size=len(edges))
+        graph = graph_from_edges(edges, weights=weights, num_vertices=n)
+        lam = 0.2
+        optimum = brute_force_optimum(graph, lam)
+        achieved = max(
+            lambdacc_objective(
+                graph,
+                correlation_clustering(graph, resolution=lam, seed=s).assignments,
+                lam,
+            )
+            for s in range(4)
+        )
+        # Weighted signed instances are harder; accept 85% of optimum (or
+        # exact non-negativity when the optimum is ~0).
+        if optimum <= 1e-9:
+            assert achieved >= -1e-9
+        else:
+            assert achieved >= 0.85 * optimum - 1e-9, (seed, achieved, optimum)
+
+    def test_sequential_convergence_matches_parallel_on_tiny(self):
+        graph = graph_from_edges(TINY_GRAPHS["two-triangles"])
+        lam = 0.3
+        seq = correlation_clustering(
+            graph, resolution=lam, parallel=False, num_iter=None, seed=0
+        )
+        par = correlation_clustering(graph, resolution=lam, seed=0)
+        assert par.f_objective == pytest.approx(seq.f_objective)

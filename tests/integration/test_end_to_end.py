@@ -1,0 +1,121 @@
+"""End-to-end integration tests across modules, mirroring the paper's
+headline claims at test scale."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import kwikcluster, tectonic_cluster
+from repro.core.api import correlation_clustering, modularity_clustering
+from repro.core.config import Mode
+from repro.core.objective import cc_objective
+from repro.eval import (
+    adjusted_rand_index,
+    average_precision_recall,
+    normalized_mutual_information,
+)
+from repro.generators import knn_graph, load_snap_surrogate
+from repro.generators.pointsets import gaussian_mixture_pointset
+
+
+@pytest.fixture(scope="module")
+def amazon():
+    return load_snap_surrogate("amazon", seed=0, scale=0.5)
+
+
+class TestCommunityRecovery:
+    def test_par_cc_recovers_planted_communities(self, amazon):
+        result = correlation_clustering(amazon.graph, resolution=0.05, seed=1)
+        pr = average_precision_recall(result.assignments, amazon.top_communities())
+        assert pr.precision > 0.7
+        assert pr.recall > 0.6
+
+    def test_cc_beats_modularity_on_ground_truth(self, amazon):
+        """Paper Section 4.3: PAR-CC offers a better precision-recall
+        trade-off than PAR-MOD.  We compare F1 at tuned settings."""
+        cc_scores = []
+        mod_scores = []
+        for lam in (0.03, 0.1, 0.3):
+            r = correlation_clustering(amazon.graph, resolution=lam, seed=0)
+            pr = average_precision_recall(r.assignments, amazon.top_communities())
+            cc_scores.append(pr.f1)
+        for gamma in (0.5, 2.0, 10.0):
+            r = modularity_clustering(amazon.graph, gamma=gamma, seed=0)
+            pr = average_precision_recall(r.assignments, amazon.top_communities())
+            mod_scores.append(pr.f1)
+        assert max(cc_scores) >= max(mod_scores) - 0.05
+
+    def test_par_matches_seq_quality(self, amazon):
+        """Figure 9: PAR-CC matches SEQ-CC^CON's precision/recall."""
+        par = correlation_clustering(amazon.graph, resolution=0.1, seed=0)
+        seq = correlation_clustering(
+            amazon.graph, resolution=0.1, parallel=False, num_iter=None, seed=0
+        )
+        pr_par = average_precision_recall(par.assignments, amazon.top_communities())
+        pr_seq = average_precision_recall(seq.assignments, amazon.top_communities())
+        assert pr_par.f1 >= pr_seq.f1 - 0.1
+
+
+class TestSpeedStories:
+    def test_parallel_simulated_speedup(self, amazon):
+        """Figure 4's shape: PAR-CC beats SEQ-CC in simulated time."""
+        par = correlation_clustering(amazon.graph, resolution=0.1, seed=0)
+        seq = correlation_clustering(
+            amazon.graph, resolution=0.1, parallel=False, seed=0
+        )
+        assert seq.sim_time(1) / par.sim_time(60) > 2.0
+
+    def test_pivot_fast_but_poor(self, amazon):
+        """Appendix C.1's shape: KwikCluster beats PAR-CC on speed but
+        collapses on objective and recall."""
+        labels = kwikcluster(amazon.graph, seed=0)
+        ours = correlation_clustering(amazon.graph, resolution=0.5, seed=0)
+        assert cc_objective(amazon.graph, labels, 0.5) < ours.objective
+        pr_pivot = average_precision_recall(labels, amazon.top_communities())
+        pr_ours = average_precision_recall(ours.assignments, amazon.top_communities())
+        assert pr_ours.f1 >= pr_pivot.f1
+
+    def test_sync_vs_async_objective(self, amazon):
+        """Figure 3's shape at high resolution."""
+        sync = correlation_clustering(
+            amazon.graph, resolution=0.85, mode=Mode.SYNC, seed=0
+        )
+        async_ = correlation_clustering(
+            amazon.graph, resolution=0.85, mode=Mode.ASYNC, seed=0
+        )
+        assert async_.objective > 0
+        assert async_.objective >= sync.objective
+
+
+class TestWeightedPipeline:
+    def test_knn_weighted_clustering(self):
+        """Figures 15-16 pipeline: pointset -> k-NN -> weighted PAR-CC ->
+        ARI/NMI vs labels."""
+        ps = gaussian_mixture_pointset(400, 5, 16, separation=4.0, seed=0)
+        graph = knn_graph(ps.points, k=15)
+        weighted = correlation_clustering(graph, resolution=0.05, seed=0)
+        unweighted = correlation_clustering(
+            graph.with_unit_weights(), resolution=0.05, seed=0
+        )
+        ari_w = adjusted_rand_index(weighted.assignments, ps.labels)
+        nmi_w = normalized_mutual_information(weighted.assignments, ps.labels)
+        assert ari_w > 0.5
+        assert nmi_w > 0.5
+        # The unweighted treatment also works (the paper compares both).
+        assert adjusted_rand_index(unweighted.assignments, ps.labels) > 0.3
+
+
+class TestTectonicComparison:
+    def test_par_cc_at_least_tectonic_on_denser_graph(self):
+        """Figure 10's shape: Tectonic degrades on larger/denser graphs."""
+        lj = load_snap_surrogate("livejournal", seed=0, scale=0.3)
+        best_ours = 0.0
+        for lam in (0.05, 0.15, 0.4):
+            r = correlation_clustering(lj.graph, resolution=lam, seed=0)
+            pr = average_precision_recall(r.assignments, lj.top_communities())
+            best_ours = max(best_ours, pr.f1)
+        best_tectonic = 0.0
+        for theta in (0.05, 0.15, 0.3, 0.6):
+            labels = tectonic_cluster(lj.graph, theta=theta)
+            pr = average_precision_recall(labels, lj.top_communities())
+            best_tectonic = max(best_tectonic, pr.f1)
+        assert best_ours >= best_tectonic - 0.02

@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken one is a broken promise.
+The heavyweight examples are exercised at reduced scope by importing and
+calling their main() in-process (so coverage tools see them too).
+"""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "circuit_solver.py",
+]
+
+SLOW_EXAMPLES = [
+    "community_detection.py",
+    "signed_network.py",
+    "weighted_knn_clustering.py",
+    "scaling_rmat.py",
+    "multiresolution.py",
+    "paper_tour.py",
+]
+
+
+class TestExamplesExist:
+    def test_all_examples_present(self):
+        found = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        for name in FAST_EXAMPLES + SLOW_EXAMPLES:
+            assert name in found, name
+
+    def test_every_example_has_docstring_and_main(self):
+        for path in EXAMPLES_DIR.glob("*.py"):
+            text = path.read_text()
+            assert text.lstrip().startswith('"""'), path.name
+            assert "def main()" in text, path.name
+            assert '__name__ == "__main__"' in text, path.name
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 50  # produced real output
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs_in_subprocess(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert len(result.stdout) > 50

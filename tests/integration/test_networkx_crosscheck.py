@@ -1,0 +1,110 @@
+"""Cross-validation against networkx as an external oracle.
+
+These tests pin our from-scratch implementations to an independent
+library: the modularity *formula* (including the paper's diagonal-free
+convention, which differs from Newman's by an exact constant), Louvain
+clustering quality, triangle counts, and connected components.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.triangles import total_triangles
+from repro.core.api import modularity_clustering
+from repro.core.objective import modularity
+from repro.eval.ari import adjusted_rand_index
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.stats import connected_components
+
+
+def to_networkx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    u, v, w = graph.edge_list()
+    g.add_weighted_edges_from(zip(u.tolist(), v.tolist(), w.tolist()))
+    return g
+
+
+def labels_to_sets(labels):
+    sets = {}
+    for node, label in enumerate(np.asarray(labels).tolist()):
+        sets.setdefault(label, set()).add(node)
+    return list(sets.values())
+
+
+class TestModularityFormula:
+    def test_differs_from_newman_by_exact_constant(self, karate, rng):
+        """Our Q (paper's i != j convention) = Newman's Q + sum(d^2)/(4m^2)."""
+        nx_graph = to_networkx(karate)
+        degrees = karate.degrees().astype(float)
+        m = karate.num_edges
+        constant = float((degrees**2).sum()) / (4.0 * m * m)
+        for _ in range(5):
+            labels = rng.integers(0, 6, size=34)
+            ours = modularity(karate, labels, gamma=1.0)
+            newman = nx.community.modularity(
+                nx_graph, labels_to_sets(labels), resolution=1.0
+            )
+            assert ours == pytest.approx(newman + constant), labels[:5]
+
+    def test_gamma_respected(self, karate, rng):
+        nx_graph = to_networkx(karate)
+        degrees = karate.degrees().astype(float)
+        m = karate.num_edges
+        gamma = 1.7
+        constant = gamma * float((degrees**2).sum()) / (4.0 * m * m)
+        labels = rng.integers(0, 4, size=34)
+        ours = modularity(karate, labels, gamma=gamma)
+        newman = nx.community.modularity(
+            nx_graph, labels_to_sets(labels), resolution=gamma
+        )
+        assert ours == pytest.approx(newman + constant)
+
+
+class TestLouvainQualityParity:
+    def test_par_mod_matches_networkx_louvain(self, small_planted):
+        """Independent Louvain implementations should find clusterings of
+        comparable Newman modularity on a well-structured graph."""
+        g = small_planted.graph
+        nx_graph = to_networkx(g)
+        nx_communities = nx.community.louvain_communities(nx_graph, seed=0)
+        nx_q = nx.community.modularity(nx_graph, nx_communities)
+        ours = modularity_clustering(g, gamma=1.0, seed=0)
+        our_q = nx.community.modularity(
+            nx_graph, labels_to_sets(ours.assignments)
+        )
+        assert our_q == pytest.approx(nx_q, abs=0.03)
+
+    def test_clusterings_agree_on_planted_structure(self, small_planted):
+        g = small_planted.graph
+        nx_graph = to_networkx(g)
+        nx_communities = nx.community.louvain_communities(nx_graph, seed=0)
+        nx_labels = np.zeros(g.num_vertices, dtype=np.int64)
+        for index, community in enumerate(nx_communities):
+            for node in community:
+                nx_labels[node] = index
+        ours = modularity_clustering(g, gamma=1.0, seed=0)
+        assert adjusted_rand_index(ours.assignments, nx_labels) > 0.6
+
+
+class TestSubstrateOracles:
+    def test_triangle_count_matches(self, karate):
+        nx_triangles = sum(nx.triangles(to_networkx(karate)).values()) // 3
+        assert total_triangles(karate) == nx_triangles
+
+    def test_triangles_on_random_graph(self, rng):
+        edges = rng.integers(0, 25, size=(120, 2))
+        g = graph_from_edges(edges[edges[:, 0] != edges[:, 1]], num_vertices=25)
+        nx_triangles = sum(nx.triangles(to_networkx(g)).values()) // 3
+        assert total_triangles(g) == nx_triangles
+
+    def test_connected_components_match(self, rng):
+        edges = rng.integers(0, 60, size=(45, 2))
+        g = graph_from_edges(edges[edges[:, 0] != edges[:, 1]], num_vertices=60)
+        ours = connected_components(g)
+        nx_components = list(nx.connected_components(to_networkx(g)))
+        assert int(ours.max()) + 1 == len(nx_components)
+        for component in nx_components:
+            members = np.asarray(sorted(component))
+            assert np.unique(ours[members]).size == 1

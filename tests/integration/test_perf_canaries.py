@@ -1,0 +1,77 @@
+"""Performance-regression canaries.
+
+Loose bounds on simulated cost per edge and wall-clock for canonical
+workloads.  These catch accidental algorithmic regressions (e.g. a
+frontier bug re-scanning the whole graph every iteration, a compression
+bug quadratic in clusters) without being brittle about constants.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.api import correlation_clustering, modularity_clustering
+from repro.generators.planted import planted_partition_graph
+from repro.generators.rmat import rmat_graph
+
+
+@pytest.fixture(scope="module")
+def medium_graph():
+    return planted_partition_graph(
+        4000, intra_degree=10.0, inter_degree=2.0, seed=0
+    ).graph
+
+
+class TestSimulatedCostBounds:
+    def test_cc_work_linear_in_edges(self, medium_graph):
+        result = correlation_clustering(medium_graph, resolution=0.1, seed=1)
+        ops_per_edge = result.ledger.total_work / medium_graph.num_edges
+        # ~5 ops/edge per scan, bounded iterations and levels: a sane run
+        # stays well under 2000 ops per input edge.
+        assert ops_per_edge < 2000
+
+    def test_mod_work_linear_in_edges(self, medium_graph):
+        result = modularity_clustering(medium_graph, gamma=1.0, seed=1)
+        assert result.ledger.total_work / medium_graph.num_edges < 2000
+
+    def test_depth_much_smaller_than_work(self, medium_graph):
+        result = correlation_clustering(medium_graph, resolution=0.1, seed=1)
+        assert result.ledger.total_depth < result.ledger.total_work / 20
+
+    def test_rounds_bounded(self, medium_graph):
+        result = correlation_clustering(medium_graph, resolution=0.1, seed=1)
+        # num_iter=10 per level pass, a handful of levels, plus refinement.
+        assert result.rounds < 120
+
+
+class TestWallClockBudget:
+    def test_medium_cc_under_budget(self, medium_graph):
+        start = time.perf_counter()
+        correlation_clustering(medium_graph, resolution=0.1, seed=1)
+        assert time.perf_counter() - start < 10.0
+
+    def test_rmat_sparse_under_budget(self):
+        graph = rmat_graph(13, 5 * 2**13, seed=0)
+        start = time.perf_counter()
+        correlation_clustering(graph, resolution=0.01, seed=1)
+        assert time.perf_counter() - start < 15.0
+
+    def test_sequential_medium_under_budget(self, medium_graph):
+        start = time.perf_counter()
+        correlation_clustering(
+            medium_graph, resolution=0.1, parallel=False, seed=1
+        )
+        assert time.perf_counter() - start < 30.0
+
+
+class TestScalingSanity:
+    def test_work_scales_with_edges(self):
+        """4x the edges should cost no more than ~10x the simulated work."""
+        small = rmat_graph(10, 5 * 2**10, seed=1)
+        large = rmat_graph(12, 5 * 2**12, seed=1)
+        w_small = correlation_clustering(small, resolution=0.1, seed=1).ledger.total_work
+        w_large = correlation_clustering(large, resolution=0.1, seed=1).ledger.total_work
+        ratio = w_large / w_small
+        edge_ratio = large.num_edges / small.num_edges
+        assert ratio < 3 * edge_ratio

@@ -1,0 +1,77 @@
+"""Correlation clustering on signed graphs.
+
+The LambdaCC objective natively handles negative edge weights
+(dissimilarity); at lambda -> 0 this is classic correlation clustering:
+cluster friends together, keep enemies apart.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import correlation_clustering
+from repro.core.objective import lambdacc_objective
+from repro.graphs.builders import graph_from_edges
+
+
+def signed_two_camps():
+    """Two friendly camps {0,1,2} and {3,4,5} with hostile cross edges."""
+    edges, weights = [], []
+    for camp in ((0, 1, 2), (3, 4, 5)):
+        for i in range(3):
+            for j in range(i + 1, 3):
+                edges.append((camp[i], camp[j]))
+                weights.append(1.0)
+    for u in (0, 1, 2):
+        for v in (3, 4, 5):
+            edges.append((u, v))
+            weights.append(-1.0)
+    return graph_from_edges(edges, weights=np.asarray(weights))
+
+
+class TestSignedClustering:
+    def test_camps_separated(self):
+        g = signed_two_camps()
+        result = correlation_clustering(g, resolution=0.0, seed=1)
+        labels = result.assignments
+        assert len(np.unique(labels[:3])) == 1
+        assert len(np.unique(labels[3:])) == 1
+        assert labels[0] != labels[3]
+
+    def test_optimal_objective_attained(self):
+        g = signed_two_camps()
+        result = correlation_clustering(g, resolution=0.0, seed=1)
+        # Perfect 2-clustering keeps all 6 positive edges, no negatives: F=6.
+        assert result.f_objective == pytest.approx(6.0)
+
+    def test_all_negative_graph_stays_singleton(self):
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        g = graph_from_edges(edges, weights=np.full(len(edges), -1.0))
+        result = correlation_clustering(g, resolution=0.0, seed=1)
+        assert result.num_clusters == 5
+        assert result.objective == 0.0
+
+    def test_sequential_agrees_on_camps(self):
+        g = signed_two_camps()
+        par = correlation_clustering(g, resolution=0.0, seed=1)
+        seq = correlation_clustering(g, resolution=0.0, parallel=False, seed=1)
+        assert par.f_objective == pytest.approx(seq.f_objective)
+
+    def test_hostile_bridge_not_crossed(self):
+        """A strongly negative edge overrides a weakly positive path."""
+        g = graph_from_edges(
+            [(0, 1), (1, 2), (0, 2)], weights=np.asarray([1.0, 1.0, -5.0])
+        )
+        result = correlation_clustering(g, resolution=0.0, seed=1)
+        # Best: {0,1},{2} or {1,2},{0} with F=1; never all three (F=-3).
+        assert result.f_objective == pytest.approx(1.0)
+        assert result.num_clusters == 2
+
+    def test_objective_matches_recomputation_with_negatives(self, rng):
+        edges = rng.integers(0, 30, size=(100, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        weights = rng.normal(size=edges.shape[0])
+        g = graph_from_edges(edges, weights=weights, num_vertices=30)
+        result = correlation_clustering(g, resolution=0.1, seed=2)
+        assert result.f_objective == pytest.approx(
+            lambdacc_objective(g, result.assignments, 0.1)
+        )

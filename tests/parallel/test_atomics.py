@@ -1,0 +1,53 @@
+import numpy as np
+import pytest
+
+from repro.parallel.atomics import atomic_add_window, contention_profile
+from repro.parallel.scheduler import SimulatedScheduler
+
+
+class TestContentionProfile:
+    def test_empty(self):
+        queues, max_q = contention_profile(np.asarray([], dtype=np.int64))
+        assert queues.size == 0
+        assert max_q == 0
+
+    def test_distinct_targets(self):
+        queues, max_q = contention_profile(np.asarray([1, 2, 3]))
+        assert np.array_equal(np.sort(queues), [1, 1, 1])
+        assert max_q == 1
+
+    def test_hot_target(self):
+        queues, max_q = contention_profile(np.asarray([7, 7, 7, 7, 2]))
+        assert max_q == 4
+        assert queues.sum() == 5
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            contention_profile(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestAtomicAddWindow:
+    def test_values_exact(self):
+        values = np.zeros(4)
+        atomic_add_window(values, np.asarray([1, 1, 3]), np.asarray([2.0, 3.0, 1.0]))
+        assert np.allclose(values, [0, 5, 0, 1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            atomic_add_window(np.zeros(4), np.asarray([1]), np.asarray([1.0, 2.0]))
+
+    def test_contention_charged(self):
+        sched = SimulatedScheduler(num_workers=8)
+        values = np.zeros(4)
+        atomic_add_window(
+            values, np.asarray([0, 0, 0]), np.asarray([1.0, 1.0, 1.0]), sched=sched
+        )
+        assert sched.ledger.total_serial > 0
+
+    def test_no_contention_no_serial(self):
+        sched = SimulatedScheduler(num_workers=8)
+        values = np.zeros(4)
+        atomic_add_window(
+            values, np.asarray([0, 1, 2]), np.asarray([1.0, 1.0, 1.0]), sched=sched
+        )
+        assert sched.ledger.total_serial == 0

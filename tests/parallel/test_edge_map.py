@@ -1,0 +1,52 @@
+import numpy as np
+
+from repro.graphs.builders import graph_from_edges
+from repro.parallel.edge_map import edge_map
+from repro.parallel.scheduler import SimulatedScheduler
+from repro.parallel.vertex_subset import VertexSubset
+
+
+def path_graph(n):
+    return graph_from_edges([(i, i + 1) for i in range(n - 1)])
+
+
+class TestEdgeMap:
+    def test_neighbors_of_single_vertex(self):
+        g = path_graph(5)
+        out = edge_map(g, VertexSubset.from_ids(5, np.asarray([2])))
+        assert np.array_equal(out.ids(), [1, 3])
+
+    def test_neighbors_of_empty_frontier(self):
+        g = path_graph(5)
+        out = edge_map(g, VertexSubset.empty(5))
+        assert len(out) == 0
+
+    def test_full_frontier_dense_path(self):
+        g = path_graph(50)
+        sched = SimulatedScheduler(num_workers=8)
+        out = edge_map(g, VertexSubset.full(50), sched=sched)
+        assert len(out) == 50  # every vertex has a neighbor in the frontier
+        labels = sched.ledger.work_by_label()
+        assert any("dense" in k for k in labels)
+
+    def test_sparse_path_charged(self):
+        g = path_graph(200)
+        sched = SimulatedScheduler(num_workers=8)
+        edge_map(g, VertexSubset.from_ids(200, np.asarray([0])), sched=sched)
+        labels = sched.ledger.work_by_label()
+        assert any("sparse" in k for k in labels)
+
+    def test_sparse_and_dense_agree(self, rng):
+        g = graph_from_edges(rng.integers(0, 40, size=(120, 2)), num_vertices=40)
+        ids = rng.choice(40, size=6, replace=False)
+        sparse = edge_map(g, VertexSubset.from_ids(40, ids))
+        # Force the dense direction with a full-mask frontier of just ids.
+        mask = np.zeros(40, dtype=bool)
+        mask[ids] = True
+        dense = edge_map(g, VertexSubset(40, mask=mask))
+        assert np.array_equal(sparse.ids(), dense.ids())
+
+    def test_isolated_vertices_excluded(self):
+        g = graph_from_edges([(0, 1)], num_vertices=4)
+        out = edge_map(g, VertexSubset.from_ids(4, np.asarray([3])))
+        assert len(out) == 0

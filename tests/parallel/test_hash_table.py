@@ -1,0 +1,61 @@
+import numpy as np
+import pytest
+
+from repro.parallel.hash_table import (
+    DEGREE_THRESHOLD,
+    aggregate_by_key,
+    choose_parallel_kernel,
+)
+from repro.parallel.scheduler import SimulatedScheduler
+
+
+class TestAggregateByKey:
+    def test_sums(self):
+        uk, sums = aggregate_by_key(
+            np.asarray([2, 2, 7]), np.asarray([1.0, 2.5, 4.0])
+        )
+        assert np.array_equal(uk, [2, 7])
+        assert np.allclose(sums, [3.5, 4.0])
+
+    def test_empty(self):
+        uk, sums = aggregate_by_key(np.zeros(0, dtype=np.int64), np.zeros(0))
+        assert uk.size == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            aggregate_by_key(np.asarray([1, 2]), np.asarray([1.0]))
+
+    def test_parallel_and_sequential_agree(self, rng):
+        keys = rng.integers(0, 20, size=500)
+        weights = rng.random(500)
+        uk1, s1 = aggregate_by_key(keys, weights, parallel=False)
+        uk2, s2 = aggregate_by_key(keys, weights, parallel=True)
+        assert np.array_equal(uk1, uk2)
+        assert np.allclose(s1, s2)
+
+    def test_sequential_kernel_depth_is_linear(self):
+        sched = SimulatedScheduler(num_workers=8)
+        aggregate_by_key(np.arange(100, dtype=np.int64), np.ones(100), sched, parallel=False)
+        assert sched.ledger.total_depth == 100
+
+    def test_parallel_kernel_depth_is_logarithmic(self):
+        sched = SimulatedScheduler(num_workers=8)
+        aggregate_by_key(np.arange(1024, dtype=np.int64), np.ones(1024), sched, parallel=True)
+        assert sched.ledger.total_depth == pytest.approx(20.0)
+
+    def test_parallel_kernel_charges_more_work(self):
+        seq = SimulatedScheduler(num_workers=8)
+        par = SimulatedScheduler(num_workers=8)
+        keys = np.arange(256, dtype=np.int64)
+        aggregate_by_key(keys, np.ones(256), seq, parallel=False)
+        aggregate_by_key(keys, np.ones(256), par, parallel=True)
+        assert par.ledger.total_work > seq.ledger.total_work
+
+
+class TestKernelChoice:
+    def test_threshold(self):
+        assert not choose_parallel_kernel(DEGREE_THRESHOLD)
+        assert choose_parallel_kernel(DEGREE_THRESHOLD + 1)
+
+    def test_custom_threshold(self):
+        assert choose_parallel_kernel(10, threshold=5)

@@ -1,0 +1,37 @@
+"""Tests for the ledger's profiling view."""
+
+from repro.parallel.scheduler import CostLedger
+
+
+class TestProfile:
+    def test_ranked_by_work(self):
+        ledger = CostLedger()
+        ledger.charge(10, 1, "small")
+        ledger.charge(100, 1, "big")
+        ledger.charge(50, 1, "mid")
+        profile = ledger.profile()
+        assert [label for label, _w, _s in profile] == ["big", "mid", "small"]
+
+    def test_shares_sum_to_one(self):
+        ledger = CostLedger()
+        ledger.charge(60, 1, "a")
+        ledger.charge(40, 1, "b")
+        shares = [share for _l, _w, share in ledger.profile()]
+        assert abs(sum(shares) - 1.0) < 1e-12
+
+    def test_top_limits(self):
+        ledger = CostLedger()
+        for i in range(20):
+            ledger.charge(i + 1, 1, f"region-{i}")
+        assert len(ledger.profile(top=5)) == 5
+
+    def test_empty_ledger(self):
+        assert CostLedger().profile() == []
+
+    def test_clustering_profile_dominated_by_best_moves(self, karate):
+        from repro.core.api import correlation_clustering
+
+        result = correlation_clustering(karate, resolution=0.1, seed=1)
+        profile = result.ledger.profile(top=3)
+        assert profile[0][0].startswith("best-moves")
+        assert profile[0][2] > 0.3

@@ -1,0 +1,146 @@
+import pytest
+
+from repro.errors import SchedulerError
+from repro.parallel.scheduler import (
+    CostLedger,
+    Machine,
+    OPS_PER_SECOND,
+    SimulatedScheduler,
+)
+
+
+class TestMachine:
+    def test_paper_machines(self):
+        c2 = Machine.c2_standard_60()
+        m1 = Machine.m1_megamem_96()
+        assert c2.max_workers == 60
+        assert m1.max_workers == 96
+
+    def test_effective_parallelism_linear_up_to_cores(self):
+        m = Machine(cores=30, smt=2)
+        assert m.effective_parallelism(1) == 1
+        assert m.effective_parallelism(30) == 30
+
+    def test_hyperthread_knee(self):
+        m = Machine(cores=30, smt=2, smt_yield=0.35)
+        # Beyond the physical cores each extra thread adds only smt_yield.
+        assert m.effective_parallelism(60) == pytest.approx(30 + 0.35 * 30)
+        # And the marginal gain drops at the knee.
+        gain_below = m.effective_parallelism(30) - m.effective_parallelism(29)
+        gain_above = m.effective_parallelism(31) - m.effective_parallelism(30)
+        assert gain_above < gain_below
+
+    def test_workers_capped_at_hardware(self):
+        m = Machine(cores=4, smt=2)
+        assert m.effective_parallelism(100) == m.effective_parallelism(8)
+
+    def test_invalid_workers(self):
+        with pytest.raises(SchedulerError):
+            Machine(cores=4).effective_parallelism(0)
+
+    def test_invalid_machine(self):
+        with pytest.raises(SchedulerError):
+            Machine(cores=0)
+
+
+class TestCostLedger:
+    def test_totals_accumulate(self):
+        ledger = CostLedger()
+        ledger.charge(100, 5, "a")
+        ledger.charge(50, 2, "b", serial=7)
+        assert ledger.total_work == 150
+        assert ledger.total_depth == 7
+        assert ledger.total_serial == 7
+        assert ledger.num_regions == 2
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(SchedulerError):
+            CostLedger().charge(-1, 0)
+
+    def test_sequential_time_is_pure_work(self):
+        ledger = CostLedger()
+        ledger.charge(1000, 100, serial=50)
+        assert ledger.simulated_time(1) == pytest.approx(1050 / OPS_PER_SECOND)
+
+    def test_parallel_time_brent_bound(self):
+        ledger = CostLedger()
+        ledger.charge(work=6000, depth=0, serial=0)
+        machine = Machine(cores=30, smt=2)
+        t6 = ledger.simulated_time(6, machine=machine, tau=0)
+        t30 = ledger.simulated_time(30, machine=machine, tau=0)
+        assert t6 == pytest.approx(5 * t30)
+
+    def test_more_workers_never_slower(self):
+        ledger = CostLedger()
+        ledger.charge(work=1e6, depth=100, serial=500)
+        machine = Machine(cores=30, smt=2)
+        times = [ledger.simulated_time(p, machine=machine) for p in (2, 4, 8, 16, 30, 60)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_serial_term_limits_speedup(self):
+        # With costs dominated by the serial term, P=60 gains little.
+        ledger = CostLedger()
+        ledger.charge(work=1000, depth=1, serial=100000)
+        machine = Machine(cores=30, smt=2)
+        speedup = ledger.simulated_time(2, machine=machine) / ledger.simulated_time(
+            60, machine=machine
+        )
+        assert speedup < 1.2
+
+    def test_work_by_label(self):
+        ledger = CostLedger()
+        ledger.charge(10, 1, "x")
+        ledger.charge(15, 1, "x")
+        ledger.charge(2, 1, "y")
+        assert ledger.work_by_label() == {"x": 25.0, "y": 2.0}
+
+    def test_merge(self):
+        a, b = CostLedger(), CostLedger()
+        a.charge(10, 1)
+        b.charge(20, 2, serial=3)
+        a.merge(b)
+        assert a.total_work == 30
+        assert a.total_serial == 3
+
+    def test_snapshot(self):
+        ledger = CostLedger()
+        ledger.charge(5, 1)
+        snap = ledger.snapshot()
+        assert snap["work"] == 5.0
+
+
+class TestSimulatedScheduler:
+    def test_charges_reach_ledger(self):
+        sched = SimulatedScheduler(num_workers=8)
+        sched.charge(100, 3, "region")
+        assert sched.ledger.total_work == 100
+
+    def test_cas_contention_charges(self):
+        sched = SimulatedScheduler(num_workers=8)
+        sched.charge_cas_contention([5, 1, 3])
+        # 4 + 0 + 2 retries of work; max queue 5 serialized.
+        assert sched.ledger.total_work > 0
+        assert sched.ledger.total_serial > 0
+
+    def test_cas_no_contention_is_free(self):
+        sched = SimulatedScheduler(num_workers=8)
+        sched.charge_cas_contention([1, 1, 1])
+        assert sched.ledger.num_regions == 0
+
+    def test_fork_and_absorb(self):
+        parent = SimulatedScheduler(num_workers=8)
+        child = parent.fork()
+        child.charge(40, 2)
+        parent.absorb(child)
+        assert parent.ledger.total_work == 40
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(SchedulerError):
+            SimulatedScheduler(num_workers=0)
+
+    def test_simulated_time_default_workers(self):
+        sched = SimulatedScheduler(num_workers=4)
+        sched.charge(4000, 0)
+        assert sched.simulated_time() == pytest.approx(
+            sched.ledger.simulated_time(4, machine=sched.machine, tau=sched.tau)
+        )

@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.eval.ari import adjusted_rand_index
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.stats import connected_components
+from repro.parallel.union_find import UnionFind, connected_components_uf
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        uf = UnionFind(5)
+        assert uf.num_components == 5
+        assert not uf.connected(0, 1)
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert uf.num_components == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.num_components == 2
+
+    def test_transitivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+
+    def test_component_labels_dense(self):
+        uf = UnionFind(5)
+        uf.union(0, 4)
+        uf.union(1, 2)
+        labels = uf.component_labels()
+        assert labels[0] == labels[4]
+        assert labels[1] == labels[2]
+        assert len(set(labels.tolist())) == 3
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_path_compression_flattens(self):
+        uf = UnionFind(100)
+        for i in range(99):
+            uf.union(i, i + 1)
+        uf.find(0)
+        # After compression, 0's parent chain is at most a couple of hops.
+        hops = 0
+        x = 0
+        while uf.parent[x] != x:
+            x = int(uf.parent[x])
+            hops += 1
+        assert hops <= 2
+
+
+class TestCrossCheck:
+    def test_matches_label_propagation_components(self, rng):
+        """Union-find and the vectorized connectivity agree on random
+        graphs (each validates the other)."""
+        for trial in range(5):
+            edges = rng.integers(0, 50, size=(40, 2))
+            g = graph_from_edges(
+                edges[edges[:, 0] != edges[:, 1]], num_vertices=50
+            )
+            a = connected_components(g)
+            b = connected_components_uf(g)
+            assert adjusted_rand_index(a, b) == 1.0
+
+    def test_karate_single_component(self, karate):
+        assert np.all(connected_components_uf(karate) == 0)

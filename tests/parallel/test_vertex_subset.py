@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.parallel.vertex_subset import VertexSubset, should_densify
+
+
+class TestConstruction:
+    def test_requires_exactly_one_representation(self):
+        with pytest.raises(ValueError):
+            VertexSubset(4)
+        with pytest.raises(ValueError):
+            VertexSubset(4, ids=np.asarray([0]), mask=np.zeros(4, dtype=bool))
+
+    def test_out_of_range_ids(self):
+        with pytest.raises(ValueError):
+            VertexSubset(4, ids=np.asarray([4]))
+
+    def test_mask_shape(self):
+        with pytest.raises(ValueError):
+            VertexSubset(4, mask=np.zeros(3, dtype=bool))
+
+
+class TestBasics:
+    def test_empty_and_full(self):
+        assert len(VertexSubset.empty(10)) == 0
+        assert len(VertexSubset.full(10)) == 10
+
+    def test_from_ids_dedups_and_sorts(self):
+        s = VertexSubset.from_ids(10, np.asarray([3, 1, 3, 7]))
+        assert np.array_equal(s.ids(), [1, 3, 7])
+
+    def test_contains(self):
+        s = VertexSubset.from_ids(10, np.asarray([2, 5]))
+        assert 2 in s and 5 in s and 3 not in s
+
+    def test_dense_contains(self):
+        s = VertexSubset.full(4)
+        assert 3 in s
+
+    def test_mask_roundtrip(self):
+        s = VertexSubset.from_ids(6, np.asarray([0, 4]))
+        assert np.array_equal(np.flatnonzero(s.mask()), [0, 4])
+
+    def test_ids_from_dense(self):
+        mask = np.zeros(5, dtype=bool)
+        mask[[1, 3]] = True
+        s = VertexSubset(5, mask=mask)
+        assert np.array_equal(s.ids(), [1, 3])
+
+
+class TestUnion:
+    def test_sparse_union(self):
+        a = VertexSubset.from_ids(10, np.asarray([1, 2]))
+        b = VertexSubset.from_ids(10, np.asarray([2, 3]))
+        assert np.array_equal(a.union(b).ids(), [1, 2, 3])
+
+    def test_dense_union(self):
+        a = VertexSubset.full(4)
+        b = VertexSubset.from_ids(4, np.asarray([0]))
+        assert len(a.union(b)) == 4
+
+    def test_mismatched_n(self):
+        with pytest.raises(ValueError):
+            VertexSubset.empty(3).union(VertexSubset.empty(4))
+
+
+class TestDensify:
+    def test_small_frontier_stays_sparse(self):
+        assert not should_densify(1, 10, 10000)
+
+    def test_large_frontier_goes_dense(self):
+        assert should_densify(600, 600, 10000)

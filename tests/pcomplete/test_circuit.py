@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.pcomplete.circuit import Gate, GateKind, MonotoneCircuit, random_circuit
+
+
+class TestConstruction:
+    def test_valid(self):
+        c = MonotoneCircuit(2, [Gate(GateKind.AND, 0, 1)])
+        assert c.num_nodes == 3
+        assert c.output_node == 2
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(CircuitError):
+            MonotoneCircuit(0, [Gate(GateKind.AND, 0, 0)])
+
+    def test_no_gates_rejected(self):
+        with pytest.raises(CircuitError):
+            MonotoneCircuit(2, [])
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(CircuitError):
+            MonotoneCircuit(1, [Gate(GateKind.OR, 0, 1)])  # gate reads itself
+
+    def test_cross_reference_rejected(self):
+        with pytest.raises(CircuitError):
+            MonotoneCircuit(1, [Gate(GateKind.OR, 0, 2)])
+
+
+class TestEvaluation:
+    def test_and_gate(self):
+        c = MonotoneCircuit(2, [Gate(GateKind.AND, 0, 1)])
+        assert c.output([True, True])
+        assert not c.output([True, False])
+
+    def test_or_gate(self):
+        c = MonotoneCircuit(2, [Gate(GateKind.OR, 0, 1)])
+        assert c.output([False, True])
+        assert not c.output([False, False])
+
+    def test_layered_circuit(self):
+        # (x0 AND x1) OR (x1 AND x2)
+        c = MonotoneCircuit(
+            3,
+            [
+                Gate(GateKind.AND, 0, 1),
+                Gate(GateKind.AND, 1, 2),
+                Gate(GateKind.OR, 3, 4),
+            ],
+        )
+        assert c.output([True, True, False])
+        assert c.output([False, True, True])
+        assert not c.output([True, False, True])
+
+    def test_monotonicity(self, rng):
+        """Flipping any input from 0 to 1 never flips the output 1 -> 0."""
+        c = random_circuit(5, 12, seed=3)
+        for _ in range(20):
+            bits = (rng.random(5) < 0.5).tolist()
+            base = c.output(bits)
+            for i in range(5):
+                if not bits[i]:
+                    raised = list(bits)
+                    raised[i] = True
+                    assert c.output(raised) >= base
+
+    def test_wrong_input_arity(self):
+        c = MonotoneCircuit(2, [Gate(GateKind.AND, 0, 1)])
+        with pytest.raises(CircuitError):
+            c.output([True])
+
+    def test_evaluate_all_nodes(self):
+        c = MonotoneCircuit(2, [Gate(GateKind.OR, 0, 1)])
+        values = c.evaluate([True, False])
+        assert np.array_equal(values, [True, False, True])
+
+
+class TestRandomCircuit:
+    def test_deterministic(self):
+        a = random_circuit(3, 5, seed=1)
+        b = random_circuit(3, 5, seed=1)
+        assert [(g.kind, g.in1, g.in2) for g in a.gates] == [
+            (g.kind, g.in1, g.in2) for g in b.gates
+        ]
+
+    def test_sizes(self):
+        c = random_circuit(4, 7, seed=0)
+        assert c.num_inputs == 4
+        assert c.num_gates == 7

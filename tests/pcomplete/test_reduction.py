@@ -1,0 +1,116 @@
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.pcomplete.circuit import Gate, GateKind, MonotoneCircuit, random_circuit
+from repro.pcomplete.reduction import reduce_circuit
+
+
+@pytest.fixture
+def and_circuit():
+    return MonotoneCircuit(2, [Gate(GateKind.AND, 0, 1)])
+
+
+class TestLayout:
+    def test_vertex_counts(self, and_circuit):
+        red = reduce_circuit(and_circuit, [True, False])
+        # t, f, 2 literals, 2 negations, 1 gate, 1 helper.
+        assert red.graph.num_vertices == 8
+
+    def test_node_vertex_mapping(self, and_circuit):
+        red = reduce_circuit(and_circuit, [True, False])
+        assert red.node_vertex(0) == red.literal_vertices[0]
+        assert red.node_vertex(2) == red.gate_vertices[0]
+
+
+class TestEdgeStructure:
+    def test_tf_edge_large_negative(self, and_circuit):
+        red = reduce_circuit(and_circuit, [True, True])
+        g = red.graph
+        nbrs, wts = g.neighborhood(red.t_vertex)
+        tf = wts[nbrs == red.f_vertex]
+        assert tf.size == 1
+        assert tf[0] < 0
+        assert abs(tf[0]) > 10 * 1.0  # dominates all gate mass
+
+    def test_literal_anchor_edges(self, and_circuit):
+        red = reduce_circuit(and_circuit, [True, False])
+        g = red.graph
+        # x0 (true) anchors to t; its negation anchors to f.
+        nbrs, wts = g.neighborhood(int(red.literal_vertices[0]))
+        assert red.t_vertex in nbrs
+        nbrs_neg, _ = g.neighborhood(int(red.negation_vertices[0]))
+        assert red.f_vertex in nbrs_neg
+
+    def test_and_gate_prefers_f_terminal(self, and_circuit):
+        red = reduce_circuit(and_circuit, [True, True])
+        g = red.graph
+        gate = int(red.gate_vertices[0])
+        nbrs, wts = g.neighborhood(gate)
+        to_t = wts[nbrs == red.t_vertex][0]
+        to_f = wts[nbrs == red.f_vertex][0]
+        # AND gates have the heavier edge toward f.
+        assert to_f > to_t
+
+    def test_or_gate_prefers_t_terminal(self):
+        c = MonotoneCircuit(2, [Gate(GateKind.OR, 0, 1)])
+        red = reduce_circuit(c, [False, False])
+        g = red.graph
+        gate = int(red.gate_vertices[0])
+        nbrs, wts = g.neighborhood(gate)
+        assert wts[nbrs == red.t_vertex][0] > wts[nbrs == red.f_vertex][0]
+
+    def test_helper_edge_weight(self, and_circuit):
+        red = reduce_circuit(and_circuit, [True, True])
+        g = red.graph
+        gate = int(red.gate_vertices[0])
+        helper = int(red.helper_vertices[0])
+        nbrs, wts = g.neighborhood(gate)
+        w_helper = wts[nbrs == helper][0]
+        assert w_helper == pytest.approx((2 + 2 / 3 * red.epsilon) * 1.0)
+
+
+class TestInvariants:
+    def test_out_edge_budget(self):
+        """The proof's requirement: for every gate, the total weight of its
+        edges toward consumer gates is below eps/6 of its own weight."""
+        circuit = random_circuit(5, 15, seed=2)
+        red = reduce_circuit(circuit, [True] * 5)
+        g = red.graph
+        eps = red.epsilon
+        # Reconstruct gate weights from input edges.
+        for gi, gate in enumerate(circuit.gates):
+            gate_vertex = int(red.gate_vertices[gi])
+            nbrs, wts = g.neighborhood(gate_vertex)
+            in1 = red.node_vertex(gate.in1)
+            w_gate = float(wts[nbrs == in1].min())
+            consumer_vertices = {
+                int(red.gate_vertices[cj])
+                for cj, cg in enumerate(circuit.gates)
+                if circuit.num_inputs + gi in (cg.in1, cg.in2)
+            }
+            consumer_mass = float(
+                sum(w for n, w in zip(nbrs, wts) if int(n) in consumer_vertices)
+            )
+            assert consumer_mass < eps / 6 * w_gate + 1e-12
+
+    def test_smallest_gate_weight_rescaled_to_one(self):
+        circuit = random_circuit(4, 10, seed=0)
+        red = reduce_circuit(circuit, [False] * 4)
+        g = red.graph
+        gate_in_weights = []
+        for gi, gate in enumerate(circuit.gates):
+            nbrs, wts = g.neighborhood(int(red.gate_vertices[gi]))
+            in1 = red.node_vertex(gate.in1)
+            gate_in_weights.append(float(wts[nbrs == in1].min()))
+        assert min(gate_in_weights) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_bad_epsilon(self, and_circuit):
+        with pytest.raises(CircuitError):
+            reduce_circuit(and_circuit, [True, True], epsilon=0.9)
+
+    def test_bad_assignment_shape(self, and_circuit):
+        with pytest.raises(CircuitError):
+            reduce_circuit(and_circuit, [True])

@@ -1,0 +1,89 @@
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.pcomplete.circuit import Gate, GateKind, MonotoneCircuit, random_circuit
+from repro.pcomplete.reduction import reduce_circuit
+from repro.pcomplete.solver import (
+    louvain_clustering_of_reduction,
+    solve_circuit_via_louvain,
+)
+
+
+class TestExhaustiveSmallCircuits:
+    @pytest.mark.parametrize("kind", [GateKind.AND, GateKind.OR])
+    def test_single_gate_all_inputs(self, kind):
+        c = MonotoneCircuit(2, [Gate(kind, 0, 1)])
+        for bits in itertools.product([False, True], repeat=2):
+            expected = c.output(list(bits))
+            assert solve_circuit_via_louvain(c, list(bits), seed=0) == expected
+
+    def test_and_or_composition(self):
+        # (x0 AND x1) OR x2 — the classic mixed case.
+        c = MonotoneCircuit(3, [Gate(GateKind.AND, 0, 1), Gate(GateKind.OR, 3, 2)])
+        for bits in itertools.product([False, True], repeat=3):
+            expected = (bits[0] and bits[1]) or bits[2]
+            assert solve_circuit_via_louvain(c, list(bits), seed=1) == expected
+
+    def test_deep_chain(self):
+        # x0 AND x1 AND x2 AND x3 as a chain of ANDs.
+        gates = [Gate(GateKind.AND, 0, 1)]
+        for i in (2, 3):
+            gates.append(Gate(GateKind.AND, 4 + (i - 2), i))
+        c = MonotoneCircuit(4, gates)
+        assert solve_circuit_via_louvain(c, [True] * 4, seed=0)
+        assert not solve_circuit_via_louvain(c, [True, True, False, True], seed=0)
+
+
+class TestRandomCircuits:
+    @pytest.mark.parametrize("trial", range(12))
+    def test_matches_direct_evaluation(self, trial):
+        rng = np.random.default_rng(trial)
+        circuit = random_circuit(4, 9, seed=trial)
+        bits = (rng.random(4) < 0.5).tolist()
+        assert solve_circuit_via_louvain(circuit, bits, seed=trial) == circuit.output(
+            bits
+        )
+
+    def test_robust_to_move_order(self):
+        circuit = random_circuit(4, 8, seed=99)
+        bits = [True, False, True, False]
+        expected = circuit.output(bits)
+        for seed in range(6):
+            assert solve_circuit_via_louvain(circuit, bits, seed=seed) == expected
+
+
+class TestClusteringInvariants:
+    def test_terminals_separate(self):
+        circuit = random_circuit(3, 6, seed=5)
+        red = reduce_circuit(circuit, [True, False, True])
+        clusters = louvain_clustering_of_reduction(red, seed=0)
+        assert clusters[red.t_vertex] != clusters[red.f_vertex]
+
+    def test_literals_with_their_terminals(self):
+        circuit = random_circuit(3, 6, seed=5)
+        assignment = [True, False, True]
+        red = reduce_circuit(circuit, assignment)
+        clusters = louvain_clustering_of_reduction(red, seed=0)
+        for i, value in enumerate(assignment):
+            lit = clusters[red.literal_vertices[i]]
+            neg = clusters[red.negation_vertices[i]]
+            terminal = clusters[red.t_vertex if value else red.f_vertex]
+            other = clusters[red.f_vertex if value else red.t_vertex]
+            assert lit == terminal
+            assert neg == other
+
+    def test_every_gate_resolves_to_its_value(self):
+        """The constructive statement of Theorem D.1: each gate clusters
+        with the terminal matching its truth value."""
+        circuit = random_circuit(4, 10, seed=11)
+        bits = [False, True, True, False]
+        values = circuit.evaluate(bits)
+        red = reduce_circuit(circuit, bits)
+        clusters = louvain_clustering_of_reduction(red, seed=3)
+        t_c = clusters[red.t_vertex]
+        f_c = clusters[red.f_vertex]
+        for gi in range(circuit.num_gates):
+            expected = t_c if values[circuit.num_inputs + gi] else f_c
+            assert clusters[red.gate_vertices[gi]] == expected, gi

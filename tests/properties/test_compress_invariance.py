@@ -1,0 +1,92 @@
+"""Property test for the key multilevel invariant: compression preserves
+the LambdaCC objective exactly (including node_weight_sq bookkeeping)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objective import lambdacc_objective
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.quotient import compress_graph
+
+
+@st.composite
+def weighted_graph_and_two_clusterings(draw):
+    n = draw(st.integers(min_value=2, max_value=16))
+    num_edges = draw(st.integers(min_value=1, max_value=30))
+    edges = []
+    weights = []
+    for _ in range(num_edges):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.append((u, v))
+            weights.append(draw(st.floats(min_value=-3.0, max_value=3.0)))
+    node_weights = np.asarray(
+        draw(
+            st.lists(
+                st.floats(min_value=0.1, max_value=4.0), min_size=n, max_size=n
+            )
+        )
+    )
+    graph = graph_from_edges(
+        np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+        weights=np.asarray(weights) if weights else None,
+        num_vertices=n,
+        node_weights=node_weights,
+    )
+    first = np.asarray(
+        draw(st.lists(st.integers(0, n - 1), min_size=n, max_size=n)),
+        dtype=np.int64,
+    )
+    return graph, first
+
+
+class TestCompressInvariance:
+    @given(
+        weighted_graph_and_two_clusterings(),
+        st.floats(min_value=0.0, max_value=0.95),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_identity_clustering_on_quotient(self, data, lam):
+        graph, clustering = data
+        before = lambdacc_objective(graph, clustering, lam)
+        compressed, _ = compress_graph(graph, clustering)
+        after = lambdacc_objective(
+            compressed, np.arange(compressed.num_vertices), lam
+        )
+        assert np.isclose(after, before), (before, after)
+
+    @given(
+        weighted_graph_and_two_clusterings(),
+        st.floats(min_value=0.0, max_value=0.95),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_flattened_second_level(self, data, lam):
+        """Cluster the quotient arbitrarily; flattening must preserve F."""
+        graph, clustering = data
+        compressed, v2s = compress_graph(graph, clustering)
+        rng = np.random.default_rng(0)
+        second = rng.integers(
+            0, max(compressed.num_vertices // 2, 1), size=compressed.num_vertices
+        )
+        flattened = second[v2s]
+        assert np.isclose(
+            lambdacc_objective(compressed, second, lam),
+            lambdacc_objective(graph, flattened, lam),
+        )
+
+    @given(weighted_graph_and_two_clusterings())
+    @settings(max_examples=60, deadline=None)
+    def test_total_mass_preserved(self, data):
+        graph, clustering = data
+        compressed, _ = compress_graph(graph, clustering)
+        assert np.isclose(
+            compressed.total_edge_weight, graph.total_edge_weight
+        )
+        assert np.isclose(
+            compressed.node_weights.sum(), graph.node_weights.sum()
+        )
+        assert np.isclose(
+            compressed.node_weight_sq.sum(), graph.node_weight_sq.sum()
+        )

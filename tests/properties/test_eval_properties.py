@@ -1,0 +1,93 @@
+"""Property-based tests on the evaluation metrics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.ari import adjusted_rand_index
+from repro.eval.ground_truth import average_precision_recall
+from repro.eval.nmi import normalized_mutual_information
+
+labelings = st.lists(st.integers(0, 6), min_size=2, max_size=60)
+
+
+class TestMetricProperties:
+    @given(labelings)
+    @settings(max_examples=80, deadline=None)
+    def test_ari_self_is_one(self, labels):
+        arr = np.asarray(labels)
+        assert np.isclose(adjusted_rand_index(arr, arr), 1.0)
+
+    @given(labelings, st.permutations(list(range(7))))
+    @settings(max_examples=80, deadline=None)
+    def test_ari_permutation_invariant(self, labels, perm):
+        arr = np.asarray(labels)
+        mapped = np.asarray(perm)[arr]
+        assert np.isclose(
+            adjusted_rand_index(arr, mapped), 1.0
+        )
+
+    @given(labelings, labelings)
+    @settings(max_examples=80, deadline=None)
+    def test_ari_symmetric(self, a, b):
+        size = min(len(a), len(b))
+        x = np.asarray(a[:size])
+        y = np.asarray(b[:size])
+        assert np.isclose(
+            adjusted_rand_index(x, y), adjusted_rand_index(y, x)
+        )
+
+    @given(labelings)
+    @settings(max_examples=80, deadline=None)
+    def test_nmi_self_is_one(self, labels):
+        arr = np.asarray(labels)
+        assert np.isclose(normalized_mutual_information(arr, arr), 1.0)
+
+    @given(labelings, labelings)
+    @settings(max_examples=80, deadline=None)
+    def test_nmi_bounded(self, a, b):
+        size = min(len(a), len(b))
+        nmi = normalized_mutual_information(
+            np.asarray(a[:size]), np.asarray(b[:size])
+        )
+        assert -1e-9 <= nmi <= 1.0 + 1e-9
+
+
+@st.composite
+def clustering_with_communities(draw):
+    n = draw(st.integers(min_value=4, max_value=40))
+    labels = np.asarray(
+        draw(st.lists(st.integers(0, 5), min_size=n, max_size=n)), dtype=np.int64
+    )
+    num_comms = draw(st.integers(min_value=1, max_value=4))
+    communities = []
+    for _ in range(num_comms):
+        size = draw(st.integers(min_value=1, max_value=n))
+        members = draw(
+            st.lists(
+                st.integers(0, n - 1), min_size=size, max_size=size, unique=True
+            )
+        )
+        communities.append(np.asarray(members, dtype=np.int64))
+    return labels, communities
+
+
+class TestPrecisionRecallProperties:
+    @given(clustering_with_communities())
+    @settings(max_examples=80, deadline=None)
+    def test_in_unit_interval(self, instance):
+        labels, communities = instance
+        pr = average_precision_recall(labels, communities)
+        assert 0.0 < pr.precision <= 1.0
+        assert 0.0 < pr.recall <= 1.0
+
+    @given(st.integers(min_value=4, max_value=40))
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_on_exact_match(self, n):
+        labels = np.asarray([i % 3 for i in range(n)], dtype=np.int64)
+        communities = [
+            np.flatnonzero(labels == c) for c in range(3) if (labels == c).any()
+        ]
+        pr = average_precision_recall(labels, communities)
+        assert np.isclose(pr.precision, 1.0)
+        assert np.isclose(pr.recall, 1.0)

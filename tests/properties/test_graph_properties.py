@@ -1,0 +1,112 @@
+"""Property-based tests on the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.quotient import compress_graph
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    count = draw(st.integers(min_value=0, max_value=50))
+    edges = []
+    weights = []
+    for _ in range(count):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        edges.append((u, v))
+        weights.append(draw(st.floats(min_value=-5.0, max_value=5.0)))
+    return n, edges, weights
+
+
+class TestBuilderProperties:
+    @given(edge_lists())
+    @settings(max_examples=100, deadline=None)
+    def test_always_symmetric(self, data):
+        n, edges, weights = data
+        graph = graph_from_edges(
+            np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+            weights=np.asarray(weights) if weights else None,
+            num_vertices=n,
+        )
+        assert graph.is_symmetric()
+
+    @given(edge_lists())
+    @settings(max_examples=100, deadline=None)
+    def test_total_weight_preserved(self, data):
+        n, edges, weights = data
+        graph = graph_from_edges(
+            np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+            weights=np.asarray(weights) if weights else None,
+            num_vertices=n,
+        )
+        assert np.isclose(graph.total_edge_weight, float(np.sum(weights)))
+
+    @given(edge_lists())
+    @settings(max_examples=100, deadline=None)
+    def test_no_duplicate_neighbors(self, data):
+        n, edges, weights = data
+        graph = graph_from_edges(
+            np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+            weights=np.asarray(weights) if weights else None,
+            num_vertices=n,
+        )
+        for v in range(n):
+            nbrs, _ = graph.neighborhood(v)
+            assert np.unique(nbrs).size == nbrs.size
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_edge_list_roundtrip(self, data):
+        n, edges, weights = data
+        graph = graph_from_edges(
+            np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+            weights=np.asarray(weights) if weights else None,
+            num_vertices=n,
+        )
+        u, v, w = graph.edge_list()
+        rebuilt = graph_from_edges(
+            np.stack([u, v], axis=1) if u.size else np.zeros((0, 2), dtype=np.int64),
+            weights=w,
+            num_vertices=n,
+        )
+        rebuilt.self_loops[:] = graph.self_loops
+        assert np.array_equal(rebuilt.offsets, graph.offsets)
+        assert np.array_equal(rebuilt.neighbors, graph.neighbors)
+        assert np.allclose(rebuilt.weights, graph.weights)
+
+
+class TestCompressionProperties:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_compress_idempotent_on_identity(self, data):
+        """Compressing by the identity clustering twice changes nothing."""
+        n, edges, weights = data
+        graph = graph_from_edges(
+            np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+            weights=np.asarray(weights) if weights else None,
+            num_vertices=n,
+        )
+        once, v2s = compress_graph(graph, np.arange(n))
+        assert np.array_equal(v2s, np.arange(n))
+        assert np.array_equal(once.offsets, graph.offsets)
+        assert np.allclose(once.weights, graph.weights)
+
+    @given(edge_lists(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_compress_monotone_in_vertices(self, data, num_clusters):
+        n, edges, weights = data
+        graph = graph_from_edges(
+            np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+            weights=np.asarray(weights) if weights else None,
+            num_vertices=n,
+        )
+        rng = np.random.default_rng(0)
+        clustering = rng.integers(0, num_clusters, size=n)
+        compressed, _ = compress_graph(graph, clustering)
+        assert compressed.num_vertices == np.unique(clustering).size
+        assert compressed.num_vertices <= n
+        assert compressed.num_edges <= graph.num_edges

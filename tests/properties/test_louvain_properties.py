@@ -1,0 +1,65 @@
+"""Property tests on the end-to-end Louvain drivers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import correlation_clustering
+from repro.core.objective import lambdacc_objective
+from repro.graphs.builders import graph_from_edges
+
+
+@st.composite
+def random_unweighted_graph(draw):
+    n = draw(st.integers(min_value=3, max_value=30))
+    num_edges = draw(st.integers(min_value=1, max_value=60))
+    edges = []
+    for _ in range(num_edges):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.append((u, v))
+    if not edges:
+        edges = [(0, 1)]
+    return graph_from_edges(
+        np.asarray(edges, dtype=np.int64), num_vertices=n
+    )
+
+
+class TestLouvainProperties:
+    @given(random_unweighted_graph(), st.floats(min_value=0.05, max_value=0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_objective_never_negative_async(self, graph, lam):
+        """Section 4.1's empirical claim: asynchronous PAR-CC's objective
+        is always non-negative (singletons score 0 and every accepted
+        sequence of window moves improves on the window snapshot)."""
+        result = correlation_clustering(graph, resolution=lam, seed=0)
+        assert result.objective >= -1e-9
+
+    @given(random_unweighted_graph(), st.floats(min_value=0.05, max_value=0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_labels_dense_partition(self, graph, lam):
+        result = correlation_clustering(graph, resolution=lam, seed=1)
+        labels = result.assignments
+        assert labels.shape == (graph.num_vertices,)
+        uniq = np.unique(labels)
+        assert np.array_equal(uniq, np.arange(uniq.size))
+
+    @given(random_unweighted_graph())
+    @settings(max_examples=20, deadline=None)
+    def test_parallel_objective_close_to_sequential(self, graph):
+        """Section 4.2: PAR-CC achieves 0.95-1.08x SEQ-CC's objective; we
+        assert the parallel run is at least half the sequential one (a
+        loose band for adversarial hypothesis graphs)."""
+        lam = 0.3
+        par = correlation_clustering(graph, resolution=lam, seed=2)
+        seq = correlation_clustering(graph, resolution=lam, parallel=False, seed=2)
+        if seq.objective > 0:
+            assert par.objective >= 0.5 * seq.objective - 1e-9
+
+    @given(random_unweighted_graph())
+    @settings(max_examples=20, deadline=None)
+    def test_reported_matches_recomputed(self, graph):
+        result = correlation_clustering(graph, resolution=0.4, seed=3)
+        recomputed = 2 * lambdacc_objective(graph, result.assignments, 0.4)
+        assert np.isclose(result.objective, recomputed)

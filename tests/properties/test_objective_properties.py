@@ -1,0 +1,82 @@
+"""Property-based tests (hypothesis) on the LambdaCC objective."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objective import (
+    cluster_weight_penalty,
+    lambdacc_objective,
+    modularity,
+)
+from repro.graphs.builders import graph_from_edges
+
+
+@st.composite
+def small_graph_and_clustering(draw):
+    n = draw(st.integers(min_value=2, max_value=20))
+    num_edges = draw(st.integers(min_value=0, max_value=40))
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    edges = [(u, v) for u, v in pairs if u != v]
+    graph = graph_from_edges(
+        np.asarray(edges, dtype=np.int64).reshape(-1, 2), num_vertices=n
+    )
+    labels = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1), min_size=n, max_size=n
+        )
+    )
+    return graph, np.asarray(labels, dtype=np.int64)
+
+
+class TestObjectiveProperties:
+    @given(small_graph_and_clustering())
+    @settings(max_examples=60, deadline=None)
+    def test_singleton_objective_is_zero(self, graph_and_labels):
+        graph, _ = graph_and_labels
+        n = graph.num_vertices
+        assert lambdacc_objective(graph, np.arange(n), 0.4) == 0.0
+
+    @given(small_graph_and_clustering(), st.floats(min_value=0.0, max_value=0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_label_permutation_invariance(self, graph_and_labels, lam):
+        graph, labels = graph_and_labels
+        value = lambdacc_objective(graph, labels, lam)
+        # Relabel clusters by an arbitrary injective map.
+        relabeled = labels * 7 + 3
+        assert np.isclose(
+            lambdacc_objective(graph, relabeled, lam), value
+        )
+
+    @given(small_graph_and_clustering())
+    @settings(max_examples=60, deadline=None)
+    def test_objective_decreasing_in_lambda(self, graph_and_labels):
+        """For unweighted graphs F(C; lam) is non-increasing in lambda
+        (the penalty term only grows)."""
+        graph, labels = graph_and_labels
+        values = [lambdacc_objective(graph, labels, lam) for lam in (0.1, 0.5, 0.9)]
+        assert values[0] >= values[1] >= values[2]
+
+    @given(small_graph_and_clustering())
+    @settings(max_examples=60, deadline=None)
+    def test_penalty_nonnegative(self, graph_and_labels):
+        graph, labels = graph_and_labels
+        assert cluster_weight_penalty(graph, labels) >= -1e-12
+
+    @given(small_graph_and_clustering())
+    @settings(max_examples=40, deadline=None)
+    def test_modularity_bounded(self, graph_and_labels):
+        graph, labels = graph_and_labels
+        if graph.total_edge_weight <= 0:
+            return
+        q = modularity(graph, labels, gamma=1.0)
+        assert -1.0 <= q <= 1.0 + 1e-9

@@ -1,0 +1,75 @@
+"""Property-based tests on the simulated-time model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.scheduler import CostLedger, Machine
+
+region_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e7),   # work
+        st.floats(min_value=0.0, max_value=1e4),   # depth
+        st.floats(min_value=0.0, max_value=1e5),   # serial
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def build_ledger(regions):
+    ledger = CostLedger()
+    for work, depth, serial in regions:
+        ledger.charge(work, depth, "r", serial=serial)
+    return ledger
+
+
+class TestSimulatedTimeProperties:
+    @given(region_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_workers(self, regions):
+        ledger = build_ledger(regions)
+        machine = Machine(cores=30, smt=2)
+        times = [
+            ledger.simulated_time(p, machine=machine)
+            for p in (2, 4, 8, 16, 30, 45, 60)
+        ]
+        assert all(a >= b - 1e-15 for a, b in zip(times, times[1:]))
+
+    @given(region_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_bounded_below_by_critical_path(self, regions):
+        """No worker count beats the depth + serial lower bound."""
+        ledger = build_ledger(regions)
+        machine = Machine(cores=64, smt=1)
+        floor = (ledger.total_depth + ledger.total_serial) / 2.0e9
+        assert ledger.simulated_time(64, machine=machine, tau=0.0) >= floor - 1e-18
+
+    @given(region_lists, region_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_additive(self, first, second):
+        a = build_ledger(first)
+        b = build_ledger(second)
+        combined = build_ledger(first)
+        combined.merge(b)
+        machine = Machine(cores=8, smt=2)
+        expected = a.simulated_time(8, machine=machine) + b.simulated_time(
+            8, machine=machine
+        )
+        assert abs(combined.simulated_time(8, machine=machine) - expected) < 1e-12
+
+    @given(region_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_sequential_time_is_total_ops(self, regions):
+        ledger = build_ledger(regions)
+        expected = (ledger.total_work + ledger.total_serial) / 2.0e9
+        assert abs(ledger.simulated_time(1) - expected) < 1e-18
+
+    @given(region_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_speedup_bounded_by_effective_parallelism(self, regions):
+        ledger = build_ledger(regions)
+        machine = Machine(cores=30, smt=2)
+        t1 = ledger.simulated_time(1, machine=machine)
+        t60 = ledger.simulated_time(60, machine=machine)
+        if t60 > 0:
+            assert t1 / t60 <= machine.effective_parallelism(60) + 1e-9

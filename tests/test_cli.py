@@ -1,0 +1,144 @@
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs.io import write_edge_list
+from repro.graphs.karate import karate_club_graph
+
+
+class TestClusterCommand:
+    def test_karate(self, capsys):
+        assert main(["cluster", "--karate", "--resolution", "0.1", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "PAR-CC" in out
+        assert "clusters" in out
+
+    def test_sequential_convergence(self, capsys):
+        code = main(
+            ["cluster", "--karate", "--sequential", "--converge", "--seed", "1"]
+        )
+        assert code == 0
+        assert "SEQ-CC^CON" in capsys.readouterr().out
+
+    def test_modularity(self, capsys):
+        main(["cluster", "--karate", "--objective", "modularity",
+              "--resolution", "1.0", "--seed", "1"])
+        assert "PAR-MOD" in capsys.readouterr().out
+
+    def test_labels_output(self, tmp_path, capsys):
+        out = tmp_path / "labels.txt"
+        main(["cluster", "--karate", "--seed", "1", "--output", str(out)])
+        labels = [int(line) for line in out.read_text().splitlines()]
+        assert len(labels) == 34
+
+    def test_edge_list_input(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(karate_club_graph(), path)
+        assert main(["cluster", "--input", str(path), "--seed", "0"]) == 0
+
+    def test_source_required(self):
+        with pytest.raises(SystemExit):
+            main(["cluster"])
+
+    def test_multiple_sources_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(karate_club_graph(), path)
+        with pytest.raises(SystemExit):
+            main(["cluster", "--karate", "--input", str(path)])
+
+
+class TestGenerateCommand:
+    def test_rmat(self, tmp_path, capsys):
+        out = tmp_path / "rmat.txt"
+        assert main(
+            ["generate", "--kind", "rmat", "--scale", "8", "--output", str(out)]
+        ) == 0
+        assert out.exists()
+        assert "rmat" in capsys.readouterr().out
+
+    def test_planted_with_communities(self, tmp_path, capsys):
+        graph_out = tmp_path / "g.txt"
+        comm_out = tmp_path / "c.txt"
+        main([
+            "generate", "--kind", "planted", "--vertices", "200",
+            "--output", str(graph_out), "--communities", str(comm_out),
+        ])
+        assert graph_out.exists()
+        assert comm_out.exists()
+
+    def test_surrogate_requires_name(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--kind", "surrogate", "--output",
+                  str(tmp_path / "g.txt")])
+
+
+class TestEvaluateCommand:
+    def test_precision_recall(self, tmp_path, capsys):
+        labels = tmp_path / "labels.txt"
+        labels.write_text("0\n0\n1\n1\n")
+        comms = tmp_path / "comms.txt"
+        comms.write_text("0 1\n2 3\n")
+        assert main(["evaluate", "--labels", str(labels),
+                     "--communities", str(comms)]) == 0
+        out = capsys.readouterr().out
+        assert "precision=1.0000" in out
+        assert "recall=1.0000" in out
+
+    def test_ari_nmi(self, tmp_path, capsys):
+        a = tmp_path / "a.txt"
+        a.write_text("0\n0\n1\n1\n")
+        b = tmp_path / "b.txt"
+        b.write_text("5\n5\n9\n9\n")
+        main(["evaluate", "--labels", str(a), "--reference", str(b)])
+        out = capsys.readouterr().out
+        assert "ARI=1.0000" in out
+        assert "NMI=1.0000" in out
+
+    def test_length_mismatch(self, tmp_path):
+        a = tmp_path / "a.txt"
+        a.write_text("0\n1\n")
+        b = tmp_path / "b.txt"
+        b.write_text("0\n")
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--labels", str(a), "--reference", str(b)])
+
+    def test_requires_a_target(self, tmp_path):
+        a = tmp_path / "a.txt"
+        a.write_text("0\n")
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--labels", str(a)])
+
+
+class TestTable1Command:
+    def test_prints_all_surrogates(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("amazon", "dblp", "livejournal", "orkut", "twitter",
+                     "friendster"):
+            assert name in out
+
+
+class TestRoundtrip:
+    def test_generate_cluster_evaluate(self, tmp_path, capsys):
+        """Full pipeline through the CLI."""
+        graph_path = tmp_path / "g.txt"
+        comm_path = tmp_path / "c.txt"
+        labels_path = tmp_path / "l.txt"
+        main([
+            "generate", "--kind", "planted", "--vertices", "300",
+            "--intra-degree", "8", "--inter-degree", "1",
+            "--output", str(graph_path), "--communities", str(comm_path),
+            "--seed", "3",
+        ])
+        main([
+            "cluster", "--input", str(graph_path), "--resolution", "0.05",
+            "--seed", "1", "--output", str(labels_path),
+        ])
+        main([
+            "evaluate", "--labels", str(labels_path),
+            "--communities", str(comm_path),
+        ])
+        out = capsys.readouterr().out
+        # Planted structure is recoverable through the whole pipeline.
+        recall = float(out.rsplit("recall=", 1)[1].split()[0])
+        assert recall > 0.5

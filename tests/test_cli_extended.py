@@ -1,0 +1,105 @@
+"""Tests for the sweep / hierarchy / consensus CLI subcommands."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs.io import write_communities, write_edge_list
+from repro.graphs.karate import karate_club_graph
+
+
+class TestSweepCommand:
+    def test_basic_sweep(self, capsys):
+        assert main(["sweep", "--karate", "--resolutions", "0.05,0.3",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "resolution" in out
+        assert "0.05" in out and "0.3" in out
+
+    def test_sweep_with_communities(self, tmp_path, capsys):
+        comms = tmp_path / "c.txt"
+        write_communities(
+            [np.arange(0, 17), np.arange(17, 34)], comms
+        )
+        main(["sweep", "--karate", "--resolutions", "0.05",
+              "--communities", str(comms), "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "precision" in out
+        assert "recall" in out
+
+    def test_modularity_sweep(self, capsys):
+        assert main(["sweep", "--karate", "--objective", "modularity",
+                     "--resolutions", "0.5,2.0", "--seed", "1"]) == 0
+
+
+class TestHierarchyCommand:
+    def test_prints_levels(self, capsys):
+        assert main(["hierarchy", "--karate", "--resolution", "0.1",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "level" in out
+        assert "nested: True" in out
+
+    def test_edge_list_input(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(karate_club_graph(), path)
+        assert main(["hierarchy", "--input", str(path), "--seed", "0"]) == 0
+
+
+class TestReportCommand:
+    def test_report_fields(self, tmp_path, capsys):
+        labels_path = tmp_path / "labels.txt"
+        main(["cluster", "--karate", "--resolution", "0.1", "--seed", "1",
+              "--output", str(labels_path)])
+        capsys.readouterr()
+        assert main(["report", "--karate", "--labels", str(labels_path),
+                     "--resolution", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "CC objective" in out
+        assert "modularity" in out
+        assert "conductance" in out
+
+    def test_report_with_communities(self, tmp_path, capsys):
+        labels_path = tmp_path / "labels.txt"
+        labels_path.write_text("\n".join("0" for _ in range(34)) + "\n")
+        comms = tmp_path / "c.txt"
+        write_communities([np.arange(0, 17)], comms)
+        main(["report", "--karate", "--labels", str(labels_path),
+              "--communities", str(comms)])
+        out = capsys.readouterr().out
+        assert "precision" in out
+
+    def test_length_mismatch(self, tmp_path):
+        labels_path = tmp_path / "labels.txt"
+        labels_path.write_text("0\n1\n")
+        with pytest.raises(SystemExit):
+            main(["report", "--karate", "--labels", str(labels_path)])
+
+
+class TestConsensusCommand:
+    def test_consensus_runs(self, capsys):
+        assert main(["consensus", "--karate", "--resolution", "0.1",
+                     "--runs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "consensus over 3 runs" in out
+
+    def test_output_file(self, tmp_path, capsys):
+        path = tmp_path / "labels.txt"
+        main(["consensus", "--karate", "--resolution", "0.1", "--runs", "2",
+              "--output", str(path)])
+        labels = [int(line) for line in path.read_text().splitlines()]
+        assert len(labels) == 34
+
+    def test_requires_graph_source(self):
+        with pytest.raises(SystemExit):
+            main(["consensus"])
+
+
+class TestMetisInput:
+    def test_cluster_metis_file(self, tmp_path, capsys):
+        from repro.graphs.io import write_metis
+
+        path = tmp_path / "karate.graph"
+        write_metis(karate_club_graph(), path)
+        assert main(["cluster", "--input", str(path), "--seed", "1"]) == 0
+        assert "clusters" in capsys.readouterr().out

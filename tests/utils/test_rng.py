@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, make_rng, permutation, spawn_rngs
+
+
+class TestMakeRng:
+    def test_none_returns_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = make_rng(7).integers(0, 1000, size=10)
+        b = make_rng(7).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 2**31, size=16)
+        b = make_rng(2).integers(0, 2**31, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert make_rng(gen) is gen
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(
+            a.integers(0, 2**31, size=16), b.integers(0, 2**31, size=16)
+        )
+
+    def test_deterministic(self):
+        a = spawn_rngs(9, 3)[1].integers(0, 2**31, size=8)
+        b = spawn_rngs(9, 3)[1].integers(0, 2**31, size=8)
+        assert np.array_equal(a, b)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(4, 1) == derive_seed(4, 1)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(4, 1) != derive_seed(4, 2)
+
+    def test_in_int32_range(self):
+        s = derive_seed(123, 456)
+        assert 0 <= s < 2**31
+
+
+class TestPermutation:
+    def test_none_rng_is_identity(self):
+        assert np.array_equal(permutation(None, 5), np.arange(5))
+
+    def test_is_permutation(self):
+        p = permutation(np.random.default_rng(0), 100)
+        assert np.array_equal(np.sort(p), np.arange(100))
+
+    def test_dtype(self):
+        assert permutation(np.random.default_rng(0), 10).dtype == np.int64

@@ -1,0 +1,19 @@
+import time
+
+from repro.utils.timing import WallTimer
+
+
+class TestWallTimer:
+    def test_measures_elapsed(self):
+        with WallTimer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_running_without_entry_is_zero(self):
+        assert WallTimer().running() == 0.0
+
+    def test_running_increases(self):
+        with WallTimer() as t:
+            first = t.running()
+            time.sleep(0.005)
+            assert t.running() > first

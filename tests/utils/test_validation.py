@@ -1,0 +1,59 @@
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.validation import (
+    require,
+    require_in_unit_interval,
+    require_nonnegative,
+    require_positive,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_value_error(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_custom_exception(self):
+        with pytest.raises(ConfigError):
+            require(False, "boom", exc=ConfigError)
+
+
+class TestRequirePositive:
+    def test_positive_ok(self):
+        require_positive(0.1, "x")
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_nonpositive_raises(self, value):
+        with pytest.raises(ValueError, match="x must be positive"):
+            require_positive(value, "x")
+
+
+class TestRequireNonnegative:
+    def test_zero_ok(self):
+        require_nonnegative(0, "x")
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            require_nonnegative(-1e-9, "x")
+
+
+class TestRequireUnitInterval:
+    def test_open_interior_ok(self):
+        require_in_unit_interval(0.5, "lam")
+
+    @pytest.mark.parametrize("value", [0.0, 1.0])
+    def test_open_boundary_raises(self, value):
+        with pytest.raises(ValueError):
+            require_in_unit_interval(value, "lam")
+
+    @pytest.mark.parametrize("value", [0.0, 1.0])
+    def test_closed_boundary_ok(self, value):
+        require_in_unit_interval(value, "lam", open_ends=False)
+
+    def test_closed_outside_raises(self):
+        with pytest.raises(ValueError):
+            require_in_unit_interval(1.5, "lam", open_ends=False)
