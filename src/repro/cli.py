@@ -20,11 +20,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
 
 from repro.core.api import cluster
+from repro.errors import ReproError
 from repro.core.config import ClusteringConfig, Frontier, Mode, Objective
 from repro.eval.ari import adjusted_rand_index
 from repro.eval.ground_truth import average_precision_recall
@@ -68,6 +70,43 @@ def _read_labels(path: str) -> np.ndarray:
         )
 
 
+def _resilience_policy(args):
+    """Build a ResiliencePolicy from the cluster subcommand's flags."""
+    from repro.resilience import FaultPlan, ResiliencePolicy, RunBudget
+
+    faults = None
+    if args.inject is not None:
+        faults = FaultPlan.from_spec(args.inject, seed=args.fault_seed)
+    budget = None
+    if any(
+        value is not None
+        for value in (args.time_budget, args.max_moves, args.max_rounds)
+    ):
+        budget = RunBudget(
+            max_sim_seconds=args.time_budget,
+            max_moves=args.max_moves,
+            max_rounds=args.max_rounds,
+        )
+    wants_resilience = (
+        faults is not None
+        or budget is not None
+        or args.audit
+        or args.checkpoint
+        or args.resume
+    )
+    if not wants_resilience:
+        return None
+    return ResiliencePolicy(
+        faults=faults,
+        budget=budget,
+        audit=args.audit,
+        strict=args.strict,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=args.resume,
+    )
+
+
 def _cmd_cluster(args) -> int:
     graph = _load_graph(args)
     config = ClusteringConfig(
@@ -81,8 +120,17 @@ def _cmd_cluster(args) -> int:
         num_workers=args.workers,
         seed=args.seed,
     )
-    result = cluster(graph, config)
+    policy = _resilience_policy(args)
+    result = cluster(graph, config, resilience=policy)
     print(result.summary())
+    for line in result.failure_log:
+        print(f"  ! {line}", file=sys.stderr)
+    if "fault_injections" in result.extras:
+        tally = result.extras["fault_injections"]
+        injected = " ".join(f"{k}={v}" for k, v in sorted(tally.items()))
+        print(f"  faults injected: {injected or 'none'}", file=sys.stderr)
+    if args.checkpoint and Path(args.checkpoint).exists():
+        print(f"checkpoint written to {args.checkpoint}")
     if args.output:
         _write_labels(result.assignments, args.output)
         print(f"labels written to {args.output}")
@@ -255,6 +303,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Parallel correlation clustering (VLDB 2021) reproduction CLI",
     )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="re-raise repro errors with a full traceback instead of a "
+             "one-line message",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("cluster", help="cluster a graph")
@@ -280,6 +334,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=60)
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--output", help="write labels (one per line)")
+    r = p.add_argument_group("resilience")
+    r.add_argument("--audit", action="store_true",
+                   help="audit state invariants at level boundaries and "
+                        "on the final result")
+    r.add_argument("--strict", action="store_true",
+                   help="raise typed errors instead of degrading gracefully")
+    r.add_argument("--time-budget", type=float, default=None, metavar="SECONDS",
+                   help="cap on simulated seconds; on exhaustion return the "
+                        "best-so-far clustering flagged degraded")
+    r.add_argument("--max-moves", type=int, default=None,
+                   help="cap on total vertex moves")
+    r.add_argument("--max-rounds", type=int, default=None,
+                   help="cap on total best-move rounds")
+    r.add_argument("--checkpoint", metavar="PATH",
+                   help="write a resumable .npz checkpoint at level boundaries")
+    r.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                   help="checkpoint every N levels (default 1)")
+    r.add_argument("--resume", metavar="PATH",
+                   help="resume bit-identically from a checkpoint file")
+    r.add_argument("--inject", metavar="SPEC",
+                   help="inject concurrency faults, e.g. "
+                        "'stale-read=0.2,cas-fail=0.1,drop-move' "
+                        "(bare kind = default rate)")
+    r.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the fault-injection schedule")
     p.set_defaults(func=_cmd_cluster)
 
     p = sub.add_parser("generate", help="generate a synthetic graph")
@@ -353,7 +432,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        if args.verbose:
+            raise
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

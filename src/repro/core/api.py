@@ -23,15 +23,29 @@ from repro.core.objective import (
     modularity_lambda,
 )
 from repro.core.result import ClusterResult
+from repro.errors import InvariantViolation
 from repro.graphs.csr import CSRGraph
 from repro.graphs.stats import MemoryTracker
 from repro.parallel.scheduler import SimulatedScheduler
+from repro.resilience.context import ResilienceContext, ResiliencePolicy
 from repro.utils.rng import make_rng
 from repro.utils.timing import WallTimer
 
 
-def cluster(graph: CSRGraph, config: ClusteringConfig) -> ClusterResult:
-    """Cluster ``graph`` according to ``config``; see :class:`ClusterResult`."""
+def cluster(
+    graph: CSRGraph,
+    config: ClusteringConfig,
+    resilience: Optional[ResiliencePolicy] = None,
+) -> ClusterResult:
+    """Cluster ``graph`` according to ``config``; see :class:`ClusterResult`.
+
+    ``resilience`` optionally attaches a
+    :class:`~repro.resilience.context.ResiliencePolicy`: fault injection,
+    invariant auditing, run budgets with graceful degradation, and
+    checkpoint/resume.  A degraded run returns its best-so-far clustering
+    with ``result.degraded`` set and the reasons in ``result.failure_log``
+    instead of raising.
+    """
     if graph.num_vertices == 0:
         raise ValueError("cannot cluster an empty graph")
     if config.objective is Objective.MODULARITY:
@@ -49,10 +63,17 @@ def cluster(graph: CSRGraph, config: ClusteringConfig) -> ClusterResult:
     )
     memory = MemoryTracker()
     rng = make_rng(config.seed)
+    ctx = ResilienceContext(resilience, sched=sched) if resilience else None
     driver = parallel_cc if config.parallel else sequential_cc
     with WallTimer() as timer:
         assignments, stats = driver(
-            working, effective_lambda, config, sched=sched, rng=rng, memory=memory
+            working,
+            effective_lambda,
+            config,
+            sched=sched,
+            rng=rng,
+            memory=memory,
+            resilience=ctx,
         )
     _, dense = np.unique(assignments, return_inverse=True)
     dense = dense.astype(np.int64)
@@ -70,6 +91,24 @@ def cluster(graph: CSRGraph, config: ClusteringConfig) -> ClusterResult:
         # Signed or empty graphs: modularity undefined; report 0.
         mod_value = 0.0
 
+    extras: dict = {}
+    degraded = False
+    failure_log: list = []
+    if ctx is not None:
+        if ctx.auditor is not None:
+            issues = ctx.auditor.verify_result(
+                working, dense, effective_lambda, f_value
+            )
+            if issues:
+                message = "final result audit failed: " + "; ".join(issues)
+                if resilience.strict:
+                    raise InvariantViolation(message)
+                ctx.degrade(message)
+        degraded = ctx.degraded
+        failure_log = list(ctx.failure_log)
+        if resilience.faults is not None:
+            extras["fault_injections"] = dict(resilience.faults.counts)
+
     return ClusterResult(
         assignments=dense,
         objective=2.0 * f_value,
@@ -85,6 +124,9 @@ def cluster(graph: CSRGraph, config: ClusteringConfig) -> ClusterResult:
         input_bytes=graph.nbytes,
         wall_seconds=timer.elapsed,
         seed=config.seed,
+        degraded=degraded,
+        failure_log=failure_log,
+        extras=extras,
     )
 
 

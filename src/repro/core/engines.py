@@ -62,8 +62,16 @@ def multilevel_with_engine(
     sched=None,
     rng: Optional[np.random.Generator] = None,
     memory: Optional[MemoryTracker] = None,
+    resilience=None,
 ) -> Tuple[np.ndarray, MultiLevelStats]:
-    """Run the full multilevel Louvain pipeline under the named engine."""
+    """Run the full multilevel Louvain pipeline under the named engine.
+
+    ``resilience`` accepts a
+    :class:`~repro.resilience.context.ResilienceContext`, making every
+    engine in the registry runnable under fault injection, auditing,
+    budget guards, and checkpointing — the fault-matrix suite's entry
+    point.
+    """
     return multilevel_louvain(
         graph,
         resolution,
@@ -72,4 +80,5 @@ def multilevel_with_engine(
         sched=sched,
         rng=rng,
         memory=memory,
+        resilience=resilience,
     )

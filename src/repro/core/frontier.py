@@ -35,14 +35,15 @@ def next_frontier(
     """Vertex ids to consider in the next BEST-MOVES iteration."""
     n = graph.num_vertices
     if movers.size == 0:
-        return np.zeros(0, dtype=np.int64)
+        return _inject_delay(np.zeros(0, dtype=np.int64), sched)
     if kind is Frontier.ALL:
         if sched is not None:
             sched.charge(work=float(n), depth=1.0, label="frontier-all")
-        return np.arange(n, dtype=np.int64)
+        return _inject_delay(np.arange(n, dtype=np.int64), sched)
     if kind is Frontier.VERTEX_NEIGHBORS:
         subset = VertexSubset.from_ids(n, movers)
-        return edge_map(graph, subset, sched=sched, label="frontier-vnbrs").ids()
+        frontier = edge_map(graph, subset, sched=sched, label="frontier-vnbrs").ids()
+        return _inject_delay(frontier, sched)
     if kind is Frontier.CLUSTER_NEIGHBORS:
         affected = np.union1d(origin_clusters, target_clusters)
         members = np.flatnonzero(np.isin(assignments, affected)).astype(np.int64)
@@ -50,5 +51,13 @@ def next_frontier(
             sched.charge(work=float(n), depth=1.0, label="frontier-cnbrs-members")
         subset = VertexSubset.from_ids(n, members)
         neighbors = edge_map(graph, subset, sched=sched, label="frontier-cnbrs")
-        return neighbors.union(subset).ids()
+        return _inject_delay(neighbors.union(subset).ids(), sched)
     raise ValueError(f"unknown frontier kind: {kind!r}")
+
+
+def _inject_delay(frontier: np.ndarray, sched) -> np.ndarray:
+    """Apply injected frontier-update delays (resilience fault plans)."""
+    faults = getattr(sched, "faults", None) if sched is not None else None
+    if faults is None:
+        return frontier
+    return faults.delay_frontier(frontier)

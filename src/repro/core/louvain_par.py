@@ -100,6 +100,7 @@ def multilevel_louvain(
     rng: Optional[np.random.Generator] = None,
     memory: Optional[MemoryTracker] = None,
     compress_fn=compress_graph,
+    resilience=None,
 ) -> Tuple[np.ndarray, MultiLevelStats]:
     """Run the multi-level Louvain recursion with the given move engine.
 
@@ -107,18 +108,70 @@ def multilevel_louvain(
     PLM baseline swaps in the non-work-efficient variant).  Returns
     ``(assignments, stats)``; assignments use arbitrary cluster ids in
     ``[0, n)`` (densify via :func:`numpy.unique` for presentation).
+
+    ``resilience`` is an optional
+    :class:`~repro.resilience.context.ResilienceContext`: engine calls then
+    run under retry/backoff and invariant auditing, budget guards can stop
+    the recursion early (the best-so-far clustering is flattened and
+    returned instead of crashing), and level boundaries are
+    checkpointed/resumable (see DESIGN.md, "Resilience & failure model").
     """
+    ctx = resilience
     stats = MultiLevelStats()
     memory = memory if memory is not None else MemoryTracker()
     retained: List[Tuple[CSRGraph, np.ndarray]] = []  # (level graph, v2s)
     current = graph
     level = 0
+    if ctx is not None:
+        ctx.bind(graph, resolution, config)
+        resumed = ctx.load_resume(rng)
+        if resumed is not None:
+            level = resumed.level
+            current = resumed.current
+            retained = list(resumed.retained)
+            stats = resumed.stats
+            if config.refine:
+                for idx, (level_graph, _) in enumerate(retained):
+                    memory.hold(idx, level_graph)
+            elif retained:
+                memory.hold(0, retained[0][0])
     memory.hold(level, current)
     base_assignments: Optional[np.ndarray] = None
 
+    def run_engine(level_graph: CSRGraph, state: ClusterState, where: str):
+        if ctx is None:
+            return best_moves_fn(
+                level_graph, state, resolution, config, sched=sched, rng=rng
+            )
+        return ctx.run_engine(
+            best_moves_fn,
+            level_graph,
+            state,
+            resolution,
+            config,
+            sched=sched,
+            rng=rng,
+            where=where,
+        )
+
     while level < config.max_levels:
         state = ClusterState.singletons(current)
-        bm = best_moves_fn(current, state, resolution, config, sched=sched, rng=rng)
+        if ctx is not None:
+            state = ctx.wrap_state(state)
+        bm = run_engine(current, state, f"best-moves[level {level}]")
+        if bm is None:
+            # Engine degraded (transient-fault retries exhausted): accept
+            # whatever partial clustering this level reached.
+            stats.levels.append(
+                LevelStats(
+                    num_vertices=current.num_vertices,
+                    num_edges=current.num_edges,
+                    iterations=0,
+                    moves=0,
+                )
+            )
+            base_assignments = state.assignments
+            break
         stats.levels.append(
             LevelStats(
                 num_vertices=current.num_vertices,
@@ -130,6 +183,11 @@ def multilevel_louvain(
         )
         if bm.total_moves == 0:
             base_assignments = np.arange(current.num_vertices, dtype=np.int64)
+            break
+        if ctx is not None and ctx.budget_stop(
+            stats.total_moves, stats.total_iterations
+        ):
+            base_assignments = state.assignments
             break
         compressed, vertex_to_super = compress_fn(
             current, state.assignments, sched=sched
@@ -147,6 +205,8 @@ def multilevel_louvain(
         level += 1
         memory.hold(level, compressed)
         current = compressed
+        if ctx is not None:
+            ctx.maybe_checkpoint(level, current, retained, stats, rng=rng)
     else:
         base_assignments = np.arange(current.num_vertices, dtype=np.int64)
 
@@ -155,15 +215,18 @@ def multilevel_louvain(
     for idx in range(len(retained) - 1, -1, -1):
         level_graph, vertex_to_super = retained[idx]
         assignments = parallel_flatten(assignments, vertex_to_super, sched=sched)
-        if config.refine:
+        if config.refine and not (ctx is not None and ctx.stopped):
             state = ClusterState.from_assignments(level_graph, assignments)
-            refine_bm = best_moves_fn(
-                level_graph, state, resolution, config, sched=sched, rng=rng
-            )
-            stats.levels[idx].refine_iterations = refine_bm.iterations
-            stats.levels[idx].refine_moves = refine_bm.total_moves
+            if ctx is not None:
+                state = ctx.wrap_state(state)
+            refine_bm = run_engine(level_graph, state, f"refine[level {idx}]")
+            if refine_bm is not None:
+                stats.levels[idx].refine_iterations = refine_bm.iterations
+                stats.levels[idx].refine_moves = refine_bm.total_moves
             assignments = state.assignments
             memory.release(idx + 1)
+            if ctx is not None:
+                ctx.budget_stop(stats.total_moves, stats.total_iterations)
     return assignments, stats
 
 
@@ -174,8 +237,16 @@ def parallel_cc(
     sched=None,
     rng: Optional[np.random.Generator] = None,
     memory: Optional[MemoryTracker] = None,
+    resilience=None,
 ) -> Tuple[np.ndarray, MultiLevelStats]:
     """PARALLEL-CC (Algorithm 1) under LambdaCC resolution ``resolution``."""
     return multilevel_louvain(
-        graph, resolution, config, run_best_moves, sched=sched, rng=rng, memory=memory
+        graph,
+        resolution,
+        config,
+        run_best_moves,
+        sched=sched,
+        rng=rng,
+        memory=memory,
+        resilience=resilience,
     )

@@ -107,6 +107,7 @@ def sequential_cc(
     sched=None,
     rng: Optional[np.random.Generator] = None,
     memory: Optional[MemoryTracker] = None,
+    resilience=None,
 ) -> Tuple[np.ndarray, MultiLevelStats]:
     """Multi-level SEQUENTIAL-CC; same contract as
     :func:`repro.core.louvain_par.parallel_cc`."""
@@ -118,4 +119,5 @@ def sequential_cc(
         sched=sched,
         rng=rng,
         memory=memory,
+        resilience=resilience,
     )

@@ -47,6 +47,13 @@ class ClusterResult:
     input_bytes: int
     wall_seconds: float
     seed: Optional[int] = None
+    #: True when the run degraded gracefully instead of completing cleanly
+    #: (budget exhausted, transient-fault retries exhausted, or an audit
+    #: had to repair corrupted aggregates); see ``failure_log`` for why.
+    degraded: bool = False
+    #: Human-readable log of faults survived, repairs, retries, and budget
+    #: stops (empty for a clean run).
+    failure_log: List[str] = field(default_factory=list)
     extras: dict = field(default_factory=dict)
 
     @property
@@ -83,9 +90,10 @@ class ClusterResult:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
+        tail = ", DEGRADED" if self.degraded else ""
         return (
             f"{self.config.describe()} resolution={self.resolution:g}: "
             f"{self.num_clusters} clusters, objective={self.objective:.6g}, "
             f"modularity={self.modularity:.4f}, rounds={self.rounds}, "
-            f"sim_time={self.sim_time():.4g}s, wall={self.wall_seconds:.3f}s"
+            f"sim_time={self.sim_time():.4g}s, wall={self.wall_seconds:.3f}s{tail}"
         )

@@ -19,3 +19,28 @@ class SchedulerError(ReproError):
 
 class CircuitError(ReproError):
     """Raised when a monotone circuit definition is malformed."""
+
+
+class InvariantViolation(ReproError):
+    """Raised when a :class:`~repro.resilience.audit.StateAuditor` finds a
+    clustering state whose maintained aggregates diverge from its
+    assignments (the concurrency hazards of Section 3.2.1)."""
+
+
+class TransientFault(ReproError):
+    """An injected transient failure (fault-injection only).
+
+    Engines retry a bounded number of times with exponential backoff on
+    this error before degrading the run.
+    """
+
+
+class BudgetExhausted(ReproError):
+    """Raised when a :class:`~repro.resilience.guards.RunBudget` limit is
+    hit under ``strict`` resilience policy (non-strict runs degrade
+    gracefully instead of raising)."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a checkpoint file is missing, corrupt, or was written
+    by an incompatible configuration."""

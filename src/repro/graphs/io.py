@@ -11,6 +11,7 @@ Plus a compact ``.npz`` binary round-trip for benchmark caching.
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 from typing import List, Union
 
@@ -23,8 +24,17 @@ from repro.graphs.csr import CSRGraph
 PathLike = Union[str, Path]
 
 
-def read_edge_list(path: PathLike, num_vertices=None) -> CSRGraph:
-    """Read a SNAP-style (optionally weighted) edge-list file."""
+def read_edge_list(
+    path: PathLike, num_vertices=None, allow_signed: bool = False
+) -> CSRGraph:
+    """Read a SNAP-style (optionally weighted) edge-list file.
+
+    Malformed input is rejected with a :class:`GraphFormatError` naming the
+    file and line: non-integer or negative vertex ids, and non-finite
+    (NaN/inf) or — unless ``allow_signed`` (correlation clustering accepts
+    signed weights) — negative edge weights, which would otherwise flow
+    silently into CSR construction.
+    """
     us: List[int] = []
     vs: List[int] = []
     ws: List[float] = []
@@ -38,9 +48,37 @@ def read_edge_list(path: PathLike, num_vertices=None) -> CSRGraph:
                 raise GraphFormatError(
                     f"{path}:{lineno}: expected 'u v [w]', got {line!r}"
                 )
-            us.append(int(parts[0]))
-            vs.append(int(parts[1]))
-            ws.append(float(parts[2]) if len(parts) == 3 else 1.0)
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: vertex ids must be integers, got {line!r}"
+                ) from None
+            if u < 0 or v < 0:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: negative vertex id in {line!r}"
+                )
+            if len(parts) == 3:
+                try:
+                    w = float(parts[2])
+                except ValueError:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: bad edge weight {parts[2]!r}"
+                    ) from None
+                if not math.isfinite(w):
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: non-finite edge weight {parts[2]!r}"
+                    )
+                if w < 0 and not allow_signed:
+                    raise GraphFormatError(
+                        f"{path}:{lineno}: negative edge weight {w:g} "
+                        f"(pass allow_signed=True for signed graphs)"
+                    )
+            else:
+                w = 1.0
+            us.append(u)
+            vs.append(v)
+            ws.append(w)
     edges = np.stack(
         [np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64)], axis=1
     ) if us else np.zeros((0, 2), dtype=np.int64)
@@ -103,9 +141,24 @@ def read_metis(path: PathLike) -> CSRGraph:
     header = lines[0].split()
     if len(header) < 2:
         raise GraphFormatError(f"{path}: METIS header needs 'n m [fmt]'")
-    n = int(header[0])
-    declared_edges = int(header[1])
+    try:
+        n = int(header[0])
+        declared_edges = int(header[1])
+    except ValueError:
+        raise GraphFormatError(
+            f"{path}: METIS header 'n m' must be integers, got {lines[0]!r}"
+        ) from None
+    if n < 0 or declared_edges < 0:
+        raise GraphFormatError(
+            f"{path}: METIS header declares negative counts "
+            f"(n={n}, m={declared_edges})"
+        )
     fmt = header[2] if len(header) > 2 else "0"
+    if not fmt.isdigit() or len(fmt) > 3 or any(c not in "01" for c in fmt):
+        raise GraphFormatError(
+            f"{path}: bad METIS fmt field {fmt!r} (expected up to three "
+            f"binary digits)"
+        )
     has_edge_weights = fmt.endswith("1") and fmt != "10"
     body = lines[1:]
     if len(body) < n or any(chunk.strip() for chunk in body[n:]):
@@ -125,15 +178,36 @@ def read_metis(path: PathLike) -> CSRGraph:
                 f"{path}: vertex {vertex + 1} has a dangling weight token"
             )
         for position in range(0, len(tokens), step):
-            neighbor = int(tokens[position]) - 1  # METIS is 1-indexed
+            try:
+                neighbor = int(tokens[position]) - 1  # METIS is 1-indexed
+            except ValueError:
+                raise GraphFormatError(
+                    f"{path}: vertex {vertex + 1} has non-integer neighbor "
+                    f"{tokens[position]!r}"
+                ) from None
             if not 0 <= neighbor < n:
                 raise GraphFormatError(
                     f"{path}: vertex {vertex + 1} lists neighbor "
                     f"{neighbor + 1} outside [1, {n}]"
                 )
+            if has_edge_weights:
+                try:
+                    weight = float(tokens[position + 1])
+                except ValueError:
+                    raise GraphFormatError(
+                        f"{path}: vertex {vertex + 1} has bad edge weight "
+                        f"{tokens[position + 1]!r}"
+                    ) from None
+                if not math.isfinite(weight) or weight < 0:
+                    raise GraphFormatError(
+                        f"{path}: vertex {vertex + 1} has non-finite or "
+                        f"negative edge weight {tokens[position + 1]!r}"
+                    )
+            else:
+                weight = 1.0
             us.append(vertex)
             vs.append(neighbor)
-            ws.append(float(tokens[position + 1]) if has_edge_weights else 1.0)
+            ws.append(weight)
     edges = (
         np.stack([np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64)], axis=1)
         if us

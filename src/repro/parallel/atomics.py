@@ -67,3 +67,13 @@ def atomic_add_window(
         queues, _ = contention_profile(targets)
         sched.charge(work=float(targets.size), depth=1.0, label=label)
         sched.charge_cas_contention(queues, label=label + "-contention")
+        faults = getattr(sched, "faults", None)
+        if faults is not None:
+            # Injected CAS failures: each failed update retries once more,
+            # paying an extra contended-RMW round trip.  Values stay exact
+            # (fetch-and-add never loses increments); the hazard is time.
+            failures = faults.cas_failures(targets.size)
+            if failures:
+                sched.charge_cas_contention(
+                    [failures + 1], label=label + "-injected-cas"
+                )

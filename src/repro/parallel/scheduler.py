@@ -229,6 +229,7 @@ class SimulatedScheduler:
         num_workers: int = 60,
         machine: Optional[Machine] = None,
         tau: float = DEFAULT_TAU,
+        faults=None,
     ) -> None:
         self.machine = machine or Machine.c2_standard_60()
         if num_workers < 1:
@@ -236,6 +237,9 @@ class SimulatedScheduler:
         self.num_workers = num_workers
         self.tau = tau
         self.ledger = CostLedger()
+        #: Optional :class:`repro.resilience.faults.FaultPlan`; primitives
+        #: that take a scheduler consult it to inject concurrency hazards.
+        self.faults = faults
 
     def charge(
         self, work: float, depth: float, label: str = "", serial: float = 0.0

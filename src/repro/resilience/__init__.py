@@ -1,0 +1,29 @@
+"""Resilience layer: fault injection, invariant auditing, run guards,
+and checkpoint/resume for the multilevel clustering pipeline.
+
+See DESIGN.md ("Resilience & failure model") for the architecture.
+"""
+
+from repro.resilience.audit import StateAuditor
+from repro.resilience.checkpoint import (
+    MultilevelCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.context import ResilienceContext, ResiliencePolicy
+from repro.resilience.faults import FaultKind, FaultPlan, FaultyClusterState
+from repro.resilience.guards import BudgetGuard, RunBudget
+
+__all__ = [
+    "BudgetGuard",
+    "FaultKind",
+    "FaultPlan",
+    "FaultyClusterState",
+    "MultilevelCheckpoint",
+    "ResilienceContext",
+    "ResiliencePolicy",
+    "RunBudget",
+    "StateAuditor",
+    "load_checkpoint",
+    "save_checkpoint",
+]

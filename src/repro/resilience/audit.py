@@ -1,0 +1,194 @@
+"""Invariant auditing for clustering state and results.
+
+Under relaxed concurrent moves the hazards worth auditing are exactly the
+aggregates the engines maintain incrementally (Section 3.2.1): the
+per-cluster total vertex weight ``K_c`` and member count.  The
+:class:`StateAuditor` validates, at configurable points:
+
+* labels are integral, in range ``[0, n)``;
+* ``cluster_sizes`` equals the bincount of the assignments;
+* ``cluster_weights`` (and with it the incrementally maintained objective,
+  which is a function of ``K_c``) matches a from-scratch recomputation
+  within tolerance;
+* the objective implied by the *maintained* ``K_c`` matches the objective
+  recomputed from scratch from the assignments.
+
+On divergence it either raises a typed
+:class:`~repro.errors.InvariantViolation` (strict mode) or — graceful
+degradation — resynchronizes the aggregates from the assignments (which
+are always authoritative: a vertex is wherever its label says) and reports
+what was repaired.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.state import ClusterState
+from repro.errors import InvariantViolation
+from repro.graphs.csr import CSRGraph
+
+#: Default relative/absolute tolerance for weight and objective agreement.
+DEFAULT_TOLERANCE = 1e-6
+
+
+def _maintained_objective(
+    graph: CSRGraph, state: ClusterState, resolution: float, intra: float
+) -> float:
+    """Objective implied by the *maintained* ``K_c`` aggregates.
+
+    ``F = intra - lambda * sum_c (K_c^2 - K2_c) / 2`` with ``K_c`` read from
+    ``state.cluster_weights`` rather than recomputed — the incrementally
+    maintained value the engines' gain arithmetic is based on.
+    """
+    big_k2 = np.zeros(state.num_vertices, dtype=np.float64)
+    np.add.at(big_k2, state.assignments, graph.node_weight_sq)
+    penalty = float(((state.cluster_weights**2 - big_k2) / 2.0).sum())
+    return intra - resolution * penalty
+
+
+class StateAuditor:
+    """Validates :class:`ClusterState` consistency at checkpoints."""
+
+    def __init__(self, tolerance: float = DEFAULT_TOLERANCE) -> None:
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+        self.tolerance = tolerance
+        self.audits_run = 0
+        self.violations_found = 0
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def verify_state(
+        self,
+        graph: CSRGraph,
+        state: ClusterState,
+        resolution: Optional[float] = None,
+    ) -> List[str]:
+        """Return a list of invariant violations (empty when consistent)."""
+        self.audits_run += 1
+        issues: List[str] = []
+        n = graph.num_vertices
+        assignments = state.assignments
+        if assignments.shape != (n,):
+            return [f"assignments shape {assignments.shape} != ({n},)"]
+        if not np.issubdtype(assignments.dtype, np.integer):
+            issues.append(f"assignments dtype {assignments.dtype} is not integral")
+        if assignments.size and (
+            int(assignments.min()) < 0 or int(assignments.max()) >= n
+        ):
+            issues.append(
+                f"labels outside [0, {n}): min={int(assignments.min())} "
+                f"max={int(assignments.max())}"
+            )
+            self.violations_found += len(issues)
+            return issues
+        true_sizes = np.bincount(assignments, minlength=n)
+        if not np.array_equal(true_sizes, state.cluster_sizes):
+            bad = int((true_sizes != state.cluster_sizes).sum())
+            issues.append(f"cluster_sizes out of sync on {bad} clusters")
+        if not np.isfinite(state.cluster_weights).all():
+            issues.append("cluster_weights contain non-finite values")
+        true_weights = np.zeros(n, dtype=np.float64)
+        np.add.at(true_weights, assignments, state.node_weights)
+        scale = max(1.0, float(np.abs(true_weights).max(initial=0.0)))
+        drift = float(np.abs(true_weights - state.cluster_weights).max(initial=0.0))
+        if drift > self.tolerance * scale:
+            issues.append(
+                f"cluster_weights diverge from assignments "
+                f"(max drift {drift:.3g})"
+            )
+        if resolution is not None and not issues:
+            # With consistent aggregates this is equality by construction;
+            # it fires when K_c drifted in a way the element-wise check's
+            # tolerance absorbed but the quadratic penalty amplifies.
+            from repro.core.objective import (
+                intra_cluster_edge_weight,
+                lambdacc_objective,
+            )
+
+            intra = intra_cluster_edge_weight(graph, assignments)
+            maintained = _maintained_objective(graph, state, resolution, intra)
+            scratch = lambdacc_objective(graph, assignments, resolution)
+            obj_scale = max(1.0, abs(scratch))
+            if abs(maintained - scratch) > self.tolerance * obj_scale:
+                issues.append(
+                    f"maintained objective {maintained:.6g} != recomputed "
+                    f"{scratch:.6g}"
+                )
+        self.violations_found += len(issues)
+        return issues
+
+    def check_state(
+        self,
+        graph: CSRGraph,
+        state: ClusterState,
+        resolution: Optional[float] = None,
+        where: str = "",
+    ) -> None:
+        """Raise :class:`InvariantViolation` if the state is inconsistent."""
+        issues = self.verify_state(graph, state, resolution)
+        if issues:
+            prefix = f"{where}: " if where else ""
+            raise InvariantViolation(prefix + "; ".join(issues))
+
+    def verify_result(
+        self,
+        graph: CSRGraph,
+        assignments: np.ndarray,
+        resolution: float,
+        f_objective: float,
+    ) -> List[str]:
+        """Validate a finished run's dense labels and reported objective."""
+        self.audits_run += 1
+        issues: List[str] = []
+        n = graph.num_vertices
+        assignments = np.asarray(assignments)
+        if assignments.shape != (n,):
+            return [f"assignments shape {assignments.shape} != ({n},)"]
+        if assignments.size:
+            labels = np.unique(assignments)
+            if int(labels.min()) < 0 or int(labels.max()) >= n:
+                issues.append("labels outside [0, n)")
+            elif labels.size != int(labels.max()) + 1:
+                issues.append("labels are not dense")
+        from repro.core.objective import lambdacc_objective
+
+        scratch = lambdacc_objective(graph, assignments, resolution)
+        scale = max(1.0, abs(scratch))
+        if not np.isfinite(f_objective) or abs(scratch - f_objective) > (
+            self.tolerance * scale
+        ):
+            issues.append(
+                f"reported objective {f_objective:.6g} != recomputed {scratch:.6g}"
+            )
+        self.violations_found += len(issues)
+        return issues
+
+    # ------------------------------------------------------------------
+    # graceful degradation
+    # ------------------------------------------------------------------
+    def resync(self, state: ClusterState) -> List[str]:
+        """Rebuild aggregates from the (authoritative) assignments.
+
+        Returns descriptions of what was repaired.  Labels themselves are
+        never rewritten: out-of-range labels are unrecoverable and must be
+        handled by the caller as a hard violation.
+        """
+        n = state.num_vertices
+        repaired: List[str] = []
+        true_sizes = np.bincount(state.assignments, minlength=n).astype(np.int64)
+        if not np.array_equal(true_sizes, state.cluster_sizes):
+            state.cluster_sizes[:] = true_sizes
+            repaired.append("cluster_sizes")
+        true_weights = np.zeros(n, dtype=np.float64)
+        np.add.at(true_weights, state.assignments, state.node_weights)
+        if not np.allclose(
+            true_weights, state.cluster_weights, atol=self.tolerance, rtol=self.tolerance
+        ):
+            state.cluster_weights[:] = true_weights
+            repaired.append("cluster_weights")
+        return repaired

@@ -1,0 +1,212 @@
+"""Checkpoint/resume for the multilevel recursion.
+
+A checkpoint captures everything needed to resume a multilevel run
+*bit-identically*: the position in the hierarchy (next level index), the
+current coarsened graph, every retained ``(level graph, vertex-to-super)``
+pair (needed for flatten/refine on the unwind), the per-level stats so
+far, and the exact numpy RNG state (so subsequent frontier permutations
+replay identically).  Everything is packed into one ``.npz`` file: arrays
+natively, scalars and the RNG state as a JSON header.
+
+Checkpoints are written at level boundaries (after PARALLEL-COMPRESS, the
+natural consistency point: the clustering of the finished level is frozen
+into the vertex-to-super map).  Loading validates a config tag so a
+checkpoint cannot silently resume under a different configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.louvain_par import LevelStats, MultiLevelStats
+from repro.errors import CheckpointError
+from repro.graphs.csr import CSRGraph
+
+PathLike = Union[str, Path]
+
+#: Format version written into every checkpoint (bump on layout changes).
+CHECKPOINT_VERSION = 1
+
+_GRAPH_FIELDS = (
+    "offsets",
+    "neighbors",
+    "weights",
+    "self_loops",
+    "node_weights",
+    "node_weight_sq",
+)
+
+
+@dataclass
+class MultilevelCheckpoint:
+    """Resumable snapshot of a multilevel run at a level boundary."""
+
+    #: Index of the next level to run BEST-MOVES on.
+    level: int
+    #: The coarsened graph at that level.
+    current: CSRGraph
+    #: ``(level graph, vertex_to_super)`` per finished level, finest first.
+    retained: List[Tuple[CSRGraph, np.ndarray]]
+    #: ``numpy`` bit-generator state dict (``None`` for rng-free runs).
+    rng_state: Optional[dict]
+    #: Per-level diagnostics accumulated so far.
+    stats: MultiLevelStats
+    #: Guard against resuming under a different configuration.
+    config_tag: str
+    #: Original input size (second resume guard).
+    num_vertices: int
+    #: Cumulative moves/rounds so far (budget guards resume mid-count).
+    total_moves: int = 0
+    total_rounds: int = 0
+
+
+def _pack_graph(out: dict, prefix: str, graph: CSRGraph) -> None:
+    for name in _GRAPH_FIELDS:
+        out[f"{prefix}_{name}"] = getattr(graph, name)
+
+
+def _unpack_graph(data, prefix: str) -> CSRGraph:
+    try:
+        arrays = {name: data[f"{prefix}_{name}"] for name in _GRAPH_FIELDS}
+    except KeyError as exc:
+        raise CheckpointError(f"checkpoint missing graph array {exc}") from None
+    return CSRGraph(
+        arrays["offsets"],
+        arrays["neighbors"],
+        arrays["weights"],
+        self_loops=arrays["self_loops"],
+        node_weights=arrays["node_weights"],
+        node_weight_sq=arrays["node_weight_sq"],
+        validate=False,
+    )
+
+
+def _stats_to_json(stats: MultiLevelStats) -> list:
+    return [
+        {
+            "num_vertices": lv.num_vertices,
+            "num_edges": lv.num_edges,
+            "iterations": lv.iterations,
+            "moves": lv.moves,
+            "frontier_sizes": [int(x) for x in lv.frontier_sizes],
+            "refine_iterations": lv.refine_iterations,
+            "refine_moves": lv.refine_moves,
+        }
+        for lv in stats.levels
+    ]
+
+
+def _stats_from_json(payload: list) -> MultiLevelStats:
+    stats = MultiLevelStats()
+    for entry in payload:
+        stats.levels.append(LevelStats(**entry))
+    return stats
+
+
+def save_checkpoint(path: PathLike, ckpt: MultilevelCheckpoint) -> None:
+    """Write ``ckpt`` to ``path`` as one compressed ``.npz`` file."""
+    meta = {
+        "version": CHECKPOINT_VERSION,
+        "level": ckpt.level,
+        "num_retained": len(ckpt.retained),
+        "rng_state": ckpt.rng_state,
+        "stats": _stats_to_json(ckpt.stats),
+        "config_tag": ckpt.config_tag,
+        "num_vertices": ckpt.num_vertices,
+        "total_moves": ckpt.total_moves,
+        "total_rounds": ckpt.total_rounds,
+    }
+    arrays = {"meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)}
+    _pack_graph(arrays, "cur", ckpt.current)
+    for idx, (graph, v2s) in enumerate(ckpt.retained):
+        _pack_graph(arrays, f"r{idx}", graph)
+        arrays[f"r{idx}_v2s"] = np.asarray(v2s, dtype=np.int64)
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(
+    path: PathLike,
+    config_tag: Optional[str] = None,
+    num_vertices: Optional[int] = None,
+) -> MultilevelCheckpoint:
+    """Load a checkpoint, validating format and (optionally) the config.
+
+    Raises :class:`~repro.errors.CheckpointError` on a missing/corrupt
+    file, an unknown version, or a config/graph mismatch.
+    """
+    try:
+        data = np.load(path)
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    try:
+        if "meta" not in data:
+            raise CheckpointError(f"{path} is not a repro checkpoint (no meta)")
+        try:
+            meta = json.loads(bytes(data["meta"]).decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"{path}: corrupt checkpoint header: {exc}") from exc
+        version = meta.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"{path}: unsupported checkpoint version {version!r} "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        if config_tag is not None and meta["config_tag"] != config_tag:
+            raise CheckpointError(
+                f"{path}: checkpoint was written under config "
+                f"{meta['config_tag']!r}, cannot resume under {config_tag!r}"
+            )
+        if num_vertices is not None and meta["num_vertices"] != num_vertices:
+            raise CheckpointError(
+                f"{path}: checkpoint graph has {meta['num_vertices']} vertices, "
+                f"input has {num_vertices}"
+            )
+        current = _unpack_graph(data, "cur")
+        retained: List[Tuple[CSRGraph, np.ndarray]] = []
+        for idx in range(int(meta["num_retained"])):
+            graph = _unpack_graph(data, f"r{idx}")
+            try:
+                v2s = np.asarray(data[f"r{idx}_v2s"], dtype=np.int64)
+            except KeyError:
+                raise CheckpointError(
+                    f"{path}: checkpoint missing v2s map for level {idx}"
+                ) from None
+            retained.append((graph, v2s))
+        return MultilevelCheckpoint(
+            level=int(meta["level"]),
+            current=current,
+            retained=retained,
+            rng_state=meta.get("rng_state"),
+            stats=_stats_from_json(meta.get("stats", [])),
+            config_tag=str(meta["config_tag"]),
+            num_vertices=int(meta["num_vertices"]),
+            total_moves=int(meta.get("total_moves", 0)),
+            total_rounds=int(meta.get("total_rounds", 0)),
+        )
+    finally:
+        data.close()
+
+
+def restore_rng(rng: Optional[np.random.Generator], rng_state: Optional[dict]) -> None:
+    """Restore a generator's exact bit-generator state from a checkpoint."""
+    if rng is None or rng_state is None:
+        return
+    saved_kind = rng_state.get("bit_generator")
+    current_kind = type(rng.bit_generator).__name__
+    if saved_kind != current_kind:
+        raise CheckpointError(
+            f"checkpoint RNG is {saved_kind!r}, run uses {current_kind!r}"
+        )
+    rng.bit_generator.state = rng_state
+
+
+def capture_rng(rng: Optional[np.random.Generator]) -> Optional[dict]:
+    """The generator's bit-generator state as a JSON-serializable dict."""
+    if rng is None:
+        return None
+    return rng.bit_generator.state

@@ -1,0 +1,341 @@
+"""Deterministic fault injection for the relaxed concurrency model.
+
+The paper's central engineering claim (Section 3.2) is that *relaxed*
+concurrent vertex moves — stale cluster-weight reads, racy CAS updates,
+interleaved best-move decisions — still converge to high-quality
+clusterings.  This module adversarially exercises that relaxation inside
+the simulated scheduler: a :class:`FaultPlan` deterministically injects
+the exact hazards a real lock-free implementation faces, parameterized by
+per-hazard rates and a seed.
+
+Hazard classes (:class:`FaultKind`):
+
+* ``STALE_READ``     — a mover's cluster-weight updates become visible to
+  later readers only at the *next* move window (delayed fetch-and-add
+  visibility), so concurrent best-move decisions read stale ``K_c``;
+* ``CAS_FAIL``       — compare-and-swap updates fail and retry, charging
+  extra contention cost to the ledger (timing hazard, values exact);
+* ``DROP_MOVE``      — a vertex's move CAS loses the race and is abandoned
+  (the vertex stays put although the engine believes it moved);
+* ``DUP_MOVE``       — the unguarded double fetch-and-add hazard: a move's
+  destination weight update is applied twice, corrupting ``K_c`` until an
+  audit resyncs it;
+* ``DELAY_FRONTIER`` — frontier updates arrive late: a subset of the next
+  frontier is deferred to the following iteration;
+* ``TRANSIENT``      — an injected :class:`~repro.errors.TransientFault`
+  raised before any mutation, exercising the retry/backoff path.
+
+Injection sites are the choke points every engine goes through:
+:meth:`FaultyClusterState.apply_moves` / ``move_one`` (all five engines
+mutate state only through these), :func:`repro.parallel.atomics.
+atomic_add_window` (CAS retries), and :func:`repro.core.frontier.
+next_frontier` (frontier delays) — the latter two consult the plan
+attached to the simulated scheduler (``sched.faults``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.state import ClusterState
+from repro.errors import ConfigError, TransientFault
+from repro.parallel.atomics import atomic_add_window
+
+
+class FaultKind(Enum):
+    """The injectable hazard classes of the relaxed concurrency model."""
+
+    STALE_READ = "stale-read"
+    CAS_FAIL = "cas-fail"
+    DROP_MOVE = "drop-move"
+    DUP_MOVE = "dup-move"
+    DELAY_FRONTIER = "delay-frontier"
+    TRANSIENT = "transient"
+
+
+#: Rate used by :meth:`FaultPlan.single` and the CLI when none is given.
+DEFAULT_RATE = 0.1
+
+_KIND_TO_FIELD: Dict[FaultKind, str] = {
+    FaultKind.STALE_READ: "stale_read_rate",
+    FaultKind.CAS_FAIL: "cas_fail_rate",
+    FaultKind.DROP_MOVE: "drop_move_rate",
+    FaultKind.DUP_MOVE: "dup_move_rate",
+    FaultKind.DELAY_FRONTIER: "delay_frontier_rate",
+    FaultKind.TRANSIENT: "transient_rate",
+}
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic, rate-parameterized fault injection schedule.
+
+    All draws come from a private generator seeded by ``seed``, so a plan
+    replays identically run to run.  ``max_injections`` caps the total
+    number of injected events (across all kinds), guaranteeing forward
+    progress even at high rates.
+    """
+
+    stale_read_rate: float = 0.0
+    cas_fail_rate: float = 0.0
+    drop_move_rate: float = 0.0
+    dup_move_rate: float = 0.0
+    delay_frontier_rate: float = 0.0
+    transient_rate: float = 0.0
+    seed: int = 0
+    max_injections: Optional[int] = None
+    counts: Counter = field(default_factory=Counter, repr=False)
+
+    def __post_init__(self) -> None:
+        for kind, name in _KIND_TO_FIELD.items():
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {rate}")
+        if self.max_injections is not None and self.max_injections < 0:
+            raise ConfigError(
+                f"max_injections must be non-negative, got {self.max_injections}"
+            )
+        self._rng = np.random.default_rng(self.seed)
+        self._deferred = np.zeros(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(
+        cls,
+        kind: FaultKind,
+        rate: float = DEFAULT_RATE,
+        seed: int = 0,
+        max_injections: Optional[int] = None,
+    ) -> "FaultPlan":
+        """A plan injecting exactly one hazard class (the fault matrix)."""
+        return cls(
+            seed=seed,
+            max_injections=max_injections,
+            **{_KIND_TO_FIELD[kind]: rate},
+        )
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse a CLI spec like ``"stale-read=0.2,cas-fail,drop-move=0.05"``.
+
+        A bare kind uses :data:`DEFAULT_RATE`; unknown kinds raise
+        :class:`~repro.errors.ConfigError`.
+        """
+        rates: Dict[str, float] = {}
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            name, _, value = token.partition("=")
+            try:
+                kind = FaultKind(name.strip())
+            except ValueError:
+                raise ConfigError(
+                    f"unknown fault kind {name.strip()!r}; "
+                    f"available: {sorted(k.value for k in FaultKind)}"
+                ) from None
+            try:
+                rate = float(value) if value else DEFAULT_RATE
+            except ValueError:
+                raise ConfigError(f"bad fault rate in {token!r}") from None
+            rates[_KIND_TO_FIELD[kind]] = rate
+        if not rates:
+            raise ConfigError(f"empty fault spec {spec!r}")
+        return cls(seed=seed, **rates)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def total_injections(self) -> int:
+        return sum(self.counts.values())
+
+    def _exhausted(self) -> bool:
+        return (
+            self.max_injections is not None
+            and self.total_injections >= self.max_injections
+        )
+
+    def _record(self, kind: FaultKind, count: int) -> None:
+        if count:
+            self.counts[kind.value] += int(count)
+
+    def summary(self) -> str:
+        """Human-readable injection tally, e.g. ``"stale-read=12 cas-fail=3"``."""
+        if not self.counts:
+            return "no faults injected"
+        return " ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+
+    # ------------------------------------------------------------------
+    # draw primitives (each consults the cap and records what fired)
+    # ------------------------------------------------------------------
+    def _mask(self, kind: FaultKind, rate: float, size: int) -> np.ndarray:
+        if rate <= 0.0 or size == 0 or self._exhausted():
+            return np.zeros(size, dtype=bool)
+        mask = self._rng.random(size) < rate
+        if self.max_injections is not None:
+            headroom = self.max_injections - self.total_injections
+            fired = np.flatnonzero(mask)
+            if fired.size > headroom:
+                mask[fired[headroom:]] = False
+        self._record(kind, int(mask.sum()))
+        return mask
+
+    def drop_mask(self, size: int) -> np.ndarray:
+        """Which of ``size`` concurrent moves lose their CAS and abort."""
+        return self._mask(FaultKind.DROP_MOVE, self.drop_move_rate, size)
+
+    def dup_mask(self, size: int) -> np.ndarray:
+        """Which moves suffer the double fetch-and-add on the destination."""
+        return self._mask(FaultKind.DUP_MOVE, self.dup_move_rate, size)
+
+    def delay_mask(self, size: int) -> np.ndarray:
+        """Which moves' weight updates become visible only later."""
+        return self._mask(FaultKind.STALE_READ, self.stale_read_rate, size)
+
+    def cas_failures(self, size: int) -> int:
+        """How many of ``size`` concurrent CAS updates fail and retry."""
+        return int(self._mask(FaultKind.CAS_FAIL, self.cas_fail_rate, size).sum())
+
+    def transient_fires(self) -> bool:
+        """Whether one injected transient failure fires at this call site."""
+        return bool(self._mask(FaultKind.TRANSIENT, self.transient_rate, 1)[0])
+
+    def reset_frontier(self) -> None:
+        """Discard deferred frontier vertices (called at engine boundaries:
+        vertex ids are only meaningful within one level's graph)."""
+        self._deferred = np.zeros(0, dtype=np.int64)
+
+    def delay_frontier(self, frontier: np.ndarray) -> np.ndarray:
+        """Defer a random subset of ``frontier`` to the next iteration.
+
+        Previously deferred vertices are merged back in, so the hazard is
+        a *delay*, never a loss: when the incoming frontier is empty all
+        deferred vertices are released at once.
+        """
+        frontier = np.asarray(frontier, dtype=np.int64)
+        pending = self._deferred
+        if frontier.size == 0:
+            self._deferred = np.zeros(0, dtype=np.int64)
+            return pending
+        hold = self._mask(
+            FaultKind.DELAY_FRONTIER, self.delay_frontier_rate, frontier.size
+        )
+        self._deferred = frontier[hold]
+        released = frontier[~hold]
+        if pending.size:
+            released = np.union1d(released, pending)
+        return released
+
+
+class FaultyClusterState(ClusterState):
+    """A :class:`ClusterState` whose mutations pass through a fault plan.
+
+    Wraps (shares arrays with) a base state, so engines observe hazards
+    transparently: dropped moves never touch state, duplicated moves
+    double-apply the destination fetch-and-add, and stale-read moves defer
+    their weight updates until the next mutation — every read of
+    ``cluster_weights`` in between sees the pre-move (stale) values.
+    """
+
+    __slots__ = ("plan", "_pending")
+
+    def __init__(self, base: ClusterState, plan: FaultPlan) -> None:
+        super().__init__(
+            base.assignments,
+            base.cluster_weights,
+            base.cluster_sizes,
+            base.node_weights,
+        )
+        self.plan = plan
+        self._pending: list = []
+
+    def flush_pending(self, sched=None) -> None:
+        """Make all deferred weight updates visible (end of staleness)."""
+        for targets, deltas in self._pending:
+            atomic_add_window(
+                self.cluster_weights, targets, deltas, sched=sched, label="K-late"
+            )
+        self._pending.clear()
+
+    def apply_moves(self, vertices, targets, sched=None) -> int:
+        plan = self.plan
+        if plan.transient_fires():
+            # Raised before any mutation: the state stays consistent and
+            # the engine call can simply be retried.
+            raise TransientFault(
+                f"injected transient fault (window of {np.size(vertices)} moves)"
+            )
+        self.flush_pending(sched=sched)
+        vertices = np.asarray(vertices, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        old = self.assignments[vertices]
+        moving = old != targets
+        if not moving.any():
+            return 0
+        movers = vertices[moving]
+        old = old[moving]
+        new = targets[moving]
+        keep = ~plan.drop_mask(movers.size)
+        movers, old, new = movers[keep], old[keep], new[keep]
+        if movers.size == 0:
+            return 0
+        k = self.node_weights[movers].astype(np.float64)
+        self.assignments[movers] = new
+        np.add.at(self.cluster_sizes, old, -1)
+        np.add.at(self.cluster_sizes, new, 1)
+        delayed = plan.delay_mask(movers.size)
+        visible = ~delayed
+        atomic_add_window(
+            self.cluster_weights, old[visible], -k[visible], sched=sched, label="K-dec"
+        )
+        atomic_add_window(
+            self.cluster_weights, new[visible], k[visible], sched=sched, label="K-inc"
+        )
+        if delayed.any():
+            self._pending.append(
+                (
+                    np.concatenate([old[delayed], new[delayed]]),
+                    np.concatenate([-k[delayed], k[delayed]]),
+                )
+            )
+        dup = plan.dup_mask(movers.size)
+        if dup.any():
+            # The unguarded-double-fetch-and-add hazard: K_c drifts up.
+            np.add.at(self.cluster_weights, new[dup], k[dup])
+        return int(movers.size)
+
+    def move_one(self, v: int, target: int) -> bool:
+        plan = self.plan
+        if plan.transient_fires():
+            raise TransientFault(f"injected transient fault (move of vertex {v})")
+        self.flush_pending()
+        old = int(self.assignments[v])
+        if old == target:
+            return False
+        if plan.drop_mask(1)[0]:
+            return False
+        k = float(self.node_weights[v])
+        self.assignments[v] = target
+        self.cluster_sizes[old] -= 1
+        self.cluster_sizes[target] += 1
+        if plan.delay_mask(1)[0]:
+            self._pending.append(
+                (
+                    np.asarray([old, target], dtype=np.int64),
+                    np.asarray([-k, k], dtype=np.float64),
+                )
+            )
+        else:
+            self.cluster_weights[old] -= k
+            self.cluster_weights[target] += k
+        if plan.dup_mask(1)[0]:
+            self.cluster_weights[target] += k
+        return True

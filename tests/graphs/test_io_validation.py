@@ -1,0 +1,126 @@
+"""Hardened reader validation: malformed input names the file and line."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.io import read_edge_list, read_metis
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestEdgeListValidation:
+    def test_clean_file_reads(self, tmp_path):
+        path = _write(tmp_path, "g.txt", "# comment\n0 1\n1 2 2.5\n")
+        graph = read_edge_list(path)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_non_integer_id_names_file_and_line(self, tmp_path):
+        path = _write(tmp_path, "g.txt", "0 1\nx 2\n")
+        with pytest.raises(GraphFormatError, match=r"g\.txt:2.*integers"):
+            read_edge_list(path)
+
+    def test_negative_id_rejected(self, tmp_path):
+        path = _write(tmp_path, "g.txt", "0 1\n-3 2\n")
+        with pytest.raises(GraphFormatError, match=r"g\.txt:2.*negative vertex id"):
+            read_edge_list(path)
+
+    def test_wrong_column_count(self, tmp_path):
+        path = _write(tmp_path, "g.txt", "0 1 2 3\n")
+        with pytest.raises(GraphFormatError, match=r"g\.txt:1.*expected"):
+            read_edge_list(path)
+
+    def test_unparsable_weight(self, tmp_path):
+        path = _write(tmp_path, "g.txt", "0 1 heavy\n")
+        with pytest.raises(GraphFormatError, match=r"g\.txt:1.*bad edge weight"):
+            read_edge_list(path)
+
+    @pytest.mark.parametrize("token", ["nan", "inf", "-inf"])
+    def test_non_finite_weight_rejected(self, tmp_path, token):
+        path = _write(tmp_path, "g.txt", f"0 1 {token}\n")
+        with pytest.raises(GraphFormatError, match=r"g\.txt:1.*non-finite"):
+            read_edge_list(path)
+
+    def test_negative_weight_rejected_by_default(self, tmp_path):
+        path = _write(tmp_path, "g.txt", "0 1 -2.0\n")
+        with pytest.raises(GraphFormatError, match="negative edge weight"):
+            read_edge_list(path)
+
+    def test_allow_signed_accepts_negative_weight(self, tmp_path):
+        path = _write(tmp_path, "g.txt", "0 1 -2.0\n")
+        graph = read_edge_list(path, allow_signed=True)
+        assert np.isclose(graph.weights.min(), -2.0)
+
+    def test_signed_still_rejects_non_finite(self, tmp_path):
+        path = _write(tmp_path, "g.txt", "0 1 nan\n")
+        with pytest.raises(GraphFormatError, match="non-finite"):
+            read_edge_list(path, allow_signed=True)
+
+
+class TestMetisValidation:
+    def test_clean_file_reads(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "3 2\n2 3\n1\n1\n")
+        graph = read_metis(path)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_empty_file(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "% nothing here\n")
+        with pytest.raises(GraphFormatError, match="empty METIS file"):
+            read_metis(path)
+
+    def test_non_integer_header(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "three 2\n")
+        with pytest.raises(GraphFormatError, match="must be integers"):
+            read_metis(path)
+
+    def test_negative_header_counts(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "-3 2\n")
+        with pytest.raises(GraphFormatError, match="negative counts"):
+            read_metis(path)
+
+    def test_bad_fmt_field(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "2 1 7\n2\n1\n")
+        with pytest.raises(GraphFormatError, match="bad METIS fmt field"):
+            read_metis(path)
+
+    def test_vertex_count_mismatch(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "3 2\n2 3\n1\n")
+        with pytest.raises(GraphFormatError, match="adjacency lines"):
+            read_metis(path)
+
+    def test_edge_count_mismatch(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "3 5\n2 3\n1\n1\n")
+        with pytest.raises(GraphFormatError, match="declares 5 edges"):
+            read_metis(path)
+
+    def test_neighbor_out_of_range(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "2 1\n9\n1\n")
+        with pytest.raises(GraphFormatError, match="outside"):
+            read_metis(path)
+
+    def test_non_integer_neighbor(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "2 1\ntwo\n1\n")
+        with pytest.raises(GraphFormatError, match="non-integer neighbor"):
+            read_metis(path)
+
+    def test_dangling_weight_token(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "2 1 1\n2 5.0 1\n1 5.0\n")
+        with pytest.raises(GraphFormatError, match="dangling weight"):
+            read_metis(path)
+
+    def test_non_finite_edge_weight(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "2 1 1\n2 nan\n1 nan\n")
+        with pytest.raises(GraphFormatError, match="non-finite or"):
+            read_metis(path)
+
+    def test_isolated_vertex_empty_line_ok(self, tmp_path):
+        path = _write(tmp_path, "g.metis", "3 1\n2\n1\n\n")
+        graph = read_metis(path)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 1

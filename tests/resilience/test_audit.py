@@ -1,0 +1,84 @@
+"""StateAuditor: detection, strictness, and graceful resync."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import ClusterState
+from repro.errors import InvariantViolation
+from repro.resilience.audit import StateAuditor
+
+
+@pytest.fixture
+def state(karate):
+    state = ClusterState.singletons(karate)
+    state.apply_moves(
+        np.asarray([0, 1, 2], dtype=np.int64), np.asarray([5, 5, 5], dtype=np.int64)
+    )
+    return state
+
+
+class TestVerifyState:
+    def test_clean_state_passes(self, karate, state):
+        assert StateAuditor().verify_state(karate, state, resolution=0.05) == []
+
+    def test_check_state_raises_typed_error(self, karate, state):
+        state.cluster_weights[5] += 3.0
+        with pytest.raises(InvariantViolation, match="best-moves"):
+            StateAuditor().check_state(karate, state, where="best-moves")
+
+    def test_detects_weight_drift(self, karate, state):
+        state.cluster_weights[5] += 1.0
+        issues = StateAuditor().verify_state(karate, state)
+        assert any("cluster_weights" in issue for issue in issues)
+
+    def test_detects_size_drift(self, karate, state):
+        state.cluster_sizes[5] += 1
+        issues = StateAuditor().verify_state(karate, state)
+        assert any("cluster_sizes" in issue for issue in issues)
+
+    def test_detects_out_of_range_labels(self, karate, state):
+        state.assignments[0] = -3
+        issues = StateAuditor().verify_state(karate, state)
+        assert any("labels" in issue for issue in issues)
+
+    def test_detects_non_finite_weights(self, karate, state):
+        state.cluster_weights[5] = np.nan
+        issues = StateAuditor().verify_state(karate, state)
+        assert any("non-finite" in issue for issue in issues)
+
+    def test_tolerance_absorbs_float_noise(self, karate, state):
+        state.cluster_weights[5] += 1e-12
+        assert StateAuditor().verify_state(karate, state, resolution=0.05) == []
+
+
+class TestResync:
+    def test_resync_repairs_weights_and_sizes(self, karate, state):
+        state.cluster_weights[5] += 7.0
+        state.cluster_sizes[2] += 4
+        auditor = StateAuditor()
+        repaired = auditor.resync(state)
+        assert set(repaired) == {"cluster_weights", "cluster_sizes"}
+        assert auditor.verify_state(karate, state, resolution=0.05) == []
+
+    def test_resync_noop_on_clean_state(self, karate, state):
+        assert StateAuditor().resync(state) == []
+
+
+class TestVerifyResult:
+    def test_clean_result_passes(self, karate):
+        from repro.core.objective import lambdacc_objective
+
+        labels = np.zeros(karate.num_vertices, dtype=np.int64)
+        f_value = lambdacc_objective(karate, labels, 0.05)
+        assert StateAuditor().verify_result(karate, labels, 0.05, f_value) == []
+
+    def test_detects_objective_mismatch(self, karate):
+        labels = np.zeros(karate.num_vertices, dtype=np.int64)
+        issues = StateAuditor().verify_result(karate, labels, 0.05, 1e9)
+        assert any("objective" in issue for issue in issues)
+
+    def test_detects_non_dense_labels(self, karate):
+        labels = np.zeros(karate.num_vertices, dtype=np.int64)
+        labels[0] = 7  # labels {0, 7}: valid range but not dense
+        issues = StateAuditor().verify_result(karate, labels, 0.05, 0.0)
+        assert any("dense" in issue for issue in issues)

@@ -1,0 +1,136 @@
+"""The fault matrix: every engine under every fault class.
+
+Each cell of the matrix runs the full multilevel pipeline with one
+engine under one injected hazard and asserts the resilience contract:
+the run either converges to a valid, audited clustering (possibly
+degraded, with the incident recorded in the failure log) or raises a
+typed :class:`~repro.errors.ReproError` — never a silent wrong answer,
+never an untyped crash.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ClusteringConfig
+from repro.core.engines import ENGINES, multilevel_with_engine
+from repro.core.objective import lambdacc_objective
+from repro.errors import ReproError
+from repro.generators.planted import planted_partition_graph
+from repro.parallel.scheduler import SimulatedScheduler
+from repro.resilience import (
+    FaultKind,
+    FaultPlan,
+    ResilienceContext,
+    ResiliencePolicy,
+    StateAuditor,
+)
+
+pytestmark = pytest.mark.faults
+
+ENGINE_NAMES = sorted(ENGINES)
+FAULT_KINDS = [kind.value for kind in FaultKind]
+RESOLUTION = 0.05
+
+
+def _run(graph, engine, plan, strict=False, seed=7):
+    config = ClusteringConfig(resolution=RESOLUTION, seed=seed)
+    sched = SimulatedScheduler(num_workers=8)
+    ctx = ResilienceContext(
+        ResiliencePolicy(faults=plan, audit=True, strict=strict, max_retries=3),
+        sched=sched,
+    )
+    ctx.bind(graph, RESOLUTION, config)
+    labels, stats = multilevel_with_engine(
+        graph,
+        RESOLUTION,
+        config,
+        engine=engine,
+        sched=sched,
+        rng=np.random.default_rng(seed),
+        resilience=ctx,
+    )
+    return labels, stats, ctx
+
+
+def _assert_valid(graph, labels, ctx):
+    """The resilience contract for a run that returned."""
+    n = graph.num_vertices
+    assert labels.shape == (n,) and labels.dtype == np.int64
+    assert 0 <= labels.min() and labels.max() < n
+    # Independent audit: the returned clustering is internally consistent
+    # and its objective is recomputable (finite, not NaN-poisoned).
+    objective = lambdacc_objective(graph, labels, RESOLUTION)
+    assert np.isfinite(objective)
+    dense = np.unique(labels, return_inverse=True)[1].astype(np.int64)
+    recomputed = lambdacc_objective(graph, dense, RESOLUTION)
+    assert StateAuditor().verify_result(graph, dense, RESOLUTION, recomputed) == []
+    if ctx.degraded:
+        assert ctx.failure_log  # degradation is always explained
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+@pytest.mark.parametrize("fault", FAULT_KINDS)
+def test_engine_survives_fault_on_karate(karate, engine, fault):
+    plan = FaultPlan.from_spec(f"{fault}=0.3", seed=11)
+    try:
+        labels, stats, ctx = _run(karate, engine, plan)
+    except ReproError:
+        return  # a typed refusal satisfies the contract
+    _assert_valid(karate, labels, ctx)
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_engine_survives_combined_faults(karate, engine):
+    plan = FaultPlan(
+        stale_read_rate=0.1,
+        cas_fail_rate=0.1,
+        drop_move_rate=0.1,
+        dup_move_rate=0.1,
+        delay_frontier_rate=0.1,
+        seed=5,
+        max_injections=200,
+    )
+    try:
+        labels, stats, ctx = _run(karate, engine, plan)
+    except ReproError:
+        return
+    _assert_valid(karate, labels, ctx)
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_engine_on_planted_partition_under_faults(engine):
+    graph = planted_partition_graph(100, seed=3).graph
+    plan = FaultPlan.from_spec("drop-move=0.2,stale-read=0.2", seed=19)
+    try:
+        labels, stats, ctx = _run(graph, engine, plan)
+    except ReproError:
+        return
+    _assert_valid(graph, labels, ctx)
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_strict_mode_never_degrades_silently(karate, engine):
+    plan = FaultPlan(dup_move_rate=0.5, seed=2)
+    try:
+        labels, stats, ctx = _run(karate, engine, plan, strict=True)
+    except ReproError:
+        return  # typed error: contract satisfied
+    # If no fault actually corrupted state, the run must be pristine.
+    assert not ctx.degraded
+    _assert_valid(karate, labels, ctx)
+
+
+@pytest.mark.parametrize("engine", ENGINE_NAMES)
+def test_fault_free_plan_matches_clean_run(karate, engine):
+    config = ClusteringConfig(resolution=RESOLUTION, seed=7)
+    clean_labels, _ = multilevel_with_engine(
+        karate,
+        RESOLUTION,
+        config,
+        engine=engine,
+        sched=SimulatedScheduler(num_workers=8),
+        rng=np.random.default_rng(7),
+    )
+    labels, stats, ctx = _run(karate, engine, FaultPlan(seed=11))
+    assert not ctx.degraded
+    assert np.array_equal(clean_labels, labels)

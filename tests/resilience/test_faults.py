@@ -1,0 +1,155 @@
+"""FaultPlan mechanics: determinism, rate parsing, injection accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import ClusterState
+from repro.errors import ConfigError, TransientFault
+from repro.resilience.faults import (
+    DEFAULT_RATE,
+    FaultKind,
+    FaultPlan,
+    FaultyClusterState,
+)
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(stale_read_rate=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan(cas_fail_rate=-0.1)
+        with pytest.raises(ConfigError):
+            FaultPlan(max_injections=-1)
+
+    def test_single_sets_one_rate(self):
+        plan = FaultPlan.single(FaultKind.DROP_MOVE, rate=0.25)
+        assert plan.drop_move_rate == 0.25
+        assert plan.stale_read_rate == 0.0
+        assert plan.transient_rate == 0.0
+
+    def test_from_spec(self):
+        plan = FaultPlan.from_spec("stale-read=0.2, cas-fail ,drop-move=0.05")
+        assert plan.stale_read_rate == 0.2
+        assert plan.cas_fail_rate == DEFAULT_RATE
+        assert plan.drop_move_rate == 0.05
+
+    def test_from_spec_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError, match="unknown fault kind"):
+            FaultPlan.from_spec("segfault=0.5")
+
+    def test_from_spec_rejects_bad_rate(self):
+        with pytest.raises(ConfigError, match="bad fault rate"):
+            FaultPlan.from_spec("cas-fail=lots")
+
+    def test_from_spec_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_spec("  , ")
+
+    def test_deterministic_replay(self):
+        a = FaultPlan(drop_move_rate=0.5, seed=42)
+        b = FaultPlan(drop_move_rate=0.5, seed=42)
+        for _ in range(5):
+            assert np.array_equal(a.drop_mask(100), b.drop_mask(100))
+        assert a.counts == b.counts
+
+    def test_max_injections_caps_total(self):
+        plan = FaultPlan(drop_move_rate=1.0, max_injections=7)
+        plan.drop_mask(5)
+        mask = plan.drop_mask(5)
+        assert plan.total_injections == 7
+        assert int(mask.sum()) == 2  # only 2 of the second batch fire
+        assert not plan.drop_mask(5).any()  # exhausted
+
+    def test_zero_rate_never_fires(self):
+        plan = FaultPlan(seed=0)
+        assert not plan.drop_mask(1000).any()
+        assert not plan.transient_fires()
+        assert plan.cas_failures(1000) == 0
+        assert plan.total_injections == 0
+
+    def test_counts_by_kind(self):
+        plan = FaultPlan(drop_move_rate=1.0, cas_fail_rate=1.0)
+        plan.drop_mask(3)
+        plan.cas_failures(2)
+        assert plan.counts[FaultKind.DROP_MOVE.value] == 3
+        assert plan.counts[FaultKind.CAS_FAIL.value] == 2
+        assert "drop-move=3" in plan.summary()
+
+    def test_delay_frontier_defers_not_drops(self):
+        plan = FaultPlan(delay_frontier_rate=1.0, seed=1)
+        first = plan.delay_frontier(np.arange(10, dtype=np.int64))
+        assert first.size == 0  # everything held back
+        released = plan.delay_frontier(np.zeros(0, dtype=np.int64))
+        assert np.array_equal(released, np.arange(10))  # ...and released later
+
+    def test_reset_frontier_discards_deferred(self):
+        plan = FaultPlan(delay_frontier_rate=1.0, seed=1)
+        plan.delay_frontier(np.arange(10, dtype=np.int64))
+        plan.reset_frontier()
+        assert plan.delay_frontier(np.zeros(0, dtype=np.int64)).size == 0
+
+
+class TestFaultyClusterState:
+    def _state(self, karate):
+        return ClusterState.singletons(karate)
+
+    def test_no_faults_behaves_identically(self, karate):
+        clean = self._state(karate)
+        faulty = FaultyClusterState(self._state(karate), FaultPlan())
+        vertices = np.asarray([0, 1, 2], dtype=np.int64)
+        targets = np.asarray([5, 5, 6], dtype=np.int64)
+        assert clean.apply_moves(vertices, targets) == faulty.apply_moves(
+            vertices, targets
+        )
+        assert np.array_equal(clean.assignments, faulty.assignments)
+        assert np.allclose(clean.cluster_weights, faulty.cluster_weights)
+        faulty.check_invariants()
+
+    def test_drop_move_keeps_state_consistent(self, karate):
+        plan = FaultPlan(drop_move_rate=1.0)
+        state = FaultyClusterState(self._state(karate), plan)
+        moved = state.apply_moves(
+            np.asarray([0, 1], dtype=np.int64), np.asarray([5, 5], dtype=np.int64)
+        )
+        assert moved == 0
+        state.check_invariants()  # nothing applied, nothing corrupt
+
+    def test_stale_read_defers_weight_visibility(self, karate):
+        plan = FaultPlan(stale_read_rate=1.0)
+        state = FaultyClusterState(self._state(karate), plan)
+        before = state.cluster_weights.copy()
+        state.apply_moves(
+            np.asarray([0], dtype=np.int64), np.asarray([5], dtype=np.int64)
+        )
+        # The assignment moved but the weight update is not yet visible.
+        assert state.assignments[0] == 5
+        assert np.allclose(state.cluster_weights, before)
+        state.flush_pending()
+        state.check_invariants()
+
+    def test_dup_move_corrupts_weights_until_resync(self, karate):
+        plan = FaultPlan(dup_move_rate=1.0)
+        state = FaultyClusterState(self._state(karate), plan)
+        state.apply_moves(
+            np.asarray([0], dtype=np.int64), np.asarray([5], dtype=np.int64)
+        )
+        with pytest.raises(AssertionError):
+            state.check_invariants()
+
+    def test_transient_raises_before_mutation(self, karate):
+        plan = FaultPlan(transient_rate=1.0)
+        state = FaultyClusterState(self._state(karate), plan)
+        before = state.assignments.copy()
+        with pytest.raises(TransientFault):
+            state.apply_moves(
+                np.asarray([0], dtype=np.int64), np.asarray([5], dtype=np.int64)
+            )
+        assert np.array_equal(state.assignments, before)
+        state.check_invariants()
+
+    def test_move_one_faults(self, karate):
+        plan = FaultPlan(drop_move_rate=1.0)
+        state = FaultyClusterState(self._state(karate), plan)
+        assert state.move_one(0, 5) is False
+        state.check_invariants()
