@@ -1,0 +1,39 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test test-fast smoke-obs baselines compare-baselines bench
+
+## Full test suite (tier 1).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Everything except the slow fault matrix.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not faults"
+
+## Observability smoke: one traced clustering, schema-validated trace,
+## parse-back metrics (the `obs` marker), then the CLI gate on a fresh run.
+smoke-obs:
+	$(PYTHON) -m pytest -q -m obs
+	$(PYTHON) -m repro.cli cluster --karate --resolution 0.05 --seed 3 \
+	    --trace /tmp/repro-smoke-trace.jsonl
+	$(PYTHON) -m repro.obs.bench validate-trace /tmp/repro-smoke-trace.jsonl
+
+## Regenerate the committed BENCH_*.json baselines.
+baselines:
+	$(PYTHON) -m repro.obs.bench emit
+
+## Re-measure into a scratch dir and compare against the committed
+## baselines (>10% regressions exit nonzero).
+compare-baselines:
+	$(PYTHON) -m repro.obs.bench emit --out /tmp/repro-bench-current
+	$(PYTHON) -m repro.obs.bench compare \
+	    benchmarks/baselines/BENCH_engines.json \
+	    /tmp/repro-bench-current/BENCH_engines.json
+	$(PYTHON) -m repro.obs.bench compare \
+	    benchmarks/baselines/BENCH_overhead.json \
+	    /tmp/repro-bench-current/BENCH_overhead.json
+
+## Per-figure benchmark scripts (pytest-benchmark).
+bench:
+	$(PYTHON) -m pytest benchmarks -q

@@ -1,0 +1,57 @@
+"""Observability overhead: instrumentation must be no-op-cheap.
+
+ISSUE 2's contract: with an :class:`~repro.obs.instrument.Instrumentation`
+constructed but *disabled*, every hook degenerates to an attribute load
+plus an ``enabled`` check, so the wall-clock slowdown over an
+uninstrumented run stays under 3%.  The assertion uses a loose multiple
+of that target because CI wall clocks are noisy at millisecond scales
+(same convention as ``bench_resilience.py``); the committed
+``BENCH_overhead.json`` baseline records the measured ratios for the
+``compare`` gate.
+
+Disabled or enabled, instrumentation must never change the answer: the
+clustering and the simulated cost are asserted bit-identical.
+"""
+
+from repro.bench.harness import ExperimentTable
+from repro.obs.bench import overhead_suite
+
+#: Design target for the constructed-but-disabled configuration.
+DISABLED_TARGET = 0.03
+#: CI wall clocks are noisy at millisecond scales; assert a loose multiple.
+WALL_TOLERANCE = 10.0
+
+
+def test_obs_overhead(benchmark):
+    suite = benchmark.pedantic(
+        overhead_suite, kwargs={"repeats": 5}, rounds=1, iterations=1
+    )
+
+    rows = {row.key: row for row in suite.rows}
+    table = ExperimentTable(
+        "Instrumentation overhead vs uninstrumented run",
+        ["configuration", "wall (s)", "slowdown", "identical"],
+    )
+    table.add_row(
+        "baseline", f"{rows['baseline'].info['wall_seconds']:.4f}", "-", "-"
+    )
+    for key in ("disabled", "enabled"):
+        row = rows[key]
+        table.add_row(
+            key,
+            f"{row.info['wall_seconds']:.4f}",
+            f"{row.metrics['slowdown'] - 1.0:+.1%}",
+            row.info["identical"],
+        )
+    table.emit()
+
+    for key in ("disabled", "enabled"):
+        # Instrumentation observes; it must never change the clustering or
+        # the modeled parallel cost.
+        assert rows[key].info["identical"], f"{key}: clustering diverged"
+        assert rows[key].info["sim_identical"], f"{key}: simulated cost changed"
+    disabled_overhead = rows["disabled"].metrics["slowdown"] - 1.0
+    assert disabled_overhead < DISABLED_TARGET * WALL_TOLERANCE, (
+        f"disabled instrumentation costs {disabled_overhead:.1%}, far above "
+        f"the {DISABLED_TARGET:.0%} target"
+    )

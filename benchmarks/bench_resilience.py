@@ -9,8 +9,6 @@ checks stays small (<5% is the design target; the assertion below uses a
 loose multiple because CI wall timings are noisy).
 """
 
-import time
-
 import numpy as np
 
 from repro.bench.harness import ExperimentTable
@@ -18,6 +16,7 @@ from repro.core.api import cluster
 from repro.core.config import ClusteringConfig
 from repro.generators.planted import planted_partition_graph
 from repro.graphs.karate import karate_club_graph
+from repro.obs.bench import time_callable
 from repro.resilience import ResiliencePolicy, RunBudget
 
 #: Design target for guard/audit overhead (fraction of baseline wall time).
@@ -40,13 +39,10 @@ def _graphs():
 
 
 def _time_run(graph, config, policy):
-    best = float("inf")
-    result = None
-    for _ in range(REPEATS):
-        start = time.perf_counter()
-        result = cluster(graph, config, resilience=policy)
-        best = min(best, time.perf_counter() - start)
-    return best, result
+    result, timing = time_callable(
+        lambda: cluster(graph, config, resilience=policy), repeats=REPEATS
+    )
+    return timing.best, result
 
 
 def run_overhead():

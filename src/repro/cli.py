@@ -107,6 +107,34 @@ def _resilience_policy(args):
     )
 
 
+def _instrumentation(args):
+    """Build an Instrumentation when any observability flag is present."""
+    if not (args.trace or args.metrics or args.profile):
+        return None
+    from repro.obs.instrument import Instrumentation
+
+    return Instrumentation(profile=args.profile)
+
+
+def _print_profile(result, instr) -> None:
+    """--profile: per-level timing table plus the ledger's top regions."""
+    print("per-level profile:")
+    print(
+        f"  {'level':>5} {'vertices':>9} {'rounds':>7} {'moves':>8} "
+        f"{'wall_s':>9} {'refine_s':>9}"
+    )
+    for idx, lv in enumerate(result.stats.levels):
+        print(
+            f"  {idx:>5} {lv.num_vertices:>9} "
+            f"{lv.iterations + lv.refine_iterations:>7} "
+            f"{lv.moves + lv.refine_moves:>8} {lv.wall_seconds:>9.4f} "
+            f"{lv.refine_wall_seconds:>9.4f}"
+        )
+    print("top regions by simulated work:")
+    for label, work, share in result.ledger.profile(top=8):
+        print(f"  {label:<24} {work:>14.4g} {share:>6.1%}")
+
+
 def _cmd_cluster(args) -> int:
     graph = _load_graph(args)
     config = ClusteringConfig(
@@ -121,7 +149,11 @@ def _cmd_cluster(args) -> int:
         seed=args.seed,
     )
     policy = _resilience_policy(args)
-    result = cluster(graph, config, resilience=policy)
+    instr = _instrumentation(args)
+    result = cluster(
+        graph, config, resilience=policy, instrumentation=instr,
+        engine=args.engine,
+    )
     print(result.summary())
     for line in result.failure_log:
         print(f"  ! {line}", file=sys.stderr)
@@ -134,6 +166,15 @@ def _cmd_cluster(args) -> int:
     if args.output:
         _write_labels(result.assignments, args.output)
         print(f"labels written to {args.output}")
+    if instr is not None:
+        if args.trace:
+            instr.write_trace(args.trace)
+            print(f"trace written to {args.trace}")
+        if args.metrics:
+            instr.write_metrics(args.metrics)
+            print(f"metrics written to {args.metrics}")
+        if args.profile:
+            _print_profile(result, instr)
     return 0
 
 
@@ -359,6 +400,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "(bare kind = default rate)")
     r.add_argument("--fault-seed", type=int, default=0,
                    help="seed for the fault-injection schedule")
+    o = p.add_argument_group("observability")
+    o.add_argument("--engine", choices=["relaxed", "prefix", "colored",
+                                        "event", "sequential"],
+                   help="override the BEST-MOVES engine (default: relaxed "
+                        "for PAR, sequential for SEQ)")
+    o.add_argument("--trace", metavar="FILE",
+                   help="write the run's nested span trace as JSONL "
+                        "(run -> level -> phase -> round)")
+    o.add_argument("--metrics", metavar="FILE",
+                   help="write run metrics; .json/.jsonl gets JSONL, "
+                        "anything else Prometheus text format")
+    o.add_argument("--profile", action="store_true",
+                   help="print a per-level timing table and the top "
+                        "simulated-work regions")
     p.set_defaults(func=_cmd_cluster)
 
     p = sub.add_parser("generate", help="generate a synthetic graph")

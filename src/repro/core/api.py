@@ -26,6 +26,12 @@ from repro.core.result import ClusterResult
 from repro.errors import InvariantViolation
 from repro.graphs.csr import CSRGraph
 from repro.graphs.stats import MemoryTracker
+from repro.obs.instrument import (
+    M_MODULARITY,
+    M_OBJECTIVE,
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+)
 from repro.parallel.scheduler import SimulatedScheduler
 from repro.resilience.context import ResilienceContext, ResiliencePolicy
 from repro.utils.rng import make_rng
@@ -36,6 +42,8 @@ def cluster(
     graph: CSRGraph,
     config: ClusteringConfig,
     resilience: Optional[ResiliencePolicy] = None,
+    instrumentation: Optional[Instrumentation] = None,
+    engine: Optional[str] = None,
 ) -> ClusterResult:
     """Cluster ``graph`` according to ``config``; see :class:`ClusterResult`.
 
@@ -45,9 +53,23 @@ def cluster(
     checkpoint/resume.  A degraded run returns its best-so-far clustering
     with ``result.degraded`` set and the reasons in ``result.failure_log``
     instead of raising.
+
+    ``instrumentation`` optionally attaches an
+    :class:`~repro.obs.instrument.Instrumentation`: a structured trace of
+    nested ``run → level → phase → round`` spans plus a metrics registry
+    (moves, gains, frontier sizes, compression ratios, CAS retries),
+    exportable afterwards via ``instrumentation.write_trace()`` /
+    ``write_metrics()``.  Absent or disabled, every hook is a no-op.
+
+    ``engine`` optionally overrides the BEST-MOVES engine by registry name
+    (see :data:`repro.core.engines.ENGINES`); by default ``config.parallel``
+    selects the paper's relaxed engine or the sequential baseline.
     """
     if graph.num_vertices == 0:
         raise ValueError("cannot cluster an empty graph")
+    instr = (
+        instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+    )
     if config.objective is Objective.MODULARITY:
         working = modularity_graph(graph)
         effective_lambda = modularity_lambda(graph, config.resolution)
@@ -60,54 +82,86 @@ def cluster(
     sched = SimulatedScheduler(
         num_workers=config.num_workers if config.parallel else 1,
         machine=config.machine,
+        instr=instr,
     )
     memory = MemoryTracker()
     rng = make_rng(config.seed)
     ctx = ResilienceContext(resilience, sched=sched) if resilience else None
-    driver = parallel_cc if config.parallel else sequential_cc
-    with WallTimer() as timer:
-        assignments, stats = driver(
-            working,
-            effective_lambda,
-            config,
-            sched=sched,
-            rng=rng,
-            memory=memory,
-            resilience=ctx,
-        )
-    _, dense = np.unique(assignments, return_inverse=True)
-    dense = dense.astype(np.int64)
+    if engine is not None:
+        from functools import partial
 
-    f_value = lambdacc_objective(working, dense, effective_lambda)
-    if config.objective is Objective.MODULARITY:
-        mod_value = f_value / total_weight
-    elif total_weight > 0 and (
-        graph.weights.size == 0 or graph.weights.min() >= 0
-    ):
-        mod_graph = modularity_graph(graph)
-        mod_f = lambdacc_objective(mod_graph, dense, modularity_lambda(graph, 1.0))
-        mod_value = mod_f / total_weight
+        from repro.core.engines import multilevel_with_engine
+
+        driver = partial(multilevel_with_engine, engine=engine)
     else:
-        # Signed or empty graphs: modularity undefined; report 0.
-        mod_value = 0.0
-
-    extras: dict = {}
-    degraded = False
-    failure_log: list = []
-    if ctx is not None:
-        if ctx.auditor is not None:
-            issues = ctx.auditor.verify_result(
-                working, dense, effective_lambda, f_value
+        driver = parallel_cc if config.parallel else sequential_cc
+    with instr.span(
+        "run",
+        algorithm=config.describe(),
+        engine=engine,
+        objective=config.objective.name.lower(),
+        vertices=graph.num_vertices,
+        edges=graph.num_edges,
+        resolution=config.resolution,
+    ) as run_span:
+        with WallTimer() as timer:
+            assignments, stats = driver(
+                working,
+                effective_lambda,
+                config,
+                sched=sched,
+                rng=rng,
+                memory=memory,
+                resilience=ctx,
             )
-            if issues:
-                message = "final result audit failed: " + "; ".join(issues)
-                if resilience.strict:
-                    raise InvariantViolation(message)
-                ctx.degrade(message)
-        degraded = ctx.degraded
-        failure_log = list(ctx.failure_log)
-        if resilience.faults is not None:
-            extras["fault_injections"] = dict(resilience.faults.counts)
+        _, dense = np.unique(assignments, return_inverse=True)
+        dense = dense.astype(np.int64)
+
+        f_value = lambdacc_objective(working, dense, effective_lambda)
+        if config.objective is Objective.MODULARITY:
+            mod_value = f_value / total_weight
+        elif total_weight > 0 and (
+            graph.weights.size == 0 or graph.weights.min() >= 0
+        ):
+            mod_graph = modularity_graph(graph)
+            mod_f = lambdacc_objective(
+                mod_graph, dense, modularity_lambda(graph, 1.0)
+            )
+            mod_value = mod_f / total_weight
+        else:
+            # Signed or empty graphs: modularity undefined; report 0.
+            mod_value = 0.0
+
+        extras: dict = {}
+        degraded = False
+        failure_log: list = []
+        if ctx is not None:
+            if ctx.auditor is not None:
+                issues = ctx.auditor.verify_result(
+                    working, dense, effective_lambda, f_value
+                )
+                if issues:
+                    message = "final result audit failed: " + "; ".join(issues)
+                    if resilience.strict:
+                        raise InvariantViolation(message)
+                    ctx.degrade(message, kind="audit-failed")
+            degraded = ctx.degraded
+            failure_log = list(ctx.failure_log)
+            if resilience.faults is not None:
+                extras["fault_injections"] = dict(resilience.faults.counts)
+
+        num_clusters = int(dense.max()) + 1 if dense.size else 0
+        run_span.set(
+            clusters=num_clusters,
+            levels=stats.num_levels,
+            rounds=stats.total_iterations,
+            moves=stats.total_moves,
+            objective=2.0 * f_value,
+            modularity=mod_value,
+            degraded=degraded,
+        )
+        instr.set_gauge(M_OBJECTIVE, f_value)
+        instr.set_gauge(M_MODULARITY, mod_value)
 
     return ClusterResult(
         assignments=dense,

@@ -30,6 +30,7 @@ from repro.core.frontier import next_frontier
 from repro.core.moves import compute_batch_moves, kernel_depth
 from repro.core.state import ClusterState
 from repro.graphs.csr import CSRGraph
+from repro.obs.instrument import instr_of
 
 
 @dataclass
@@ -73,6 +74,7 @@ def run_best_moves(
 ) -> BestMovesStats:
     """Run BEST-MOVES in place on ``state``; returns iteration diagnostics."""
     stats = BestMovesStats()
+    obs = instr_of(sched)
     n = graph.num_vertices
     active = (
         np.arange(n, dtype=np.int64)
@@ -83,55 +85,69 @@ def run_best_moves(
         if active.size == 0:
             stats.converged = True
             break
-        stats.frontier_sizes.append(int(active.size))
-        order = rng.permutation(active) if rng is not None else active
-        movers_parts: List[np.ndarray] = []
-        origins_parts: List[np.ndarray] = []
-        targets_parts: List[np.ndarray] = []
-        # Asynchronous windows run back to back with no barrier, so the
-        # per-window kernels charge work only; one critical-path term per
-        # iteration is charged below.  Synchronous mode has exactly one
-        # window, whose depth is that term.
-        sync = config.mode is Mode.SYNC
-        for window in _windows(order, config):
-            targets, _gains = compute_batch_moves(
+        frontier_size = int(active.size)
+        stats.frontier_sizes.append(frontier_size)
+        with obs.span(
+            "round", engine="relaxed", iteration=stats.iterations,
+            frontier=frontier_size,
+        ) as round_span:
+            order = rng.permutation(active) if rng is not None else active
+            movers_parts: List[np.ndarray] = []
+            origins_parts: List[np.ndarray] = []
+            targets_parts: List[np.ndarray] = []
+            round_gain = 0.0
+            # Asynchronous windows run back to back with no barrier, so the
+            # per-window kernels charge work only; one critical-path term per
+            # iteration is charged below.  Synchronous mode has exactly one
+            # window, whose depth is that term.
+            sync = config.mode is Mode.SYNC
+            for window in _windows(order, config):
+                targets, gains = compute_batch_moves(
+                    graph,
+                    state,
+                    window,
+                    resolution,
+                    sched=sched,
+                    kernel_threshold=config.kernel_threshold,
+                    charge_depth=sync,
+                    allow_escape=config.escape_moves,
+                    swap_avoidance=sync,
+                )
+                moving = targets != state.assignments[window]
+                if moving.any():
+                    movers_parts.append(window[moving])
+                    origins_parts.append(state.assignments[window[moving]])
+                    targets_parts.append(targets[moving])
+                    round_gain += float(gains[moving].sum())
+                state.apply_moves(window, targets, sched=sched)
+            if sched is not None and not sync:
+                degrees = graph.offsets[active + 1] - graph.offsets[active]
+                sched.charge(
+                    work=0.0,
+                    depth=kernel_depth(degrees, config.kernel_threshold)
+                    + 2.0 * math.log2(max(graph.num_vertices, 2)),
+                    label="best-moves-iter",
+                )
+            stats.iterations += 1
+            round_moves = (
+                int(sum(part.size for part in movers_parts))
+                if movers_parts
+                else 0
+            )
+            round_span.set(moves=round_moves, gain=round_gain)
+            obs.record_round("relaxed", frontier_size, round_moves, round_gain)
+            if not movers_parts:
+                stats.converged = True
+                break
+            movers = np.concatenate(movers_parts)
+            stats.total_moves += int(movers.size)
+            active = next_frontier(
                 graph,
-                state,
-                window,
-                resolution,
+                state.assignments,
+                movers,
+                np.concatenate(origins_parts),
+                np.concatenate(targets_parts),
+                config.frontier,
                 sched=sched,
-                kernel_threshold=config.kernel_threshold,
-                charge_depth=sync,
-                allow_escape=config.escape_moves,
-                swap_avoidance=sync,
             )
-            moving = targets != state.assignments[window]
-            if moving.any():
-                movers_parts.append(window[moving])
-                origins_parts.append(state.assignments[window[moving]])
-                targets_parts.append(targets[moving])
-            state.apply_moves(window, targets, sched=sched)
-        if sched is not None and not sync:
-            degrees = graph.offsets[active + 1] - graph.offsets[active]
-            sched.charge(
-                work=0.0,
-                depth=kernel_depth(degrees, config.kernel_threshold)
-                + 2.0 * math.log2(max(graph.num_vertices, 2)),
-                label="best-moves-iter",
-            )
-        stats.iterations += 1
-        if not movers_parts:
-            stats.converged = True
-            break
-        movers = np.concatenate(movers_parts)
-        stats.total_moves += int(movers.size)
-        active = next_frontier(
-            graph,
-            state.assignments,
-            movers,
-            np.concatenate(origins_parts),
-            np.concatenate(targets_parts),
-            config.frontier,
-            sched=sched,
-        )
     return stats

@@ -32,6 +32,7 @@ from repro.core.frontier import next_frontier
 from repro.core.moves import compute_batch_moves
 from repro.core.state import ClusterState
 from repro.graphs.csr import CSRGraph
+from repro.obs.instrument import instr_of
 
 
 def greedy_coloring(graph: CSRGraph, sched=None) -> np.ndarray:
@@ -84,6 +85,7 @@ def run_colored_best_moves(
     coarsened graph).
     """
     stats = BestMovesStats()
+    obs = instr_of(sched)
     n = graph.num_vertices
     if colors is None:
         colors = greedy_coloring(graph, sched=sched)
@@ -97,41 +99,55 @@ def run_colored_best_moves(
         if active.size == 0:
             stats.converged = True
             break
-        stats.frontier_sizes.append(int(active.size))
-        order = rng.permutation(active) if rng is not None else active
-        movers_parts: List[np.ndarray] = []
-        origins_parts: List[np.ndarray] = []
-        targets_parts: List[np.ndarray] = []
-        active_colors = colors[order]
-        for color in range(num_colors):
-            window = order[active_colors == color]
-            if window.size == 0:
-                continue
-            targets, _gains = compute_batch_moves(
-                graph,
-                state,
-                window,
-                resolution,
-                sched=sched,
-                kernel_threshold=config.kernel_threshold,
-                charge_depth=True,  # each color class is a barrier
-                allow_escape=config.escape_moves,
+        frontier_size = int(active.size)
+        stats.frontier_sizes.append(frontier_size)
+        with obs.span(
+            "round", engine="colored", iteration=stats.iterations,
+            frontier=frontier_size,
+        ) as round_span:
+            order = rng.permutation(active) if rng is not None else active
+            movers_parts: List[np.ndarray] = []
+            origins_parts: List[np.ndarray] = []
+            targets_parts: List[np.ndarray] = []
+            round_gain = 0.0
+            active_colors = colors[order]
+            for color in range(num_colors):
+                window = order[active_colors == color]
+                if window.size == 0:
+                    continue
+                targets, gains = compute_batch_moves(
+                    graph,
+                    state,
+                    window,
+                    resolution,
+                    sched=sched,
+                    kernel_threshold=config.kernel_threshold,
+                    charge_depth=True,  # each color class is a barrier
+                    allow_escape=config.escape_moves,
+                )
+                moving = targets != state.assignments[window]
+                if moving.any():
+                    movers_parts.append(window[moving])
+                    origins_parts.append(state.assignments[window[moving]])
+                    targets_parts.append(targets[moving])
+                    round_gain += float(gains[moving].sum())
+                state.apply_moves(window, targets, sched=sched)
+            stats.iterations += 1
+            round_moves = (
+                int(sum(part.size for part in movers_parts))
+                if movers_parts
+                else 0
             )
-            moving = targets != state.assignments[window]
-            if moving.any():
-                movers_parts.append(window[moving])
-                origins_parts.append(state.assignments[window[moving]])
-                targets_parts.append(targets[moving])
-            state.apply_moves(window, targets, sched=sched)
-        stats.iterations += 1
-        if not movers_parts:
-            stats.converged = True
-            break
-        movers = np.concatenate(movers_parts)
-        stats.total_moves += int(movers.size)
-        active = next_frontier(
-            graph, state.assignments, movers,
-            np.concatenate(origins_parts), np.concatenate(targets_parts),
-            config.frontier, sched=sched,
-        )
+            round_span.set(moves=round_moves, gain=round_gain)
+            obs.record_round("colored", frontier_size, round_moves, round_gain)
+            if not movers_parts:
+                stats.converged = True
+                break
+            movers = np.concatenate(movers_parts)
+            stats.total_moves += int(movers.size)
+            active = next_frontier(
+                graph, state.assignments, movers,
+                np.concatenate(origins_parts), np.concatenate(targets_parts),
+                config.frontier, sched=sched,
+            )
     return stats

@@ -32,6 +32,7 @@ from repro.core.frontier import next_frontier
 from repro.core.moves import compute_single_move
 from repro.core.state import ClusterState
 from repro.graphs.csr import CSRGraph
+from repro.obs.instrument import instr_of
 
 
 def _event_iteration(
@@ -50,7 +51,8 @@ def _event_iteration(
     retry).
     """
     # Event heap holds (finish_time, sequence, vertex, read_assignment,
-    # target).  Workers pick up the next queued vertex when they finish.
+    # target, gain).  Workers pick up the next queued vertex when they
+    # finish.
     degrees = graph.offsets[order + 1] - graph.offsets[order]
     durations = 1.0 + degrees.astype(np.float64)
     queue_position = 0
@@ -59,6 +61,7 @@ def _event_iteration(
     movers: List[int] = []
     origins: List[int] = []
     targets_out: List[int] = []
+    total_gain = 0.0
     retried = set()
 
     def start_task(now: float) -> None:
@@ -66,12 +69,12 @@ def _event_iteration(
         v = int(order[queue_position])
         duration = float(durations[queue_position])
         queue_position += 1
-        target, _gain = compute_single_move(
+        target, gain = compute_single_move(
             graph, state, v, resolution, allow_escape=allow_escape
         )
         read_assignment = int(state.assignments[v])
         heapq.heappush(
-            heap, (now + duration, sequence, v, read_assignment, target)
+            heap, (now + duration, sequence, v, read_assignment, target, gain)
         )
         sequence += 1
 
@@ -80,7 +83,7 @@ def _event_iteration(
         start_task(now)
     extra_queue: List[int] = []
     while heap:
-        now, _seq, v, read_assignment, target = heapq.heappop(heap)
+        now, _seq, v, read_assignment, target, gain = heapq.heappop(heap)
         current = int(state.assignments[v])
         if target != current:
             if current == read_assignment:
@@ -89,6 +92,7 @@ def _event_iteration(
                 state.move_one(v, target)
                 movers.append(v)
                 targets_out.append(target)
+                total_gain += float(gain)
             elif v not in retried:
                 # CAS failed (vertex moved under us): retry once.
                 retried.add(v)
@@ -97,19 +101,20 @@ def _event_iteration(
             start_task(now)
         elif extra_queue:
             retry_v = extra_queue.pop()
-            target, _gain = compute_single_move(
+            target, gain = compute_single_move(
                 graph, state, retry_v, resolution, allow_escape=allow_escape
             )
             heapq.heappush(
                 heap,
                 (now + 1.0 + graph.degree(retry_v), sequence, retry_v,
-                 int(state.assignments[retry_v]), target),
+                 int(state.assignments[retry_v]), target, gain),
             )
             sequence += 1
     return (
         np.asarray(movers, dtype=np.int64),
         np.asarray(origins, dtype=np.int64),
         np.asarray(targets_out, dtype=np.int64),
+        total_gain,
     )
 
 
@@ -124,6 +129,7 @@ def run_event_driven_best_moves(
 ) -> BestMovesStats:
     """BEST-MOVES under the event-driven asynchrony model."""
     stats = BestMovesStats()
+    obs = instr_of(sched)
     n = graph.num_vertices
     active = (
         np.arange(n, dtype=np.int64)
@@ -134,26 +140,33 @@ def run_event_driven_best_moves(
         if active.size == 0:
             stats.converged = True
             break
-        stats.frontier_sizes.append(int(active.size))
-        order = rng.permutation(active) if rng is not None else active
-        movers, origins, targets = _event_iteration(
-            graph, state, order, resolution, config.num_workers,
-            config.escape_moves,
-        )
-        if sched is not None:
-            degrees = graph.offsets[order + 1] - graph.offsets[order]
-            sched.charge(
-                work=float(degrees.sum()) + 4.0 * order.size,
-                depth=float(degrees.max()) if degrees.size else 1.0,
-                label="event-async",
+        frontier_size = int(active.size)
+        stats.frontier_sizes.append(frontier_size)
+        with obs.span(
+            "round", engine="event", iteration=stats.iterations,
+            frontier=frontier_size,
+        ) as round_span:
+            order = rng.permutation(active) if rng is not None else active
+            movers, origins, targets, gain = _event_iteration(
+                graph, state, order, resolution, config.num_workers,
+                config.escape_moves,
             )
-        stats.iterations += 1
-        if movers.size == 0:
-            stats.converged = True
-            break
-        stats.total_moves += int(movers.size)
-        active = next_frontier(
-            graph, state.assignments, movers, origins, targets,
-            config.frontier, sched=sched,
-        )
+            if sched is not None:
+                degrees = graph.offsets[order + 1] - graph.offsets[order]
+                sched.charge(
+                    work=float(degrees.sum()) + 4.0 * order.size,
+                    depth=float(degrees.max()) if degrees.size else 1.0,
+                    label="event-async",
+                )
+            stats.iterations += 1
+            round_span.set(moves=int(movers.size), gain=gain)
+            obs.record_round("event", frontier_size, int(movers.size), gain)
+            if movers.size == 0:
+                stats.converged = True
+                break
+            stats.total_moves += int(movers.size)
+            active = next_frontier(
+                graph, state.assignments, movers, origins, targets,
+                config.frontier, sched=sched,
+            )
     return stats

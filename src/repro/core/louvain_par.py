@@ -23,6 +23,7 @@ compressed.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
@@ -34,6 +35,7 @@ from repro.core.state import ClusterState
 from repro.graphs.csr import CSRGraph
 from repro.graphs.quotient import compress_graph
 from repro.graphs.stats import MemoryTracker
+from repro.obs.instrument import M_COMPRESSION, M_LEVEL_SECONDS, instr_of
 
 
 @dataclass
@@ -47,6 +49,25 @@ class LevelStats:
     frontier_sizes: List[int] = field(default_factory=list)
     refine_iterations: int = 0
     refine_moves: int = 0
+    #: Wall seconds of the downward pass at this level (best-moves +
+    #: compression); 0.0 for levels restored from a checkpoint.
+    wall_seconds: float = 0.0
+    #: Wall seconds of this level's refinement pass on the unwind.
+    refine_wall_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        """Structured summary (what benches and tests assert on)."""
+        return {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "iterations": self.iterations,
+            "moves": self.moves,
+            "frontier_sizes": [int(x) for x in self.frontier_sizes],
+            "refine_iterations": self.refine_iterations,
+            "refine_moves": self.refine_moves,
+            "wall_seconds": self.wall_seconds,
+            "refine_wall_seconds": self.refine_wall_seconds,
+        }
 
 
 @dataclass
@@ -67,6 +88,21 @@ class MultiLevelStats:
     @property
     def total_moves(self) -> int:
         return sum(l.moves + l.refine_moves for l in self.levels)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        """Instrumented wall seconds across all levels (both passes)."""
+        return sum(l.wall_seconds + l.refine_wall_seconds for l in self.levels)
+
+    def as_dict(self) -> dict:
+        """Structured summary (what benches and tests assert on)."""
+        return {
+            "num_levels": self.num_levels,
+            "rounds": self.total_iterations,
+            "moves": self.total_moves,
+            "wall_seconds": self.total_wall_seconds,
+            "levels": [level.as_dict() for level in self.levels],
+        }
 
 
 def parallel_flatten(
@@ -117,6 +153,7 @@ def multilevel_louvain(
     checkpointed/resumable (see DESIGN.md, "Resilience & failure model").
     """
     ctx = resilience
+    obs = instr_of(sched)
     stats = MultiLevelStats()
     memory = memory if memory is not None else MemoryTracker()
     retained: List[Tuple[CSRGraph, np.ndarray]] = []  # (level graph, v2s)
@@ -155,58 +192,88 @@ def multilevel_louvain(
         )
 
     while level < config.max_levels:
-        state = ClusterState.singletons(current)
-        if ctx is not None:
-            state = ctx.wrap_state(state)
-        bm = run_engine(current, state, f"best-moves[level {level}]")
-        if bm is None:
-            # Engine degraded (transient-fault retries exhausted): accept
-            # whatever partial clustering this level reached.
-            stats.levels.append(
-                LevelStats(
-                    num_vertices=current.num_vertices,
-                    num_edges=current.num_edges,
-                    iterations=0,
-                    moves=0,
+        level_index = len(stats.levels)
+        level_t0 = time.perf_counter()
+        with obs.span(
+            "level",
+            level=level,
+            vertices=current.num_vertices,
+            edges=current.num_edges,
+        ) as level_span:
+            try:
+                state = ClusterState.singletons(current)
+                if ctx is not None:
+                    state = ctx.wrap_state(state)
+                with obs.span("phase", phase="best-moves", level=level):
+                    bm = run_engine(
+                        current, state, f"best-moves[level {level}]"
+                    )
+                if bm is None:
+                    # Engine degraded (transient-fault retries exhausted):
+                    # accept whatever partial clustering this level reached.
+                    stats.levels.append(
+                        LevelStats(
+                            num_vertices=current.num_vertices,
+                            num_edges=current.num_edges,
+                            iterations=0,
+                            moves=0,
+                        )
+                    )
+                    level_span.set(degraded=True)
+                    base_assignments = state.assignments
+                    break
+                stats.levels.append(
+                    LevelStats(
+                        num_vertices=current.num_vertices,
+                        num_edges=current.num_edges,
+                        iterations=bm.iterations,
+                        moves=bm.total_moves,
+                        frontier_sizes=bm.frontier_sizes,
+                    )
                 )
-            )
-            base_assignments = state.assignments
-            break
-        stats.levels.append(
-            LevelStats(
-                num_vertices=current.num_vertices,
-                num_edges=current.num_edges,
-                iterations=bm.iterations,
-                moves=bm.total_moves,
-                frontier_sizes=bm.frontier_sizes,
-            )
-        )
-        if bm.total_moves == 0:
-            base_assignments = np.arange(current.num_vertices, dtype=np.int64)
-            break
-        if ctx is not None and ctx.budget_stop(
-            stats.total_moves, stats.total_iterations
-        ):
-            base_assignments = state.assignments
-            break
-        compressed, vertex_to_super = compress_fn(
-            current, state.assignments, sched=sched
-        )
-        if compressed.num_vertices == current.num_vertices:
-            # Coarsening made no progress (e.g. pure swaps): accept the
-            # clustering at this level and stop recursing.
-            base_assignments = vertex_to_super
-            break
-        retained.append((current, vertex_to_super))
-        if not config.refine and level > 0:
-            # Without refinement intermediate graphs are discarded as soon
-            # as they are compressed (only their v2s map is needed).
-            memory.release(level)
-        level += 1
-        memory.hold(level, compressed)
-        current = compressed
-        if ctx is not None:
-            ctx.maybe_checkpoint(level, current, retained, stats, rng=rng)
+                level_span.set(
+                    iterations=bm.iterations, moves=bm.total_moves
+                )
+                if bm.total_moves == 0:
+                    base_assignments = np.arange(
+                        current.num_vertices, dtype=np.int64
+                    )
+                    break
+                if ctx is not None and ctx.budget_stop(
+                    stats.total_moves, stats.total_iterations
+                ):
+                    base_assignments = state.assignments
+                    break
+                with obs.span("phase", phase="compress", level=level):
+                    compressed, vertex_to_super = compress_fn(
+                        current, state.assignments, sched=sched
+                    )
+                ratio = compressed.num_vertices / max(current.num_vertices, 1)
+                obs.observe(M_COMPRESSION, ratio)
+                level_span.set(compression_ratio=ratio)
+                if compressed.num_vertices == current.num_vertices:
+                    # Coarsening made no progress (e.g. pure swaps): accept
+                    # the clustering at this level and stop recursing.
+                    base_assignments = vertex_to_super
+                    break
+                retained.append((current, vertex_to_super))
+                if not config.refine and level > 0:
+                    # Without refinement intermediate graphs are discarded as
+                    # soon as they are compressed (only their v2s map is
+                    # needed).
+                    memory.release(level)
+                level += 1
+                memory.hold(level, compressed)
+                current = compressed
+                if ctx is not None:
+                    ctx.maybe_checkpoint(
+                        level, current, retained, stats, rng=rng
+                    )
+            finally:
+                elapsed = time.perf_counter() - level_t0
+                if level_index < len(stats.levels):
+                    stats.levels[level_index].wall_seconds += elapsed
+                obs.observe(M_LEVEL_SECONDS, elapsed)
     else:
         base_assignments = np.arange(current.num_vertices, dtype=np.int64)
 
@@ -214,19 +281,38 @@ def multilevel_louvain(
     assignments = base_assignments
     for idx in range(len(retained) - 1, -1, -1):
         level_graph, vertex_to_super = retained[idx]
-        assignments = parallel_flatten(assignments, vertex_to_super, sched=sched)
+        with obs.span("phase", phase="flatten", level=idx):
+            assignments = parallel_flatten(
+                assignments, vertex_to_super, sched=sched
+            )
         if config.refine and not (ctx is not None and ctx.stopped):
-            state = ClusterState.from_assignments(level_graph, assignments)
-            if ctx is not None:
-                state = ctx.wrap_state(state)
-            refine_bm = run_engine(level_graph, state, f"refine[level {idx}]")
-            if refine_bm is not None:
-                stats.levels[idx].refine_iterations = refine_bm.iterations
-                stats.levels[idx].refine_moves = refine_bm.total_moves
-            assignments = state.assignments
-            memory.release(idx + 1)
-            if ctx is not None:
-                ctx.budget_stop(stats.total_moves, stats.total_iterations)
+            refine_t0 = time.perf_counter()
+            with obs.span(
+                "phase",
+                phase="refine",
+                level=idx,
+                vertices=level_graph.num_vertices,
+            ) as refine_span:
+                state = ClusterState.from_assignments(level_graph, assignments)
+                if ctx is not None:
+                    state = ctx.wrap_state(state)
+                refine_bm = run_engine(
+                    level_graph, state, f"refine[level {idx}]"
+                )
+                if refine_bm is not None:
+                    stats.levels[idx].refine_iterations = refine_bm.iterations
+                    stats.levels[idx].refine_moves = refine_bm.total_moves
+                    refine_span.set(
+                        iterations=refine_bm.iterations,
+                        moves=refine_bm.total_moves,
+                    )
+                assignments = state.assignments
+                memory.release(idx + 1)
+                if ctx is not None:
+                    ctx.budget_stop(stats.total_moves, stats.total_iterations)
+            stats.levels[idx].refine_wall_seconds += (
+                time.perf_counter() - refine_t0
+            )
     return assignments, stats
 
 

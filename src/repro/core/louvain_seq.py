@@ -27,6 +27,7 @@ from repro.core.moves import compute_single_move
 from repro.core.state import ClusterState
 from repro.graphs.csr import CSRGraph
 from repro.graphs.stats import MemoryTracker
+from repro.obs.instrument import instr_of
 
 
 def _sequential_sweep(
@@ -36,11 +37,15 @@ def _sequential_sweep(
     resolution: float,
     sched=None,
     allow_escape: bool = True,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """One sweep of immediate best moves; returns (movers, origins, targets)."""
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """One sweep of immediate best moves.
+
+    Returns ``(movers, origins, targets, total_gain)``.
+    """
     movers: List[int] = []
     origins: List[int] = []
     targets: List[int] = []
+    total_gain = 0.0
     for v in order.tolist():
         target, gain = compute_single_move(
             graph, state, v, resolution, allow_escape=allow_escape
@@ -50,6 +55,7 @@ def _sequential_sweep(
             state.move_one(v, target)
             movers.append(v)
             targets.append(target)
+            total_gain += gain
     if sched is not None:
         degrees = graph.offsets[order + 1] - graph.offsets[order]
         work = float(degrees.sum()) + 4.0 * order.size
@@ -58,6 +64,7 @@ def _sequential_sweep(
         np.asarray(movers, dtype=np.int64),
         np.asarray(origins, dtype=np.int64),
         np.asarray(targets, dtype=np.int64),
+        total_gain,
     )
 
 
@@ -72,6 +79,7 @@ def sequential_best_moves(
 ) -> BestMovesStats:
     """Sequential analogue of BEST-MOVES: sweeps until stable or bounded."""
     stats = BestMovesStats()
+    obs = instr_of(sched)
     n = graph.num_vertices
     active = (
         np.arange(n, dtype=np.int64)
@@ -82,21 +90,30 @@ def sequential_best_moves(
         if active.size == 0:
             stats.converged = True
             break
-        stats.frontier_sizes.append(int(active.size))
-        order = rng.permutation(active) if rng is not None else active
-        movers, origins, targets = _sequential_sweep(
-            graph, state, order, resolution, sched=sched,
-            allow_escape=config.escape_moves,
-        )
-        stats.iterations += 1
-        if movers.size == 0:
-            stats.converged = True
-            break
-        stats.total_moves += int(movers.size)
-        active = next_frontier(
-            graph, state.assignments, movers, origins, targets,
-            config.frontier, sched=sched,
-        )
+        frontier_size = int(active.size)
+        stats.frontier_sizes.append(frontier_size)
+        with obs.span(
+            "round", engine="sequential", iteration=stats.iterations,
+            frontier=frontier_size,
+        ) as round_span:
+            order = rng.permutation(active) if rng is not None else active
+            movers, origins, targets, gain = _sequential_sweep(
+                graph, state, order, resolution, sched=sched,
+                allow_escape=config.escape_moves,
+            )
+            stats.iterations += 1
+            round_span.set(moves=int(movers.size), gain=gain)
+            obs.record_round(
+                "sequential", frontier_size, int(movers.size), gain
+            )
+            if movers.size == 0:
+                stats.converged = True
+                break
+            stats.total_moves += int(movers.size)
+            active = next_frontier(
+                graph, state.assignments, movers, origins, targets,
+                config.frontier, sched=sched,
+            )
     return stats
 
 

@@ -81,6 +81,28 @@ class ClusterResult:
         boundaries = np.flatnonzero(np.diff(labels)) + 1
         return np.split(order, boundaries)
 
+    def stats_dict(self) -> dict:
+        """Structured run summary: rounds, moves, per-level timings.
+
+        The same numbers the trace's ``run``/``level`` spans carry
+        (``tests/obs`` asserts the two agree), in a JSON-ready dict for
+        benches and reports.
+        """
+        summary = self.stats.as_dict()
+        # Disambiguate: the stats total is instrumented per-level time; the
+        # result's wall_seconds is the whole driver invocation.
+        summary["levels_wall_seconds"] = summary.pop("wall_seconds")
+        summary.update(
+            num_clusters=self.num_clusters,
+            objective=self.objective,
+            f_objective=self.f_objective,
+            modularity=self.modularity,
+            wall_seconds=self.wall_seconds,
+            sim_time_seconds=self.sim_time(),
+            degraded=self.degraded,
+        )
+        return summary
+
     def sim_time(self, num_workers: Optional[int] = None) -> float:
         """Simulated seconds at ``num_workers`` (default: as configured)."""
         workers = num_workers if num_workers is not None else (

@@ -1,0 +1,66 @@
+"""Observability subsystem: tracing, metrics, and bench baselines.
+
+Public surface (DESIGN.md §7):
+
+* :class:`~repro.obs.instrument.Instrumentation` — the per-run context
+  threaded through :func:`repro.core.api.cluster`, bundling a
+  :class:`~repro.obs.tracer.Tracer` (nested ``run → level → phase →
+  round`` spans) and a :class:`~repro.obs.metrics.MetricsRegistry`
+  (moves, gains, frontier sizes, compression ratios, CAS retries);
+* :mod:`repro.obs.schema` — trace JSONL validation (the CI smoke gate);
+* :mod:`repro.obs.bench` — the unified bench harness with committed
+  ``BENCH_*.json`` baselines and regression compare (imported explicitly,
+  not re-exported here, because it reaches back into the core package).
+"""
+
+from repro.obs.instrument import (
+    M_CAS_INJECTED,
+    M_CAS_RETRIES,
+    M_COMPRESSION,
+    M_FRONTIER,
+    M_LEVEL_SECONDS,
+    M_MODULARITY,
+    M_MOVES,
+    M_OBJECTIVE,
+    M_RESILIENCE_EVENTS,
+    M_ROUND_GAIN,
+    M_ROUNDS,
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    instr_of,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from repro.obs.tracer import NULL_SPAN, Span, SpanNode, Tracer, span_tree
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "M_CAS_INJECTED",
+    "M_CAS_RETRIES",
+    "M_COMPRESSION",
+    "M_FRONTIER",
+    "M_LEVEL_SECONDS",
+    "M_MODULARITY",
+    "M_MOVES",
+    "M_OBJECTIVE",
+    "M_RESILIENCE_EVENTS",
+    "M_ROUND_GAIN",
+    "M_ROUNDS",
+    "NULL_INSTRUMENTATION",
+    "NULL_SPAN",
+    "Span",
+    "SpanNode",
+    "Tracer",
+    "instr_of",
+    "parse_prometheus",
+    "span_tree",
+]

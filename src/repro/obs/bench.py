@@ -1,0 +1,518 @@
+"""Unified bench harness: timing, repeats, baselines, regression compare.
+
+The ``benchmarks/bench_*.py`` scripts used to hand-roll the same loop —
+warm up, repeat, keep the best wall time, build rows, print a table.
+This module centralizes that machinery and adds the missing half:
+machine-readable ``BENCH_<name>.json`` baselines plus a ``compare`` mode
+that flags >10% regressions mechanically.
+
+* :func:`time_callable` — warmup + repeat timing, honouring
+  ``REPRO_BENCH_REPEATS`` like the table harness does;
+* :class:`BenchSuite` — named rows of ``{metric: value}`` written to
+  ``BENCH_<name>.json`` (schema ``repro.obs.bench/v1``);
+* :func:`compare` — baseline-vs-current report; metric *direction*
+  (lower-better for times/bytes, higher-better for objectives/speedups,
+  informational otherwise) comes from :func:`metric_direction` and is
+  recorded in the baseline so old files stay comparable;
+* ``python -m repro.obs.bench`` — ``compare``, ``emit`` (regenerate the
+  committed baselines from a deterministic RMAT graph), and
+  ``validate-trace`` (the CI smoke gate) subcommands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+BASELINE_SCHEMA = "repro.obs.bench/v1"
+
+#: Default regression tolerance: flag changes worse than 10%.
+DEFAULT_TOLERANCE = 0.10
+
+#: Default directory for committed baselines, relative to the repo root.
+DEFAULT_BASELINE_DIR = "benchmarks/baselines"
+
+_LOWER_SUFFIXES = (
+    "_seconds",
+    "_time",
+    "_bytes",
+    "_slowdown",
+    "_retries",
+    "_overhead",
+)
+_HIGHER_SUFFIXES = ("objective", "modularity", "speedup", "quality", "f1")
+
+
+def metric_direction(name: str) -> str:
+    """``"lower"`` / ``"higher"`` (better) or ``"info"`` (never compared)."""
+    if name.endswith(_LOWER_SUFFIXES) or name in ("slowdown", "sim_time"):
+        return "lower"
+    if name.endswith(_HIGHER_SUFFIXES):
+        return "higher"
+    return "info"
+
+
+# ---------------------------------------------------------------------------
+# timing
+# ---------------------------------------------------------------------------
+@dataclass
+class TimingStats:
+    """Wall-clock samples from :func:`time_callable`."""
+
+    runs: List[float]
+
+    @property
+    def best(self) -> float:
+        return min(self.runs)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.runs) / len(self.runs)
+
+    @property
+    def repeats(self) -> int:
+        return len(self.runs)
+
+
+def bench_repeats(default: int = 3) -> int:
+    """Repeat count, shared with the table harness's env convention."""
+    from repro.bench.harness import bench_repeats as _repeats
+
+    return _repeats(default)
+
+
+def time_callable(
+    fn: Callable[[], object],
+    repeats: Optional[int] = None,
+    warmup: int = 0,
+) -> Tuple[object, TimingStats]:
+    """Run ``fn`` ``warmup + repeats`` times; keep per-repeat wall times.
+
+    Returns ``(last_result, stats)`` — the *best* (minimum) time is the
+    standard low-noise estimator benches should report.
+    """
+    reps = repeats if repeats is not None else bench_repeats()
+    if reps < 1:
+        raise ValueError(f"repeats must be >= 1, got {reps}")
+    result = None
+    for _ in range(warmup):
+        fn()
+    runs: List[float] = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        runs.append(time.perf_counter() - start)
+    return result, TimingStats(runs=runs)
+
+
+# ---------------------------------------------------------------------------
+# baselines
+# ---------------------------------------------------------------------------
+@dataclass
+class BenchRow:
+    """One keyed measurement: comparable metrics plus free-form info."""
+
+    key: str
+    metrics: Dict[str, float]
+    info: dict = field(default_factory=dict)
+
+
+class BenchSuite:
+    """Collects rows for one bench and writes ``BENCH_<name>.json``."""
+
+    def __init__(self, name: str, meta: Optional[dict] = None) -> None:
+        if not name or "/" in name:
+            raise ValueError(f"invalid suite name {name!r}")
+        self.name = name
+        self.meta = dict(meta or {})
+        self.rows: List[BenchRow] = []
+
+    def add_row(self, key: str, metrics: Dict[str, float], **info) -> BenchRow:
+        if any(r.key == key for r in self.rows):
+            raise ValueError(f"duplicate row key {key!r} in suite {self.name}")
+        row = BenchRow(
+            key=key,
+            metrics={k: float(v) for k, v in metrics.items()},
+            info=info,
+        )
+        self.rows.append(row)
+        return row
+
+    def payload(self) -> dict:
+        meta = dict(self.meta)
+        meta.setdefault("python", platform.python_version())
+        return {
+            "schema": BASELINE_SCHEMA,
+            "name": self.name,
+            "meta": meta,
+            "directions": {
+                metric: metric_direction(metric)
+                for row in self.rows
+                for metric in row.metrics
+            },
+            "rows": [
+                {"key": r.key, "metrics": r.metrics, "info": r.info}
+                for r in self.rows
+            ],
+        }
+
+    def write(self, directory) -> Path:
+        """Write ``BENCH_<name>.json`` under ``directory``; returns the path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{self.name}.json"
+        with open(path, "w") as handle:
+            json.dump(self.payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+
+def load_baseline(path) -> dict:
+    """Load and shape-check one ``BENCH_*.json`` payload."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported baseline schema {payload.get('schema')!r}"
+        )
+    for required in ("name", "rows"):
+        if required not in payload:
+            raise ValueError(f"{path}: baseline missing {required!r}")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# regression compare
+# ---------------------------------------------------------------------------
+@dataclass
+class Regression:
+    """One metric that got worse than the tolerance allows."""
+
+    key: str
+    metric: str
+    baseline: float
+    current: float
+    change: float  # signed relative change, positive = worse
+
+    def describe(self) -> str:
+        return (
+            f"{self.key} :: {self.metric}: {self.baseline:g} -> "
+            f"{self.current:g} ({self.change:+.1%} worse)"
+        )
+
+
+@dataclass
+class CompareReport:
+    """Outcome of :func:`compare` (empty ``regressions`` = pass)."""
+
+    suite: str
+    regressions: List[Regression] = field(default_factory=list)
+    improvements: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def describe(self) -> str:
+        lines = [
+            f"compare[{self.suite}]: {self.compared} metrics compared, "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s)"
+        ]
+        for regression in self.regressions:
+            lines.append(f"  REGRESSION {regression.describe()}")
+        for note in self.improvements:
+            lines.append(f"  improved   {note}")
+        for note in self.skipped:
+            lines.append(f"  skipped    {note}")
+        return "\n".join(lines)
+
+
+def _relative_worsening(direction: str, baseline: float, current: float) -> float:
+    """Signed relative change where positive means *worse*."""
+    scale = max(abs(baseline), 1e-12)
+    delta = (current - baseline) / scale
+    return delta if direction == "lower" else -delta
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> CompareReport:
+    """Flag every comparable metric that regressed beyond ``tolerance``.
+
+    Only metrics with a lower/higher-better direction participate;
+    informational metrics (counts, sizes) never fail a compare.  Rows or
+    metrics present in the baseline but missing from the current run are
+    reported in ``skipped`` so silent coverage loss is visible.
+    """
+    report = CompareReport(suite=baseline.get("name", "?"))
+    directions = dict(baseline.get("directions") or {})
+    current_rows = {row["key"]: row for row in current.get("rows", [])}
+    for row in baseline.get("rows", []):
+        key = row["key"]
+        other = current_rows.get(key)
+        if other is None:
+            report.skipped.append(f"{key}: row missing from current run")
+            continue
+        for metric, base_value in row.get("metrics", {}).items():
+            direction = directions.get(metric) or metric_direction(metric)
+            if direction == "info":
+                continue
+            if metric not in other.get("metrics", {}):
+                report.skipped.append(
+                    f"{key} :: {metric}: metric missing from current run"
+                )
+                continue
+            cur_value = float(other["metrics"][metric])
+            report.compared += 1
+            worsening = _relative_worsening(
+                direction, float(base_value), cur_value
+            )
+            if worsening > tolerance:
+                report.regressions.append(
+                    Regression(
+                        key=key,
+                        metric=metric,
+                        baseline=float(base_value),
+                        current=cur_value,
+                        change=worsening,
+                    )
+                )
+            elif worsening < -tolerance:
+                report.improvements.append(
+                    f"{key} :: {metric}: {base_value:g} -> {cur_value:g} "
+                    f"({-worsening:+.1%} better)"
+                )
+    return report
+
+
+def compare_files(
+    baseline_path, current_path, tolerance: float = DEFAULT_TOLERANCE
+) -> CompareReport:
+    return compare(
+        load_baseline(baseline_path), load_baseline(current_path), tolerance
+    )
+
+
+# ---------------------------------------------------------------------------
+# committed-baseline emission (deterministic small-RMAT workloads)
+# ---------------------------------------------------------------------------
+#: RMAT generator parameters for the baseline workload: small enough to
+#: regenerate in seconds, structured enough that every engine does real
+#: multilevel work.
+BASELINE_RMAT = {"scale": 8, "edge_factor": 8, "seed": 0}
+BASELINE_RESOLUTION = 0.05
+BASELINE_SEED = 1
+
+
+def _baseline_graph():
+    from repro.generators.rmat import rmat_graph
+
+    spec = BASELINE_RMAT
+    return rmat_graph(
+        spec["scale"],
+        spec["edge_factor"] * 2 ** spec["scale"],
+        seed=spec["seed"],
+    )
+
+
+def engines_suite(repeats: int = 3) -> BenchSuite:
+    """Every registry engine on the deterministic RMAT graph, one row each.
+
+    The comparable metrics (simulated time, objective) are deterministic
+    functions of the seed, so the committed baseline is machine-stable;
+    wall seconds ride along as information only.
+    """
+    from repro.core.config import ClusteringConfig
+    from repro.core.engines import ENGINES, multilevel_with_engine
+    from repro.core.objective import lambdacc_objective
+    from repro.parallel.scheduler import SimulatedScheduler
+    from repro.utils.rng import make_rng
+
+    graph = _baseline_graph()
+    suite = BenchSuite(
+        "engines",
+        meta={
+            "workload": dict(BASELINE_RMAT),
+            "resolution": BASELINE_RESOLUTION,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+        },
+    )
+    for engine in sorted(ENGINES):
+        workers = 1 if engine == "sequential" else 60
+        config = ClusteringConfig(
+            resolution=BASELINE_RESOLUTION,
+            refine=False,
+            seed=BASELINE_SEED,
+            num_workers=workers,
+        )
+
+        def run(engine=engine, config=config):
+            sched = SimulatedScheduler(num_workers=config.num_workers)
+            assignments, stats = multilevel_with_engine(
+                graph,
+                BASELINE_RESOLUTION,
+                config,
+                engine=engine,
+                sched=sched,
+                rng=make_rng(BASELINE_SEED),
+            )
+            return assignments, stats, sched
+
+        (assignments, stats, sched), timing = time_callable(
+            run, repeats=repeats, warmup=1
+        )
+        suite.add_row(
+            engine,
+            metrics={
+                "f_objective": lambdacc_objective(
+                    graph, assignments, BASELINE_RESOLUTION
+                ),
+                "sim_time_seconds": sched.simulated_time(workers),
+            },
+            rounds=stats.total_iterations,
+            moves=stats.total_moves,
+            levels=stats.num_levels,
+            wall_seconds=timing.best,
+        )
+    return suite
+
+
+def overhead_suite(repeats: int = 5) -> BenchSuite:
+    """Instrumentation overhead on a planted-partition workload.
+
+    Three configurations — no instrumentation, constructed-but-disabled,
+    and fully enabled — with the disabled/enabled wall-clock slowdown
+    ratios as the comparable metrics.  The ISSUE 2 contract is the
+    *disabled* row: <3% slowdown.
+    """
+    import numpy as np
+
+    from repro.core.api import cluster
+    from repro.core.config import ClusteringConfig
+    from repro.generators.planted import planted_partition_graph
+    from repro.obs.instrument import Instrumentation
+
+    graph = planted_partition_graph(
+        num_vertices=2000, intra_degree=8.0, inter_degree=1.0, seed=0
+    ).graph
+    config = ClusteringConfig(resolution=BASELINE_RESOLUTION, seed=7)
+
+    def run(instrumentation_factory):
+        return cluster(
+            graph, config, instrumentation=instrumentation_factory()
+        )
+
+    base_result, base_timing = time_callable(
+        lambda: run(lambda: None), repeats=repeats, warmup=1
+    )
+    disabled_result, disabled_timing = time_callable(
+        lambda: run(lambda: Instrumentation(enabled=False)),
+        repeats=repeats,
+        warmup=1,
+    )
+    enabled_result, enabled_timing = time_callable(
+        lambda: run(lambda: Instrumentation()), repeats=repeats, warmup=1
+    )
+
+    suite = BenchSuite(
+        "overhead",
+        meta={
+            "workload": "planted(n=2000, intra=8, inter=1, seed=0)",
+            "resolution": BASELINE_RESOLUTION,
+            "repeats": repeats,
+        },
+    )
+    suite.add_row(
+        "baseline",
+        metrics={"sim_time_seconds": base_result.sim_time()},
+        wall_seconds=base_timing.best,
+    )
+    for key, timing, result in (
+        ("disabled", disabled_timing, disabled_result),
+        ("enabled", enabled_timing, enabled_result),
+    ):
+        suite.add_row(
+            key,
+            metrics={"slowdown": timing.best / base_timing.best},
+            wall_seconds=timing.best,
+            identical=bool(
+                np.array_equal(result.assignments, base_result.assignments)
+            ),
+            sim_identical=bool(result.sim_time() == base_result.sim_time()),
+        )
+    return suite
+
+
+def emit_baselines(out_dir=DEFAULT_BASELINE_DIR, repeats: int = 3) -> List[Path]:
+    """Regenerate the committed ``BENCH_engines.json`` / ``BENCH_overhead.json``."""
+    paths = [
+        engines_suite(repeats=repeats).write(out_dir),
+        overhead_suite(repeats=max(repeats, 5)).write(out_dir),
+    ]
+    return paths
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro.obs.bench <compare|emit|validate-trace>
+# ---------------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.bench",
+        description="bench baselines: emit, compare, and trace validation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compare", help="flag regressions between two baselines")
+    p.add_argument("baseline", help="BENCH_*.json to compare against")
+    p.add_argument("current", help="BENCH_*.json from the current run")
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative worsening that counts as a regression (default 0.10)",
+    )
+
+    p = sub.add_parser("emit", help="regenerate the committed baselines")
+    p.add_argument("--out", default=DEFAULT_BASELINE_DIR, metavar="DIR")
+    p.add_argument("--repeats", type=int, default=3)
+
+    p = sub.add_parser("validate-trace", help="schema-check a trace JSONL file")
+    p.add_argument("trace", help="trace JSONL file to validate")
+
+    args = parser.parse_args(argv)
+    if args.command == "compare":
+        report = compare_files(args.baseline, args.current, args.tolerance)
+        print(report.describe())
+        return 0 if report.ok else 1
+    if args.command == "emit":
+        for path in emit_baselines(args.out, repeats=args.repeats):
+            print(f"wrote {path}")
+        return 0
+    if args.command == "validate-trace":
+        from repro.obs.schema import TraceSchemaError, validate_trace_file
+
+        try:
+            validate_trace_file(args.trace)
+        except TraceSchemaError as exc:
+            for problem in exc.problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.trace}: valid trace")
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

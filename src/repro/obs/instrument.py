@@ -1,0 +1,158 @@
+"""The per-run instrumentation context threaded through ``cluster()``.
+
+One :class:`Instrumentation` bundles a :class:`~repro.obs.tracer.Tracer`
+and a :class:`~repro.obs.metrics.MetricsRegistry` for one clustering run.
+It travels the same conduit :class:`~repro.resilience.faults.FaultPlan`
+does: :func:`repro.core.api.cluster` attaches it to the simulated
+scheduler, and every layer that already receives ``sched`` — the five
+BEST-MOVES engines, the multilevel drivers, the atomics — reaches it via
+:func:`instr_of` without signature changes.
+
+Cheapness contract (ISSUE 2): with instrumentation absent *or* constructed
+but disabled, every hook degenerates to an attribute load and an
+``enabled`` check — no span objects, no dict churn, no metric lookups —
+verified by ``benchmarks/bench_obs_overhead.py`` (<3% wall overhead).
+
+Standard metric names (DESIGN.md §7) are module constants so tests,
+benches, and dashboards never hardcode strings twice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_SPAN, Tracer
+
+# ---------------------------------------------------------------------------
+# standard metric names
+# ---------------------------------------------------------------------------
+#: Vertex moves applied, labeled by engine (counter).
+M_MOVES = "repro_moves_total"
+#: BEST-MOVES rounds executed, labeled by engine (counter).
+M_ROUNDS = "repro_rounds_total"
+#: Objective improvement per round, labeled by engine (histogram).
+M_ROUND_GAIN = "repro_round_gain"
+#: Frontier size |V'| at the start of each round (histogram).
+M_FRONTIER = "repro_frontier_size"
+#: Coarse/fine vertex ratio per compression (histogram).
+M_COMPRESSION = "repro_compression_ratio"
+#: Wall seconds per coarsening level, including compression (histogram).
+M_LEVEL_SECONDS = "repro_level_seconds"
+#: CAS retries charged by contention windows (counter).
+M_CAS_RETRIES = "repro_cas_retries_total"
+#: Injected CAS failures from the resilience fault plan (counter).
+M_CAS_INJECTED = "repro_cas_injected_failures_total"
+#: Resilience events, labeled by kind: note/degrade/budget-stop/... (counter).
+M_RESILIENCE_EVENTS = "repro_resilience_events_total"
+#: Final unordered LambdaCC objective F of the run (gauge).
+M_OBJECTIVE = "repro_objective_f"
+#: Final modularity of the run (gauge).
+M_MODULARITY = "repro_modularity"
+
+_HELP = {
+    M_MOVES: "Vertex moves applied by BEST-MOVES engines",
+    M_ROUNDS: "BEST-MOVES rounds executed",
+    M_ROUND_GAIN: "Objective improvement per BEST-MOVES round",
+    M_FRONTIER: "Frontier size at the start of each round",
+    M_COMPRESSION: "Coarse/fine vertex-count ratio per compression",
+    M_LEVEL_SECONDS: "Wall seconds spent per coarsening level",
+    M_CAS_RETRIES: "CAS retries charged by contention windows",
+    M_CAS_INJECTED: "Injected CAS failures from the fault plan",
+    M_RESILIENCE_EVENTS: "Resilience events by kind",
+    M_OBJECTIVE: "Final unordered LambdaCC objective F",
+    M_MODULARITY: "Final modularity",
+}
+
+
+class Instrumentation:
+    """Tracer + metrics registry for one run (see module docstring).
+
+    ``enabled=False`` keeps the object attachable while making every hook
+    a near-free no-op — the configuration the overhead bench measures.
+    """
+
+    __slots__ = ("enabled", "tracer", "metrics", "profile")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        profile: bool = False,
+    ) -> None:
+        self.enabled = enabled
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profile = profile
+
+    # ------------------------------------------------------------------
+    # tracing hooks
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Open a nested span (no-op handle when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        if self.enabled:
+            self.tracer.event(name, **attrs)
+
+    # ------------------------------------------------------------------
+    # metric hooks
+    # ------------------------------------------------------------------
+    def count(self, name: str, value: float = 1.0, **labels) -> None:
+        if self.enabled:
+            self.metrics.counter(name, _HELP.get(name, "")).inc(value, **labels)
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        if self.enabled:
+            self.metrics.histogram(name, _HELP.get(name, "")).observe(
+                value, **labels
+            )
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        if self.enabled:
+            self.metrics.gauge(name, _HELP.get(name, "")).set(value, **labels)
+
+    def record_round(
+        self, engine: str, frontier: int, moves: int, gain: float
+    ) -> None:
+        """One BEST-MOVES round's standard metrics, in one call."""
+        if not self.enabled:
+            return
+        self.count(M_ROUNDS, 1.0, engine=engine)
+        if moves:
+            self.count(M_MOVES, float(moves), engine=engine)
+        self.observe(M_ROUND_GAIN, gain, engine=engine)
+        self.observe(M_FRONTIER, float(frontier), engine=engine)
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    def write_trace(self, path) -> None:
+        """Write the span/event trace as JSONL."""
+        self.tracer.write_jsonl(path)
+
+    def write_metrics(self, path) -> None:
+        """Write metrics; ``.jsonl``/``.json`` get JSONL, else Prometheus."""
+        if str(path).endswith((".jsonl", ".json")):
+            self.metrics.write_jsonl(path)
+        else:
+            self.metrics.write_prometheus(path)
+
+
+#: Shared always-disabled context used when no instrumentation is attached,
+#: so call sites never need a None check.
+NULL_INSTRUMENTATION = Instrumentation(enabled=False)
+
+
+def instr_of(sched) -> Instrumentation:
+    """The instrumentation attached to ``sched``, or the disabled default.
+
+    Mirrors how the fault-injection hooks ride ``sched.faults``: anything
+    holding the scheduler can observe without new plumbing.
+    """
+    instr = getattr(sched, "instr", None)
+    return instr if instr is not None else NULL_INSTRUMENTATION

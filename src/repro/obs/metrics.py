@@ -1,0 +1,339 @@
+"""Metrics registry: counters, gauges, and histograms with two exporters.
+
+The registry is deliberately small and dependency-free.  Metrics are
+created lazily (``registry.counter(name)`` returns the existing counter or
+makes one) and support Prometheus-style labels passed as keyword
+arguments: ``counter.inc(5, engine="relaxed")`` keeps one value per
+distinct label set.
+
+Exporters:
+
+* :meth:`MetricsRegistry.to_jsonl` — one JSON object per sample line,
+  parse-back via :meth:`MetricsRegistry.parse_jsonl` (benches and tests
+  assert on these);
+* :meth:`MetricsRegistry.to_prometheus` — the Prometheus text exposition
+  format (``# HELP`` / ``# TYPE`` headers, ``_bucket``/``_sum``/``_count``
+  series for histograms) so any scraper can ingest a run's metrics file.
+
+The clustering pipeline's standard metric names live in
+:mod:`repro.obs.instrument` and are documented in DESIGN.md §7.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets: a 1-2.5-5 ladder over eight decades, wide
+#: enough for move counts, frontier sizes, gains, and second-scale timings.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    m * 10.0**e for e in range(-3, 8) for m in (1.0, 2.5, 5.0)
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> LabelKey:
+    for key in labels:
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + body + "}"
+
+
+class Metric:
+    """Common bookkeeping for all metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+    def samples(self) -> List[dict]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonically increasing value (per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, value: float = 1.0, **labels) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {value})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across all label sets."""
+        return sum(self._values.values())
+
+    def samples(self) -> List[dict]:
+        return [
+            {
+                "metric": self.name,
+                "type": self.kind,
+                "labels": dict(key),
+                "value": value,
+            }
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge(Metric):
+    """Last-write-wins value (per label set)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def value(self, **labels) -> Optional[float]:
+        return self._values.get(_label_key(labels))
+
+    def samples(self) -> List[dict]:
+        return [
+            {
+                "metric": self.name,
+                "type": self.kind,
+                "labels": dict(key),
+                "value": value,
+            }
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class _HistogramSeries:
+    __slots__ = ("count", "sum", "min", "max", "bucket_counts")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.bucket_counts = [0] * num_buckets
+
+
+class Histogram(Metric):
+    """Distribution sketch: cumulative buckets plus count/sum/min/max."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(sorted(buckets)) if buckets else DEFAULT_BUCKETS
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        value = float(value)
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets))
+        series.count += 1
+        series.sum += value
+        if value < series.min:
+            series.min = value
+        if value > series.max:
+            series.max = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                series.bucket_counts[i] += 1
+                break
+        # Values above the top bound only land in the implicit +Inf bucket.
+
+    def count(self, **labels) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.sum if series else 0.0
+
+    def total_count(self) -> int:
+        return sum(s.count for s in self._series.values())
+
+    def total_sum(self) -> float:
+        return sum(s.sum for s in self._series.values())
+
+    def samples(self) -> List[dict]:
+        out = []
+        for key, series in sorted(self._series.items()):
+            cumulative = 0
+            bucket_map = {}
+            for bound, n in zip(self.buckets, series.bucket_counts):
+                cumulative += n
+                bucket_map[f"{bound:g}"] = cumulative
+            out.append(
+                {
+                    "metric": self.name,
+                    "type": self.kind,
+                    "labels": dict(key),
+                    "count": series.count,
+                    "sum": series.sum,
+                    "min": series.min if series.count else None,
+                    "max": series.max if series.count else None,
+                    "buckets": bucket_map,
+                }
+            )
+        return out
+
+
+class MetricsRegistry:
+    """Creates, holds, and exports a run's metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        if buckets is None:
+            return self._get_or_create(Histogram, name, help)
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def collect(self) -> List[dict]:
+        """All samples across all metrics, registry-name ordered."""
+        out: List[dict] = []
+        for name in self.names():
+            out.extend(self._metrics[name].samples())
+        return out
+
+    # ------------------------------------------------------------------
+    # JSONL exporter
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        return "".join(json.dumps(sample) + "\n" for sample in self.collect())
+
+    def write_jsonl(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_jsonl())
+
+    @staticmethod
+    def parse_jsonl(text: str) -> List[dict]:
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+    # ------------------------------------------------------------------
+    # Prometheus text exporter
+    # ------------------------------------------------------------------
+    def to_prometheus(self) -> str:
+        lines: List[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for sample in metric.samples():
+                    base = tuple(sorted(sample["labels"].items()))
+                    for bound, cumulative in sample["buckets"].items():
+                        key = base + (("le", bound),)
+                        lines.append(
+                            f"{name}_bucket{_format_labels(key)} {cumulative}"
+                        )
+                    inf_key = base + (("le", "+Inf"),)
+                    lines.append(
+                        f"{name}_bucket{_format_labels(inf_key)} {sample['count']}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_format_labels(base)} {sample['sum']:g}"
+                    )
+                    lines.append(
+                        f"{name}_count{_format_labels(base)} {sample['count']}"
+                    )
+            else:
+                for sample in metric.samples():
+                    key = tuple(sorted(sample["labels"].items()))
+                    lines.append(
+                        f"{name}{_format_labels(key)} {sample['value']:g}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_prometheus(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_prometheus())
+
+
+def parse_prometheus(text: str) -> List[dict]:
+    """Parse Prometheus text back into ``{name, labels, value}`` samples.
+
+    Supports the subset :meth:`MetricsRegistry.to_prometheus` emits —
+    enough for exporter round-trip tests; not a general scraper.
+    """
+    samples = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, value_part = line.rsplit(" ", 1)
+        labels: Dict[str, str] = {}
+        if "{" in name_part:
+            name, label_body = name_part.split("{", 1)
+            label_body = label_body.rstrip("}")
+            if label_body:
+                for item in label_body.split(","):
+                    key, raw = item.split("=", 1)
+                    labels[key] = raw.strip('"')
+        else:
+            name = name_part
+        samples.append(
+            {"name": name, "labels": labels, "value": float(value_part)}
+        )
+    return samples

@@ -230,6 +230,7 @@ class SimulatedScheduler:
         machine: Optional[Machine] = None,
         tau: float = DEFAULT_TAU,
         faults=None,
+        instr=None,
     ) -> None:
         self.machine = machine or Machine.c2_standard_60()
         if num_workers < 1:
@@ -240,6 +241,10 @@ class SimulatedScheduler:
         #: Optional :class:`repro.resilience.faults.FaultPlan`; primitives
         #: that take a scheduler consult it to inject concurrency hazards.
         self.faults = faults
+        #: Optional :class:`repro.obs.instrument.Instrumentation`; rides the
+        #: scheduler for the same reason ``faults`` does — everything that
+        #: can charge costs can also trace/record (see ``instr_of``).
+        self.instr = instr
 
     def charge(
         self, work: float, depth: float, label: str = "", serial: float = 0.0
@@ -269,6 +274,15 @@ class SimulatedScheduler:
                 label=label,
                 serial=CAS_COST * max_queue,
             )
+            instr = self.instr
+            if instr is not None and instr.enabled:
+                from repro.obs.instrument import M_CAS_INJECTED, M_CAS_RETRIES
+
+                name = (
+                    M_CAS_INJECTED if label.endswith("-injected-cas")
+                    else M_CAS_RETRIES
+                )
+                instr.count(name, total_retries)
 
     def simulated_time(self, num_workers: Optional[int] = None) -> float:
         """Simulated seconds at ``num_workers`` (default: this scheduler's)."""
@@ -277,7 +291,9 @@ class SimulatedScheduler:
 
     def fork(self) -> "SimulatedScheduler":
         """A child scheduler with the same profile and a fresh ledger."""
-        return SimulatedScheduler(self.num_workers, self.machine, self.tau)
+        return SimulatedScheduler(
+            self.num_workers, self.machine, self.tau, instr=self.instr
+        )
 
     def absorb(self, child: "SimulatedScheduler") -> None:
         """Merge a child scheduler's ledger into this one."""

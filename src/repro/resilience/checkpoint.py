@@ -96,6 +96,8 @@ def _stats_to_json(stats: MultiLevelStats) -> list:
             "frontier_sizes": [int(x) for x in lv.frontier_sizes],
             "refine_iterations": lv.refine_iterations,
             "refine_moves": lv.refine_moves,
+            "wall_seconds": lv.wall_seconds,
+            "refine_wall_seconds": lv.refine_wall_seconds,
         }
         for lv in stats.levels
     ]

@@ -20,6 +20,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.state import ClusterState
+from repro.obs.instrument import M_RESILIENCE_EVENTS, instr_of
 from repro.errors import (
     BudgetExhausted,
     InvariantViolation,
@@ -87,6 +88,8 @@ class ResilienceContext:
         if sched is not None:
             # The scheduler is the conduit to the atomics/frontier hooks.
             sched.faults = policy.faults
+        # Observability rides the same conduit (a disabled no-op otherwise).
+        self.instr = instr_of(sched)
         self.failure_log: List[str] = []
         self.degraded = False
         self.stopped = False  # budget exhausted: no further engine work
@@ -105,12 +108,14 @@ class ResilienceContext:
         self._tag = f"{config.describe()}|lambda={resolution:.12g}"
         self._num_vertices = graph.num_vertices
 
-    def note(self, message: str) -> None:
+    def note(self, message: str, kind: str = "note") -> None:
         self.failure_log.append(message)
+        self.instr.event("resilience", kind=kind, message=message)
+        self.instr.count(M_RESILIENCE_EVENTS, 1.0, kind=kind)
 
-    def degrade(self, message: str) -> None:
+    def degrade(self, message: str, kind: str = "degrade") -> None:
         self.degraded = True
-        self.note(message)
+        self.note(message, kind=kind)
 
     # ------------------------------------------------------------------
     # fault injection
@@ -158,13 +163,15 @@ class ResilienceContext:
                     if self.policy.strict:
                         raise
                     self.degrade(
-                        f"{where}: giving up after {attempt + 1} attempts: {exc}"
+                        f"{where}: giving up after {attempt + 1} attempts: {exc}",
+                        kind="retries-exhausted",
                     )
                     break
                 delay = backoff_seconds(attempt, self.policy.backoff_base)
                 self.note(
                     f"{where}: transient fault (attempt {attempt + 1}/"
-                    f"{self.policy.max_retries + 1}), backing off {delay:g}s: {exc}"
+                    f"{self.policy.max_retries + 1}), backing off {delay:g}s: {exc}",
+                    kind="retry",
                 )
                 if self.sched is not None:
                     self.sched.charge(
@@ -198,7 +205,8 @@ class ResilienceContext:
         repaired = self.auditor.resync(state)
         self.degrade(
             f"{label}: invariant violation ({'; '.join(issues)}); "
-            f"resynced {', '.join(repaired) or 'nothing'}"
+            f"resynced {', '.join(repaired) or 'nothing'}",
+            kind="audit-repair",
         )
 
     # ------------------------------------------------------------------
@@ -216,7 +224,9 @@ class ResilienceContext:
         if self.policy.strict:
             raise BudgetExhausted(reason)
         self.stopped = True
-        self.degrade(f"{reason}; returning best-so-far clustering")
+        self.degrade(
+            f"{reason}; returning best-so-far clustering", kind="budget-stop"
+        )
         return True
 
     # ------------------------------------------------------------------
@@ -233,7 +243,8 @@ class ResilienceContext:
         )
         restore_rng(rng, ckpt.rng_state)
         self.note(
-            f"resumed from {self.policy.resume_from} at level {ckpt.level}"
+            f"resumed from {self.policy.resume_from} at level {ckpt.level}",
+            kind="resume",
         )
         return ckpt
 
@@ -243,6 +254,13 @@ class ResilienceContext:
             return
         if level % self.policy.checkpoint_every != 0:
             return
+        self.instr.event(
+            "resilience",
+            kind="checkpoint",
+            level=level,
+            path=str(self.policy.checkpoint_path),
+        )
+        self.instr.count(M_RESILIENCE_EVENTS, 1.0, kind="checkpoint")
         save_checkpoint(
             self.policy.checkpoint_path,
             MultilevelCheckpoint(

@@ -1,0 +1,120 @@
+"""Metrics registry: kinds, labels, and both exporter round trips."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
+
+
+def test_counter_accumulates_per_label_set():
+    counter = Counter("moves_total")
+    counter.inc(3, engine="relaxed")
+    counter.inc(2, engine="relaxed")
+    counter.inc(5, engine="colored")
+    assert counter.value(engine="relaxed") == 5
+    assert counter.value(engine="colored") == 5
+    assert counter.value(engine="missing") == 0
+    assert counter.total() == 10
+
+
+def test_counter_rejects_negative_increment():
+    counter = Counter("c_total")
+    with pytest.raises(ValueError, match="cannot decrease"):
+        counter.inc(-1)
+
+
+def test_gauge_last_write_wins():
+    gauge = Gauge("objective")
+    gauge.set(1.0)
+    gauge.set(2.5)
+    assert gauge.value() == 2.5
+    assert gauge.value(run="other") is None
+
+
+def test_histogram_summary_and_cumulative_buckets():
+    hist = Histogram("sizes", buckets=[1.0, 10.0, 100.0])
+    for value in (0.5, 5.0, 50.0, 500.0):
+        hist.observe(value)
+    assert hist.count() == 4
+    assert hist.sum() == 555.5
+    (sample,) = hist.samples()
+    assert sample["min"] == 0.5
+    assert sample["max"] == 500.0
+    # Cumulative: <=1 catches 0.5; <=10 adds 5.0; <=100 adds 50.0; the
+    # 500.0 observation lives only in the implicit +Inf bucket.
+    assert sample["buckets"] == {"1": 1, "10": 2, "100": 3}
+
+
+def test_invalid_names_rejected():
+    with pytest.raises(ValueError, match="invalid metric name"):
+        Counter("0starts-with-digit")
+    counter = Counter("ok_total")
+    with pytest.raises(ValueError, match="invalid label name"):
+        counter.inc(1, **{"bad-label": "x"})
+
+
+def test_registry_lazy_creation_and_kind_conflict():
+    registry = MetricsRegistry()
+    assert registry.counter("x_total") is registry.counter("x_total")
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("x_total")
+    assert registry.get("x_total").kind == "counter"
+    assert registry.get("nope") is None
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("moves_total", "moves").inc(7, engine="relaxed")
+    registry.counter("moves_total").inc(3, engine="event")
+    registry.gauge("objective_f", "final F").set(12.5)
+    hist = registry.histogram("gain", "round gains", buckets=[1.0, 10.0])
+    hist.observe(0.5, engine="relaxed")
+    hist.observe(5.0, engine="relaxed")
+    return registry
+
+
+def test_jsonl_round_trip(tmp_path):
+    registry = _populated_registry()
+    path = tmp_path / "metrics.jsonl"
+    registry.write_jsonl(path)
+    samples = MetricsRegistry.parse_jsonl(path.read_text())
+    assert samples == registry.collect()
+    by_metric = {}
+    for sample in samples:
+        by_metric.setdefault(sample["metric"], []).append(sample)
+    assert sum(s["value"] for s in by_metric["moves_total"]) == 10
+    assert by_metric["gain"][0]["count"] == 2
+
+
+def test_prometheus_round_trip(tmp_path):
+    registry = _populated_registry()
+    path = tmp_path / "metrics.prom"
+    registry.write_prometheus(path)
+    text = path.read_text()
+    assert "# HELP moves_total moves" in text
+    assert "# TYPE gain histogram" in text
+    samples = parse_prometheus(text)
+    by = {
+        (s["name"], tuple(sorted(s["labels"].items()))): s["value"]
+        for s in samples
+    }
+    assert by[("moves_total", (("engine", "relaxed"),))] == 7
+    assert by[("objective_f", ())] == 12.5
+    assert by[("gain_count", (("engine", "relaxed"),))] == 2
+    assert by[("gain_sum", (("engine", "relaxed"),))] == 5.5
+    # Cumulative bucket series, including the implicit +Inf.
+    assert by[("gain_bucket", (("engine", "relaxed"), ("le", "1")))] == 1
+    assert by[("gain_bucket", (("engine", "relaxed"), ("le", "10")))] == 2
+    assert by[("gain_bucket", (("engine", "relaxed"), ("le", "+Inf")))] == 2
+
+
+def test_empty_registry_exports_empty():
+    registry = MetricsRegistry()
+    assert registry.to_jsonl() == ""
+    assert registry.to_prometheus() == ""
+    assert registry.collect() == []

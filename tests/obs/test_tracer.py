@@ -1,0 +1,135 @@
+"""Tracer invariants: nesting, LIFO closing, round trips, null path."""
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Tracer,
+    peak_rss_bytes,
+    span_tree,
+)
+
+
+def test_nested_spans_record_parent_and_depth():
+    tracer = Tracer()
+    with tracer.span("run") as run:
+        with tracer.span("level", level=0) as level:
+            with tracer.span("round", iteration=0) as round_span:
+                assert round_span.parent_id == level.span_id
+                assert round_span.depth == 2
+            assert level.parent_id == run.span_id
+            assert level.depth == 1
+    assert run.parent_id is None
+    assert run.depth == 0
+    assert tracer.open_spans == 0
+
+
+def test_records_written_in_completion_order():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    names = [r["name"] for r in tracer.span_records()]
+    assert names == ["inner", "outer"]
+
+
+def test_out_of_order_close_raises():
+    tracer = Tracer()
+    outer = tracer.span("outer")
+    tracer.span("inner")
+    with pytest.raises(RuntimeError, match="out of order"):
+        tracer._finish(outer)
+
+
+def test_export_with_open_spans_raises():
+    tracer = Tracer()
+    tracer.span("still-open")
+    with pytest.raises(RuntimeError, match="open spans"):
+        tracer.to_jsonl()
+
+
+def test_span_timing_and_rss_populated():
+    tracer = Tracer()
+    with tracer.span("timed") as span:
+        pass
+    assert span.wall_seconds >= 0.0
+    assert span.cpu_seconds >= 0.0
+    if peak_rss_bytes() is not None:
+        assert span.peak_rss_bytes > 0
+
+
+def test_exception_inside_span_closes_and_tags_it():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("doomed"):
+            raise ValueError("boom")
+    assert tracer.open_spans == 0
+    (record,) = tracer.span_records()
+    assert record["attrs"]["error"] == "ValueError"
+
+
+def test_jsonl_round_trip_and_tree_rebuild():
+    tracer = Tracer()
+    with tracer.span("run"):
+        with tracer.span("level", level=0):
+            with tracer.span("round", iteration=0):
+                pass
+            with tracer.span("round", iteration=1):
+                pass
+        tracer.event("resilience", kind="note", message="hi")
+    records = Tracer.parse_jsonl(tracer.to_jsonl())
+    roots = span_tree(records)
+    assert [r.name for r in roots] == ["run"]
+    (level,) = roots[0].children
+    assert [c.name for c in level.children] == ["round", "round"]
+    # Children are ordered by start time.
+    iterations = [c.record["attrs"]["iteration"] for c in level.children]
+    assert iterations == [0, 1]
+    assert len(list(roots[0].walk())) == 4
+
+
+def test_span_tree_missing_parent_raises():
+    tracer = Tracer()
+    with tracer.span("run"):
+        with tracer.span("child"):
+            pass
+    records = tracer.span_records()
+    orphan = [r for r in records if r["name"] == "child"]
+    with pytest.raises(ValueError, match="missing parent"):
+        span_tree(orphan)
+
+
+def test_events_attach_to_innermost_open_span():
+    tracer = Tracer()
+    free = tracer.event("unattached")
+    assert free["span"] is None
+    with tracer.span("run") as run:
+        attached = tracer.event("attached", detail=1)
+    assert attached["span"] == run.span_id
+    assert [r["name"] for r in tracer.event_records()] == [
+        "unattached", "attached",
+    ]
+
+
+def test_null_span_is_inert():
+    with NULL_SPAN as span:
+        span.set(anything="goes")
+    assert span is NULL_SPAN
+
+
+def test_set_overwrites_attributes():
+    tracer = Tracer()
+    with tracer.span("s", moves=0) as span:
+        span.set(moves=7, gain=1.5)
+    (record,) = tracer.span_records()
+    assert record["attrs"] == {"moves": 7, "gain": 1.5}
+
+
+def test_write_jsonl(tmp_path):
+    tracer = Tracer()
+    with tracer.span("run"):
+        pass
+    path = tmp_path / "trace.jsonl"
+    tracer.write_jsonl(path)
+    records = Tracer.parse_jsonl(path.read_text())
+    assert records[0]["name"] == "run"

@@ -1,0 +1,78 @@
+"""CLI observability flags: --trace / --metrics / --profile / --engine."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.schema import validate_trace_text
+from repro.obs.tracer import Tracer
+
+
+def _run(argv):
+    return main(["cluster", "--karate", "--resolution", "0.05",
+                 "--seed", "3"] + argv)
+
+
+def test_trace_flag_writes_valid_jsonl(tmp_path, capsys):
+    trace = tmp_path / "out.jsonl"
+    assert _run(["--trace", str(trace)]) == 0
+    assert f"trace written to {trace}" in capsys.readouterr().out
+    assert validate_trace_text(trace.read_text()) == []
+
+
+def test_metrics_flag_format_by_extension(tmp_path):
+    jsonl = tmp_path / "m.jsonl"
+    prom = tmp_path / "m.prom"
+    assert _run(["--metrics", str(jsonl)]) == 0
+    assert _run(["--metrics", str(prom)]) == 0
+    # .jsonl: every line is a JSON sample object.
+    samples = [json.loads(line) for line in jsonl.read_text().splitlines()]
+    assert any(s["metric"] == "repro_moves_total" for s in samples)
+    # anything else: Prometheus text exposition.
+    assert "# TYPE repro_moves_total counter" in prom.read_text()
+
+
+def test_profile_flag_prints_tables(capsys):
+    assert _run(["--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "per-level profile:" in out
+    assert "top regions by simulated work:" in out
+
+
+def test_no_flags_no_observability_output(capsys):
+    assert _run([]) == 0
+    out = capsys.readouterr().out
+    assert "trace written" not in out
+    assert "per-level profile" not in out
+
+
+@pytest.mark.parametrize(
+    "engine", ["relaxed", "prefix", "colored", "event", "sequential"]
+)
+def test_engine_override_traces_that_engine(tmp_path, engine):
+    trace = tmp_path / "out.jsonl"
+    assert _run(["--engine", engine, "--trace", str(trace)]) == 0
+    records = Tracer.parse_jsonl(trace.read_text())
+    engines = {
+        r["attrs"]["engine"]
+        for r in records
+        if r["type"] == "span" and r["name"] == "round"
+    }
+    assert engines == {engine}
+
+
+def test_observability_composes_with_resilience(tmp_path, capsys):
+    trace = tmp_path / "out.jsonl"
+    assert _run(
+        ["--trace", str(trace), "--max-rounds", "1"]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "budget" in err
+    records = Tracer.parse_jsonl(trace.read_text())
+    kinds = {
+        r["attrs"]["kind"]
+        for r in records
+        if r["type"] == "event" and r["name"] == "resilience"
+    }
+    assert "budget-stop" in kinds
