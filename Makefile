@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast smoke-obs baselines compare-baselines bench
+.PHONY: test test-fast smoke-obs baselines compare-baselines bench \
+	bench-snapshot ci
 
 ## Full test suite (tier 1).
 test:
@@ -37,3 +38,14 @@ compare-baselines:
 ## Per-figure benchmark scripts (pytest-benchmark).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+## Refresh the committed repo-root BENCH_PR3.json telemetry snapshot
+## (quality metrics + telemetry coverage counts); commit the result.
+bench-snapshot:
+	$(PYTHON) -m repro.obs.bench emit --snapshot-only
+
+## The full gate a PR must pass: tier-1 tests, the observability smoke,
+## the committed-baseline regression compare, and the <3% disabled
+## instrumentation-overhead bench.
+ci: test smoke-obs compare-baselines
+	$(PYTHON) -m pytest -x -q benchmarks/bench_obs_overhead.py

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -109,15 +110,86 @@ def _resilience_policy(args):
 
 def _instrumentation(args):
     """Build an Instrumentation when any observability flag is present."""
-    if not (args.trace or args.metrics or args.profile):
+    profile = args.profile or bool(args.profile_json)
+    if not (args.trace or args.metrics or profile):
         return None
     from repro.obs.instrument import Instrumentation
 
-    return Instrumentation(profile=args.profile)
+    return Instrumentation(profile=profile)
 
 
-def _print_profile(result, instr) -> None:
-    """--profile: per-level timing table plus the ledger's top regions."""
+def _graph_name(args) -> str:
+    """A short workload identifier for the run registry."""
+    if args.input:
+        return Path(args.input).name
+    if args.surrogate:
+        return f"surrogate:{args.surrogate}"
+    return "karate"
+
+
+def _round_quantiles(instr) -> List[tuple]:
+    """(metric label, p50, p95) rows from the run's round histograms."""
+    from repro.obs.instrument import M_FRONTIER, M_ROUND_GAIN
+
+    rows = []
+    for title, name in (
+        ("round gain", M_ROUND_GAIN),
+        ("frontier size", M_FRONTIER),
+    ):
+        metric = instr.metrics.get(name)
+        if metric is None:
+            continue
+        for sample in metric.samples():
+            labels = sample["labels"]
+            engine = labels.get("engine", "?")
+            rows.append(
+                (
+                    f"{title} [{engine}]",
+                    metric.quantile(0.5, **labels),
+                    metric.quantile(0.95, **labels),
+                )
+            )
+    return rows
+
+
+def _profile_payload(result, instr, top: int) -> dict:
+    """The --profile content as a JSON-ready dict (for --profile-json)."""
+    payload = {
+        "levels": [
+            {
+                "level": idx,
+                "vertices": lv.num_vertices,
+                "rounds": lv.iterations + lv.refine_iterations,
+                "moves": lv.moves + lv.refine_moves,
+                "wall_seconds": lv.wall_seconds,
+                "refine_wall_seconds": lv.refine_wall_seconds,
+            }
+            for idx, lv in enumerate(result.stats.levels)
+        ],
+        "top_regions": [
+            {"label": label, "work": work, "share": share}
+            for label, work, share in result.ledger.profile(top=top)
+        ],
+        "round_quantiles": [
+            {"metric": name, "p50": p50, "p95": p95}
+            for name, p50, p95 in _round_quantiles(instr)
+        ],
+        "stats": result.stats_dict(),
+    }
+    return payload
+
+
+def _write_profile_json(result, instr, path, top: int) -> None:
+    import json
+
+    with open(path, "w") as handle:
+        json.dump(_profile_payload(result, instr, top), handle, indent=2,
+                  default=str)
+        handle.write("\n")
+
+
+def _print_profile(result, instr, top: int = 8) -> None:
+    """--profile: per-level timings, top ledger regions, round quantiles."""
     print("per-level profile:")
     print(
         f"  {'level':>5} {'vertices':>9} {'rounds':>7} {'moves':>8} "
@@ -130,9 +202,14 @@ def _print_profile(result, instr) -> None:
             f"{lv.moves + lv.refine_moves:>8} {lv.wall_seconds:>9.4f} "
             f"{lv.refine_wall_seconds:>9.4f}"
         )
-    print("top regions by simulated work:")
-    for label, work, share in result.ledger.profile(top=8):
+    print(f"top {top} regions by simulated work:")
+    for label, work, share in result.ledger.profile(top=top):
         print(f"  {label:<24} {work:>14.4g} {share:>6.1%}")
+    quantiles = _round_quantiles(instr)
+    if quantiles:
+        print("round distributions (bucket-interpolated):")
+        for name, p50, p95 in quantiles:
+            print(f"  {name:<28} p50={p50:>12.6g} p95={p95:>12.6g}")
 
 
 def _cmd_cluster(args) -> int:
@@ -174,7 +251,20 @@ def _cmd_cluster(args) -> int:
             instr.write_metrics(args.metrics)
             print(f"metrics written to {args.metrics}")
         if args.profile:
-            _print_profile(result, instr)
+            _print_profile(result, instr, top=args.profile_top)
+        if args.profile_json:
+            _write_profile_json(result, instr, args.profile_json,
+                                top=args.profile_top)
+            print(f"profile written to {args.profile_json}")
+    if args.register:
+        from repro.obs.registry import append_run, make_run_record
+
+        run_id = args.run_id or f"run-{int(time.time())}"
+        record = make_run_record(
+            result, run_id=run_id, graph=_graph_name(args), engine=args.engine,
+        )
+        append_run(args.register, record)
+        print(f"registered {run_id} in {args.register}")
     return 0
 
 
@@ -339,6 +429,90 @@ def _cmd_consensus(args) -> int:
     return 0
 
 
+def _cmd_obs_timeline(args) -> int:
+    from repro.obs.schema import TraceSchemaError
+    from repro.obs.timeline import write_chrome_trace
+
+    out = args.out or str(Path(args.trace).with_suffix(".chrome.json"))
+    try:
+        document = write_chrome_trace(args.trace, out)
+    except TraceSchemaError as exc:
+        for problem in exc.problems:
+            print(f"invalid trace: {problem}", file=sys.stderr)
+        return 2
+    events = document["traceEvents"]
+    lanes = {e["tid"] for e in events if e.get("pid") == 1 and e["ph"] == "X"}
+    spans = sum(1 for e in events if e.get("pid") == 0 and e["ph"] == "X")
+    print(
+        f"timeline written to {out} ({spans} spans, "
+        f"{len(lanes)} worker lanes)"
+    )
+    return 0
+
+
+def _cmd_obs_report(args) -> int:
+    from repro.obs.registry import RunRegistryError, load_runs
+
+    try:
+        records = load_runs(args.runs)
+    except (OSError, RunRegistryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.last is not None:
+        records = records[-args.last:]
+    print(
+        f"{'run_id':<18} {'graph':<18} {'engine':<10} {'res':>6} "
+        f"{'wall_s':>8} {'sim_s':>10} {'objective':>12} {'modularity':>10}"
+    )
+    for record in records:
+        workload = record["workload"]
+        metrics = record["metrics"]
+        degraded = " DEGRADED" if record.get("info", {}).get("degraded") else ""
+        print(
+            f"{record['run_id']:<18} {workload['graph']:<18} "
+            f"{workload['engine']:<10} {workload['resolution']:>6g} "
+            f"{metrics['wall_seconds']:>8.3f} "
+            f"{metrics['sim_time_seconds']:>10.4g} "
+            f"{metrics['f_objective']:>12.6g} "
+            f"{metrics['modularity']:>10.4f}{degraded}"
+        )
+    return 0
+
+
+def _cmd_obs_diff(args) -> int:
+    from repro.obs.registry import (
+        OBJECTIVE_TOLERANCE,
+        WALL_TOLERANCE,
+        RunRegistryError,
+        diff_runs,
+        find_run,
+        load_runs,
+    )
+
+    try:
+        records = load_runs(args.runs)
+        baseline = find_run(records, args.baseline)
+        current = find_run(records, args.current)
+    except (OSError, RunRegistryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = diff_runs(
+        baseline,
+        current,
+        wall_tolerance=(
+            WALL_TOLERANCE if args.wall_tolerance is None
+            else args.wall_tolerance
+        ),
+        objective_tolerance=(
+            OBJECTIVE_TOLERANCE if args.objective_tolerance is None
+            else args.objective_tolerance
+        ),
+    )
+    print(f"diff {args.baseline} -> {args.current}")
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -412,8 +586,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write run metrics; .json/.jsonl gets JSONL, "
                         "anything else Prometheus text format")
     o.add_argument("--profile", action="store_true",
-                   help="print a per-level timing table and the top "
-                        "simulated-work regions")
+                   help="print a per-level timing table, the top "
+                        "simulated-work regions, and p50/p95 round "
+                        "distributions")
+    o.add_argument("--profile-top", type=int, default=8, metavar="N",
+                   help="how many ledger regions --profile shows "
+                        "(default 8)")
+    o.add_argument("--profile-json", metavar="FILE",
+                   help="write the profile as JSON (implies collecting "
+                        "profile data even without --profile)")
+    o.add_argument("--register", metavar="RUNS_JSONL",
+                   help="append this run's metrics to the runs registry "
+                        "(see 'repro obs diff')")
+    o.add_argument("--run-id", metavar="ID",
+                   help="registry id for --register (default: run-<time>)")
     p.set_defaults(func=_cmd_cluster)
 
     p = sub.add_parser("generate", help="generate a synthetic graph")
@@ -481,6 +667,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table1", help="print the surrogate dataset table")
     p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser(
+        "obs", help="observability: timelines and the runs registry"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser(
+        "timeline",
+        help="convert a trace JSONL to Chrome trace JSON (Perfetto)",
+    )
+    q.add_argument("trace", help="trace JSONL written by cluster --trace")
+    q.add_argument("--out", metavar="FILE",
+                   help="output path (default: <trace>.chrome.json)")
+    q.set_defaults(func=_cmd_obs_timeline)
+
+    q = obs_sub.add_parser("report", help="print the registered runs")
+    q.add_argument("runs", help="runs.jsonl registry file")
+    q.add_argument("--last", type=int, default=None, metavar="N",
+                   help="only the N most recent runs")
+    q.set_defaults(func=_cmd_obs_report)
+
+    q = obs_sub.add_parser(
+        "diff",
+        help="compare two registered runs; non-zero exit on regression",
+    )
+    q.add_argument("runs", help="runs.jsonl registry file")
+    q.add_argument("baseline", help="run id to compare against")
+    q.add_argument("current", help="run id under test")
+    q.add_argument("--wall-tolerance", type=float, default=None,
+                   help="relative wall/sim worsening that fails "
+                        "(default 0.10)")
+    q.add_argument("--objective-tolerance", type=float, default=None,
+                   help="relative objective/modularity worsening that "
+                        "fails (default 0.001)")
+    q.set_defaults(func=_cmd_obs_diff)
     return parser
 
 

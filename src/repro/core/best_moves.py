@@ -150,4 +150,8 @@ def run_best_moves(
                 config.frontier,
                 sched=sched,
             )
+            if sched is not None:
+                # Round boundary: every worker feeds the next frontier, so
+                # the simulated lanes join here (recording idle waits).
+                sched.round_barrier()
     return stats

@@ -150,4 +150,8 @@ def run_colored_best_moves(
                 np.concatenate(origins_parts), np.concatenate(targets_parts),
                 config.frontier, sched=sched,
             )
+            if sched is not None:
+                # Color classes already barrier individually; the round
+                # itself joins once more before the next frontier.
+                sched.round_barrier()
     return stats

@@ -169,4 +169,8 @@ def run_event_driven_best_moves(
                 graph, state.assignments, movers, origins, targets,
                 config.frontier, sched=sched,
             )
+            if sched is not None:
+                # Even the event oracle joins at the round boundary: the
+                # next frontier is a global read of this round's moves.
+                sched.round_barrier()
     return stats

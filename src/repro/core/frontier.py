@@ -41,7 +41,7 @@ def next_frontier(
             sched.charge(work=float(n), depth=1.0, label="frontier-all")
         return _inject_delay(np.arange(n, dtype=np.int64), sched)
     if kind is Frontier.VERTEX_NEIGHBORS:
-        subset = VertexSubset.from_ids(n, movers)
+        subset = VertexSubset.from_ids(n, movers, sched=sched)
         frontier = edge_map(graph, subset, sched=sched, label="frontier-vnbrs").ids()
         return _inject_delay(frontier, sched)
     if kind is Frontier.CLUSTER_NEIGHBORS:
@@ -49,7 +49,7 @@ def next_frontier(
         members = np.flatnonzero(np.isin(assignments, affected)).astype(np.int64)
         if sched is not None:
             sched.charge(work=float(n), depth=1.0, label="frontier-cnbrs-members")
-        subset = VertexSubset.from_ids(n, members)
+        subset = VertexSubset.from_ids(n, members, sched=sched)
         neighbors = edge_map(graph, subset, sched=sched, label="frontier-cnbrs")
         return _inject_delay(neighbors.union(subset).ids(), sched)
     raise ValueError(f"unknown frontier kind: {kind!r}")

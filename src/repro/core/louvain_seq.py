@@ -114,6 +114,10 @@ def sequential_best_moves(
                 graph, state.assignments, movers, origins, targets,
                 config.frontier, sched=sched,
             )
+            if sched is not None:
+                # One lane, but the boundary still closes the round's
+                # chunk stream so timelines segment per sweep.
+                sched.round_barrier()
     return stats
 
 

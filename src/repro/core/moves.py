@@ -26,7 +26,11 @@ import numpy as np
 
 from repro.core.state import ClusterState
 from repro.graphs.csr import CSRGraph
-from repro.parallel.hash_table import PARALLEL_INSERT_COST, TABLE_SLACK
+from repro.parallel.hash_table import (
+    PARALLEL_INSERT_COST,
+    TABLE_SLACK,
+    observe_table_metrics,
+)
 from repro.parallel.primitives import ragged_gather_indices
 
 #: Minimum strict improvement for a move (guards float-noise oscillation).
@@ -77,7 +81,10 @@ def _charge_batch(
         work += (PARALLEL_INSERT_COST - 1.0) * float(par_deg.sum())
         work += TABLE_SLACK * float(par_deg.sum())
     depth = kernel_depth(degrees, threshold) if include_depth else 0.0
-    sched.charge(work=work, depth=depth, label=label)
+    sched.charge(work=work, depth=depth, label=label, items=int(degrees.size))
+    instr = getattr(sched, "instr", None)
+    if instr is not None and instr.enabled:
+        observe_table_metrics(instr, degrees, threshold, label=label)
 
 
 def compute_batch_moves(

@@ -176,4 +176,8 @@ def run_prefix_best_moves(
                 config.frontier,
                 sched=sched,
             )
+            if sched is not None:
+                # Prefix rounds end in a full join before the next
+                # permutation is drawn; record the lane idle gaps.
+                sched.round_barrier()
     return stats

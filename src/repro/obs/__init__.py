@@ -14,9 +14,15 @@ Public surface (DESIGN.md §7):
 """
 
 from repro.obs.instrument import (
+    M_ATOMIC_QUEUE,
+    M_CAS_ATTEMPTS,
     M_CAS_INJECTED,
     M_CAS_RETRIES,
     M_COMPRESSION,
+    M_DEDUP_HITS,
+    M_DEDUP_RATE,
+    M_HASH_PROBES,
+    M_HASH_RESIZES,
     M_FRONTIER,
     M_LEVEL_SECONDS,
     M_MODULARITY,
@@ -36,6 +42,17 @@ from repro.obs.metrics import (
     MetricsRegistry,
     parse_prometheus,
 )
+from repro.obs.registry import (
+    RUNS_SCHEMA,
+    RunRegistryError,
+    append_run,
+    diff_runs,
+    find_run,
+    load_runs,
+    make_run_record,
+    validate_run_record,
+)
+from repro.obs.timeline import chrome_trace, write_chrome_trace
 from repro.obs.tracer import NULL_SPAN, Span, SpanNode, Tracer, span_tree
 
 __all__ = [
@@ -44,10 +61,16 @@ __all__ = [
     "Histogram",
     "Instrumentation",
     "MetricsRegistry",
+    "M_ATOMIC_QUEUE",
+    "M_CAS_ATTEMPTS",
     "M_CAS_INJECTED",
     "M_CAS_RETRIES",
     "M_COMPRESSION",
+    "M_DEDUP_HITS",
+    "M_DEDUP_RATE",
     "M_FRONTIER",
+    "M_HASH_PROBES",
+    "M_HASH_RESIZES",
     "M_LEVEL_SECONDS",
     "M_MODULARITY",
     "M_MOVES",
@@ -57,10 +80,20 @@ __all__ = [
     "M_ROUNDS",
     "NULL_INSTRUMENTATION",
     "NULL_SPAN",
+    "RUNS_SCHEMA",
+    "RunRegistryError",
     "Span",
     "SpanNode",
     "Tracer",
+    "append_run",
+    "chrome_trace",
+    "diff_runs",
+    "find_run",
     "instr_of",
+    "load_runs",
+    "make_run_record",
     "parse_prometheus",
     "span_tree",
+    "validate_run_record",
+    "write_chrome_trace",
 ]

@@ -455,6 +455,65 @@ def overhead_suite(repeats: int = 5) -> BenchSuite:
     return suite
 
 
+def snapshot_suite(repeats: int = 3) -> BenchSuite:
+    """The PR3 telemetry snapshot: quality metrics plus telemetry coverage.
+
+    One fully-instrumented relaxed-engine run on the deterministic RMAT
+    workload.  The comparable metrics are the usual simulated time and
+    objective; the *info* fields record how much telemetry the run
+    produced (worker chunks and lanes, CAS attempts, dedup hits, probe
+    samples) so a refactor that silently stops emitting any of it shows
+    up as a diff in the committed ``BENCH_PR3.json``.
+    """
+    from repro.core.api import cluster
+    from repro.core.config import ClusteringConfig
+    from repro.obs.instrument import (
+        M_CAS_ATTEMPTS,
+        M_DEDUP_HITS,
+        M_HASH_PROBES,
+        Instrumentation,
+    )
+
+    graph = _baseline_graph()
+    config = ClusteringConfig(
+        resolution=BASELINE_RESOLUTION, refine=False, seed=BASELINE_SEED
+    )
+
+    def run():
+        instr = Instrumentation()
+        return cluster(graph, config, instrumentation=instr), instr
+
+    (result, instr), timing = time_callable(run, repeats=repeats, warmup=1)
+    workers = instr.tracer.worker_records()
+    probes = instr.metrics.get(M_HASH_PROBES)
+    cas = instr.metrics.get(M_CAS_ATTEMPTS)
+    dedup = instr.metrics.get(M_DEDUP_HITS)
+    suite = BenchSuite(
+        "PR3",
+        meta={
+            "workload": dict(BASELINE_RMAT),
+            "resolution": BASELINE_RESOLUTION,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+        },
+    )
+    suite.add_row(
+        "relaxed-instrumented",
+        metrics={
+            "f_objective": result.f_objective,
+            "sim_time_seconds": result.sim_time(),
+        },
+        wall_seconds=timing.best,
+        rounds=result.rounds,
+        worker_chunks=len(workers),
+        worker_lanes=len({w["worker"] for w in workers}),
+        cas_attempts=int(cas.total()) if cas else 0,
+        dedup_hits=int(dedup.total()) if dedup else 0,
+        probe_samples=probes.total_count() if probes else 0,
+    )
+    return suite
+
+
 def emit_baselines(out_dir=DEFAULT_BASELINE_DIR, repeats: int = 3) -> List[Path]:
     """Regenerate the committed ``BENCH_engines.json`` / ``BENCH_overhead.json``."""
     paths = [
@@ -487,6 +546,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     p = sub.add_parser("emit", help="regenerate the committed baselines")
     p.add_argument("--out", default=DEFAULT_BASELINE_DIR, metavar="DIR")
     p.add_argument("--repeats", type=int, default=3)
+    p.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="also write the repo-root BENCH_PR3.json telemetry snapshot",
+    )
+    p.add_argument(
+        "--snapshot-only",
+        action="store_true",
+        help="write only BENCH_PR3.json (skip the baseline suites)",
+    )
+    p.add_argument("--snapshot-dir", default=".", metavar="DIR")
 
     p = sub.add_parser("validate-trace", help="schema-check a trace JSONL file")
     p.add_argument("trace", help="trace JSONL file to validate")
@@ -497,7 +567,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(report.describe())
         return 0 if report.ok else 1
     if args.command == "emit":
-        for path in emit_baselines(args.out, repeats=args.repeats):
+        if not args.snapshot_only:
+            for path in emit_baselines(args.out, repeats=args.repeats):
+                print(f"wrote {path}")
+        if args.snapshot or args.snapshot_only:
+            path = snapshot_suite(repeats=args.repeats).write(args.snapshot_dir)
             print(f"wrote {path}")
         return 0
     if args.command == "validate-trace":

@@ -41,8 +41,21 @@ M_COMPRESSION = "repro_compression_ratio"
 M_LEVEL_SECONDS = "repro_level_seconds"
 #: CAS retries charged by contention windows (counter).
 M_CAS_RETRIES = "repro_cas_retries_total"
+#: Atomic update attempts issued by fetch-and-add windows (counter).
+M_CAS_ATTEMPTS = "repro_cas_attempts_total"
 #: Injected CAS failures from the resilience fault plan (counter).
 M_CAS_INJECTED = "repro_cas_injected_failures_total"
+#: Queue length on the hottest contended location per atomic window
+#: (histogram) — the "twitter contention" probe (Appendix C).
+M_ATOMIC_QUEUE = "repro_atomic_queue_depth"
+#: Linear-probe chain length per parallel hash-table insert (histogram).
+M_HASH_PROBES = "repro_hash_probe_length"
+#: Table doublings needed per parallel aggregation (histogram).
+M_HASH_RESIZES = "repro_hash_resizes"
+#: Fraction of frontier candidates removed as duplicates (histogram).
+M_DEDUP_RATE = "repro_frontier_dedup_rate"
+#: Duplicate frontier candidates dropped by dedup (counter).
+M_DEDUP_HITS = "repro_frontier_dedup_hits_total"
 #: Resilience events, labeled by kind: note/degrade/budget-stop/... (counter).
 M_RESILIENCE_EVENTS = "repro_resilience_events_total"
 #: Final unordered LambdaCC objective F of the run (gauge).
@@ -58,7 +71,13 @@ _HELP = {
     M_COMPRESSION: "Coarse/fine vertex-count ratio per compression",
     M_LEVEL_SECONDS: "Wall seconds spent per coarsening level",
     M_CAS_RETRIES: "CAS retries charged by contention windows",
+    M_CAS_ATTEMPTS: "Atomic update attempts issued by fetch-and-add windows",
     M_CAS_INJECTED: "Injected CAS failures from the fault plan",
+    M_ATOMIC_QUEUE: "Queue length on the hottest location per atomic window",
+    M_HASH_PROBES: "Linear-probe chain length per parallel hash-table insert",
+    M_HASH_RESIZES: "Table doublings needed per parallel aggregation",
+    M_DEDUP_RATE: "Fraction of frontier candidates removed as duplicates",
+    M_DEDUP_HITS: "Duplicate frontier candidates dropped by dedup",
     M_RESILIENCE_EVENTS: "Resilience events by kind",
     M_OBJECTIVE: "Final unordered LambdaCC objective F",
     M_MODULARITY: "Final modularity",
@@ -98,6 +117,19 @@ class Instrumentation:
     def event(self, name: str, **attrs) -> None:
         if self.enabled:
             self.tracer.event(name, **attrs)
+
+    def worker_chunk(
+        self,
+        worker: int,
+        start: float,
+        end: float,
+        label: str,
+        items: int = 0,
+        wait: float = 0.0,
+    ) -> None:
+        """Record a simulated worker's chunk interval (no-op when disabled)."""
+        if self.enabled:
+            self.tracer.worker_chunk(worker, start, end, label, items, wait)
 
     # ------------------------------------------------------------------
     # metric hooks

@@ -45,10 +45,17 @@ def _label_key(labels: dict) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(key: LabelKey) -> str:
     if not key:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in key)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in key)
     return "{" + body + "}"
 
 
@@ -174,6 +181,39 @@ class Histogram(Metric):
                 series.bucket_counts[i] += 1
                 break
         # Values above the top bound only land in the implicit +Inf bucket.
+
+    def quantile(self, q: float, **labels) -> Optional[float]:
+        """Bucket-interpolated quantile estimate (``None`` when empty).
+
+        Walks the non-cumulative bucket counts to the bucket containing
+        the ``q``-th rank and interpolates linearly within it, with the
+        bucket edges clamped to the observed ``[min, max]`` — so a
+        single-value series returns that value exactly and estimates
+        never leave the observed range.  Rank mass past the top finite
+        bound (the implicit ``+Inf`` bucket) resolves to ``max``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        series = self._series.get(_label_key(labels))
+        if series is None or series.count == 0:
+            return None
+        rank = q * series.count
+        cumulative = 0.0
+        prev_bound: Optional[float] = None
+        for bound, n in zip(self.buckets, series.bucket_counts):
+            if n:
+                lo = (
+                    series.min
+                    if prev_bound is None
+                    else max(prev_bound, series.min)
+                )
+                hi = max(min(bound, series.max), lo)
+                if cumulative + n >= rank:
+                    frac = max(0.0, min(1.0, (rank - cumulative) / n))
+                    return lo + frac * (hi - lo)
+                cumulative += n
+            prev_bound = bound
+        return series.max  # remaining mass sits in the +Inf bucket
 
     def count(self, **labels) -> int:
         series = self._series.get(_label_key(labels))
@@ -311,28 +351,69 @@ class MetricsRegistry:
             handle.write(self.to_prometheus())
 
 
+_ESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _parse_label_body(line: str, start: int) -> Tuple[Dict[str, str], int]:
+    """Parse ``key="value",...}`` from ``line[start:]``.
+
+    Quote-aware: commas, braces, and escaped quotes *inside* a quoted
+    value never terminate it.  Returns ``(labels, index_after_brace)``.
+    """
+    labels: Dict[str, str] = {}
+    i = start
+    while i < len(line) and line[i] != "}":
+        eq = line.index("=", i)
+        key = line[i:eq]
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"invalid label name {key!r} in {line!r}")
+        if eq + 1 >= len(line) or line[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {line!r}")
+        i = eq + 2
+        chars: List[str] = []
+        while i < len(line) and line[i] != '"':
+            ch = line[i]
+            if ch == "\\":
+                if i + 1 >= len(line):
+                    raise ValueError(f"dangling escape in {line!r}")
+                chars.append(_ESCAPES.get(line[i + 1], line[i + 1]))
+                i += 2
+            else:
+                chars.append(ch)
+                i += 1
+        if i >= len(line):
+            raise ValueError(f"unterminated label value in {line!r}")
+        labels[key] = "".join(chars)
+        i += 1  # closing quote
+        if i < len(line) and line[i] == ",":
+            i += 1
+    if i >= len(line):
+        raise ValueError(f"unterminated label set in {line!r}")
+    return labels, i + 1  # past the closing brace
+
+
 def parse_prometheus(text: str) -> List[dict]:
     """Parse Prometheus text back into ``{name, labels, value}`` samples.
 
     Supports the subset :meth:`MetricsRegistry.to_prometheus` emits —
-    enough for exporter round-trip tests; not a general scraper.
+    including escaped quotes/backslashes/newlines and commas or braces
+    inside label values — enough for exporter round-trip tests; not a
+    general scraper.
     """
     samples = []
     for line in text.splitlines():
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        name_part, value_part = line.rsplit(" ", 1)
+        brace = line.find("{")
+        space = line.find(" ")
         labels: Dict[str, str] = {}
-        if "{" in name_part:
-            name, label_body = name_part.split("{", 1)
-            label_body = label_body.rstrip("}")
-            if label_body:
-                for item in label_body.split(","):
-                    key, raw = item.split("=", 1)
-                    labels[key] = raw.strip('"')
+        if brace != -1 and (space == -1 or brace < space):
+            name = line[:brace]
+            labels, after = _parse_label_body(line, brace + 1)
+            value_part = line[after:].strip()
         else:
-            name = name_part
+            name, value_part = line.rsplit(" ", 1)
         samples.append(
             {"name": name, "labels": labels, "value": float(value_part)}
         )

@@ -29,6 +29,18 @@ SPAN_REQUIRED_KEYS = {
     "attrs",
 }
 EVENT_REQUIRED_KEYS = {"type", "v", "name", "id", "span", "t", "attrs"}
+WORKER_REQUIRED_KEYS = {
+    "type",
+    "v",
+    "id",
+    "span",
+    "worker",
+    "start",
+    "end",
+    "label",
+    "items",
+    "wait",
+}
 
 #: Slack for float round-off when checking interval containment.
 _EPS = 1e-9
@@ -53,6 +65,8 @@ def _check_record_shape(index: int, record, problems: List[str]) -> bool:
         missing = SPAN_REQUIRED_KEYS - record.keys()
     elif kind == "event":
         missing = EVENT_REQUIRED_KEYS - record.keys()
+    elif kind == "worker":
+        missing = WORKER_REQUIRED_KEYS - record.keys()
     else:
         problems.append(f"line {index}: unknown record type {kind!r}")
         return False
@@ -61,6 +75,16 @@ def _check_record_shape(index: int, record, problems: List[str]) -> bool:
             f"line {index}: {kind} record missing keys {sorted(missing)}"
         )
         return False
+    if kind == "worker":
+        if not isinstance(record["worker"], int) or record["worker"] < 0:
+            problems.append(
+                f"line {index}: worker must be a non-negative integer"
+            )
+            return False
+        if record["end"] < record["start"] - _EPS:
+            problems.append(f"line {index}: worker chunk ends before it starts")
+            return False
+        return True
     if not isinstance(record["name"], str) or not record["name"]:
         problems.append(f"line {index}: name must be a non-empty string")
         return False
@@ -124,6 +148,33 @@ def validate_trace_records(records: List[dict]) -> List[str]:
             if span_id is not None and span_id not in spans:
                 problems.append(
                     f"event {record['id']}: span {span_id} not in trace"
+                )
+        elif record.get("type") == "worker" and record.get("id") in seen_ids:
+            span_id = record["span"]
+            if span_id is not None and span_id not in spans:
+                problems.append(
+                    f"worker chunk {record['id']}: span {span_id} not in trace"
+                )
+
+    # Worker lanes model one simulated core each, so chunks on the same
+    # lane must be strictly sequential: sorted by start, each chunk may
+    # begin only once its predecessor has ended.
+    lanes = {}
+    for record in records:
+        if (
+            isinstance(record, dict)
+            and record.get("type") == "worker"
+            and record.get("id") in seen_ids
+        ):
+            lanes.setdefault(record["worker"], []).append(record)
+    for worker, chunks in sorted(lanes.items()):
+        chunks.sort(key=lambda r: (r["start"], r["end"], r["id"]))
+        for prev, nxt in zip(chunks, chunks[1:]):
+            if nxt["start"] < prev["end"] - _EPS:
+                problems.append(
+                    f"worker {worker}: chunk {nxt['id']} starts at "
+                    f"{nxt['start']} before chunk {prev['id']} ends at "
+                    f"{prev['end']}"
                 )
     if not spans:
         problems.append("trace contains no spans")

@@ -208,6 +208,39 @@ class Tracer:
         self.records.append(record)
         return record
 
+    def worker_chunk(
+        self,
+        worker: int,
+        start: float,
+        end: float,
+        label: str,
+        items: int = 0,
+        wait: float = 0.0,
+    ) -> dict:
+        """Record one simulated worker's chunk on its timeline lane.
+
+        Unlike spans, chunk intervals live on the *simulated* clock (the
+        scheduler's cost model), one lane per worker; ``wait`` is the idle
+        gap the worker sat through since its previous chunk ended (barrier
+        joins, straggler waits).  Chunks attach to the innermost open span
+        so consumers can group lanes under the phase/round tree.
+        """
+        record = {
+            "type": "worker",
+            "v": TRACE_VERSION,
+            "id": self._next_id,
+            "span": self.current_span_id,
+            "worker": int(worker),
+            "start": float(start),
+            "end": float(end),
+            "label": label,
+            "items": int(items),
+            "wait": float(wait),
+        }
+        self._next_id += 1
+        self.records.append(record)
+        return record
+
     # ------------------------------------------------------------------
     # export / import
     # ------------------------------------------------------------------
@@ -235,6 +268,9 @@ class Tracer:
 
     def event_records(self) -> List[dict]:
         return [r for r in self.records if r["type"] == "event"]
+
+    def worker_records(self) -> List[dict]:
+        return [r for r in self.records if r["type"] == "worker"]
 
 
 class SpanNode:

@@ -65,7 +65,17 @@ def atomic_add_window(
     np.add.at(values, targets, deltas)
     if sched is not None:
         queues, _ = contention_profile(targets)
-        sched.charge(work=float(targets.size), depth=1.0, label=label)
+        sched.charge(
+            work=float(targets.size), depth=1.0, label=label,
+            items=int(targets.size),
+        )
+        instr = getattr(sched, "instr", None)
+        if instr is not None and instr.enabled:
+            # Every update in the window issues one atomic RMW; retries on
+            # top of these are counted by charge_cas_contention below.
+            from repro.obs.instrument import M_CAS_ATTEMPTS
+
+            instr.count(M_CAS_ATTEMPTS, float(targets.size), site=label)
         sched.charge_cas_contention(queues, label=label + "-contention")
         faults = getattr(sched, "faults", None)
         if faults is not None:

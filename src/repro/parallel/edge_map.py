@@ -62,4 +62,4 @@ def edge_map(graph, frontier: VertexSubset, sched=None, label: str = "edge-map")
         sched.charge(
             work=float(ids.size + deg_sum), depth=_log2(max(deg_sum, 2)), label=label + "-sparse"
         )
-    return VertexSubset.from_ids(n, nbrs)
+    return VertexSubset.from_ids(n, nbrs, sched=sched)

@@ -34,9 +34,64 @@ TABLE_SLACK = 1.3
 #: Per-insert CAS cost premium of the concurrent table.
 PARALLEL_INSERT_COST = 2.0
 
+#: Initial capacity of the growable sequential table (before doubling).
+SEQ_TABLE_INITIAL = 16
+
 
 def _log2(n: int) -> float:
     return max(1.0, math.log2(max(n, 2)))
+
+
+def observe_table_metrics(
+    instr,
+    degrees: np.ndarray,
+    threshold: int = DEGREE_THRESHOLD,
+    label: str = "cluster-weights",
+) -> None:
+    """Observe modeled probe-length / resize histograms for one batch.
+
+    Observe-only — never charges the ledger.  The parallel table is
+    presized from the degree (capacity = next power of two at or above
+    ``TABLE_SLACK * d``), so it never resizes; its linear-probing insert
+    cost follows the classic ``(1 + 1/(1-a)^2) / 2`` expectation at load
+    factor ``a``.  The sequential table grows by doubling from
+    ``SEQ_TABLE_INITIAL`` at load 0.5, so its resize count is the number
+    of doublings the final size implies.  One degree-weighted sample per
+    kernel per batch keeps the enabled-path cost O(batch) vectorized.
+    """
+    if not instr.enabled or degrees.size == 0:
+        return
+    from repro.obs.instrument import M_HASH_PROBES, M_HASH_RESIZES
+
+    d = np.maximum(degrees.astype(np.float64), 1.0)
+    par_mask = degrees > threshold
+    if par_mask.any():
+        dp = d[par_mask]
+        capacity = np.exp2(np.ceil(np.log2(TABLE_SLACK * dp)))
+        load = dp / capacity
+        probes = 0.5 * (1.0 + 1.0 / (1.0 - load) ** 2)
+        instr.observe(
+            M_HASH_PROBES,
+            float(np.average(probes, weights=dp)),
+            kernel="par",
+            site=label,
+        )
+    seq_mask = ~par_mask
+    if seq_mask.any():
+        ds = d[seq_mask]
+        capacity = np.maximum(
+            np.exp2(np.ceil(np.log2(2.0 * ds))), float(SEQ_TABLE_INITIAL)
+        )
+        load = ds / capacity
+        probes = 0.5 * (1.0 + 1.0 / (1.0 - load) ** 2)
+        instr.observe(
+            M_HASH_PROBES,
+            float(np.average(probes, weights=ds)),
+            kernel="seq",
+            site=label,
+        )
+        resizes = np.maximum(np.log2(capacity / SEQ_TABLE_INITIAL), 0.0)
+        instr.observe(M_HASH_RESIZES, float(resizes.sum()), site=label)
 
 
 def aggregate_by_key(
@@ -70,6 +125,16 @@ def aggregate_by_key(
             )
         else:
             sched.charge(work=float(d), depth=float(d), label=label + "-seq")
+        instr = getattr(sched, "instr", None)
+        if instr is not None and instr.enabled:
+            # Route the single pseudo-vertex to the kernel actually chosen
+            # (threshold -1 forces par, d forces seq in the helper's mask).
+            observe_table_metrics(
+                instr,
+                np.array([d], dtype=np.int64),
+                threshold=-1 if parallel else d,
+                label=label,
+            )
     return unique_keys, sums
 
 

@@ -49,6 +49,116 @@ CAS_COST = 64.0
 #: One elementary operation ~ one cycle at 2 GHz; only relative times matter.
 OPS_PER_SECOND = 2.0e9
 
+#: Smallest chunk of work (elementary ops) worth forking to another
+#: simulated worker; work below ``active * TIMELINE_GRAIN`` stays on fewer
+#: lanes, which is what makes tiny windows render as stragglers.
+TIMELINE_GRAIN = 256.0
+
+#: Backstop on recorded worker chunks per run: long runs truncate the
+#: timeline (flagged via a trace event) instead of exhausting memory.
+MAX_WORKER_CHUNKS = 250_000
+
+
+class WorkerTimeline:
+    """Per-worker simulated-time lanes for one instrumented run.
+
+    The cost ledger answers *how long*; the timeline answers *who was busy
+    when*.  Every charged region is split into up to ``num_workers`` chunks
+    of at least :data:`TIMELINE_GRAIN` ops each and assigned to lanes:
+
+    * regions carrying a depth or serial term model a fork/join barrier —
+      all lanes first join at the region start (accumulating idle wait),
+      and the critical path ``depth * (1 + tau) + serial`` rides lane 0,
+      so stragglers and CAS queues are visible as long lane-0 chunks;
+    * pure-work regions (the asynchronous concurrency windows, which the
+      engines charge with ``depth=0``) pipeline onto the least-loaded
+      lanes with no join, mirroring barrier-free window execution.
+
+    Chunks flow to the attached :class:`~repro.obs.instrument.Instrumentation`
+    as ``worker`` trace records carrying ``(worker, start, end, label,
+    items, wait)`` where ``wait`` is the idle gap the lane sat through
+    since its previous chunk — the per-worker wait/idle stream the
+    timeline exporter renders as lane gaps.
+    """
+
+    __slots__ = ("instr", "num_workers", "tau", "clock", "pending_wait",
+                 "chunks", "truncated")
+
+    def __init__(self, instr, num_workers: int, tau: float) -> None:
+        self.instr = instr
+        self.num_workers = num_workers
+        self.tau = tau
+        #: Per-lane frontier, simulated seconds since run start.
+        self.clock = [0.0] * num_workers
+        #: Idle time accumulated per lane since its last recorded chunk.
+        self.pending_wait = [0.0] * num_workers
+        self.chunks = 0
+        self.truncated = False
+
+    def _emit(self, lane: int, start: float, end: float, label: str,
+              items: int) -> None:
+        self.instr.worker_chunk(
+            lane, start, end, label, items, self.pending_wait[lane]
+        )
+        self.pending_wait[lane] = 0.0
+        self.chunks += 1
+
+    def _truncate(self) -> bool:
+        if self.truncated:
+            return True
+        if self.chunks >= MAX_WORKER_CHUNKS:
+            self.truncated = True
+            self.instr.event(
+                "worker-timeline-truncated", chunks=self.chunks
+            )
+            return True
+        return False
+
+    def barrier(self, label: str = "barrier") -> None:
+        """Join every lane at the current maximum (a round boundary)."""
+        join = max(self.clock)
+        for lane in range(self.num_workers):
+            gap = join - self.clock[lane]
+            if gap > 0.0:
+                self.pending_wait[lane] += gap
+                self.clock[lane] = join
+
+    def record(self, label: str, work: float, depth: float, serial: float,
+               items: int) -> None:
+        """Lay one charged region onto the lanes (see class docstring)."""
+        if self._truncate():
+            return
+        ops = work + serial
+        if ops <= 0.0 and depth <= 0.0:
+            return
+        active = max(1, min(self.num_workers, int(work // TIMELINE_GRAIN) or 1))
+        share = (work / active) / OPS_PER_SECOND
+        critical = (depth * (1.0 + self.tau) + serial) / OPS_PER_SECOND
+        if depth > 0.0 or serial > 0.0:
+            # Fork/join region: all lanes join, lane 0 carries the
+            # critical path, lanes beyond `active` stay idle.
+            self.barrier(label)
+            start = self.clock[0]
+            for i in range(active):
+                chunk_items = (items * (i + 1)) // active - (items * i) // active
+                end = start + share + (critical if i == 0 else 0.0)
+                self._emit(i, start, end, label, chunk_items)
+                self.clock[i] = end
+        else:
+            # Barrier-free region: greedy assignment to least-loaded lanes.
+            if active >= self.num_workers:
+                lanes = range(self.num_workers)
+            else:
+                lanes = sorted(
+                    range(self.num_workers), key=self.clock.__getitem__
+                )[:active]
+            for i, lane in enumerate(lanes):
+                chunk_items = (items * (i + 1)) // active - (items * i) // active
+                start = self.clock[lane]
+                end = start + share
+                self._emit(lane, start, end, label, chunk_items)
+                self.clock[lane] = end
+
 
 @dataclass(frozen=True)
 class Machine:
@@ -245,11 +355,43 @@ class SimulatedScheduler:
         #: scheduler for the same reason ``faults`` does — everything that
         #: can charge costs can also trace/record (see ``instr_of``).
         self.instr = instr
+        #: Per-worker lane recorder; only materialized for an *enabled*
+        #: instrumentation so uninstrumented runs pay one ``is None`` check.
+        self._timeline = (
+            WorkerTimeline(instr, num_workers, tau)
+            if instr is not None and instr.enabled
+            else None
+        )
+
+    @property
+    def timeline(self) -> Optional[WorkerTimeline]:
+        """The worker-lane recorder, or None when instrumentation is off."""
+        return self._timeline
 
     def charge(
-        self, work: float, depth: float, label: str = "", serial: float = 0.0
+        self,
+        work: float,
+        depth: float,
+        label: str = "",
+        serial: float = 0.0,
+        items: int = 0,
     ) -> None:
         self.ledger.charge(work, depth, label=label, serial=serial)
+        timeline = self._timeline
+        if timeline is not None:
+            timeline.record(label, work, depth, serial, items)
+
+    def round_barrier(self) -> None:
+        """Join all simulated workers — engines call this at round ends.
+
+        A BEST-MOVES round ends in a frontier computation every worker
+        feeds, so lanes synchronize; the join's idle gaps become the
+        ``wait`` field of each lane's next chunk.  No-op (one attribute
+        check) when instrumentation is disabled.
+        """
+        timeline = self._timeline
+        if timeline is not None:
+            timeline.barrier("round")
 
     def charge_cas_contention(self, queue_lengths, label: str = "cas") -> None:
         """Charge contention for concurrent CAS updates to shared counters.
@@ -273,16 +415,22 @@ class SimulatedScheduler:
                 depth=0.0,
                 label=label,
                 serial=CAS_COST * max_queue,
+                items=int(total_retries),
             )
             instr = self.instr
             if instr is not None and instr.enabled:
-                from repro.obs.instrument import M_CAS_INJECTED, M_CAS_RETRIES
+                from repro.obs.instrument import (
+                    M_ATOMIC_QUEUE,
+                    M_CAS_INJECTED,
+                    M_CAS_RETRIES,
+                )
 
                 name = (
                     M_CAS_INJECTED if label.endswith("-injected-cas")
                     else M_CAS_RETRIES
                 )
                 instr.count(name, total_retries)
+                instr.observe(M_ATOMIC_QUEUE, float(max_queue))
 
     def simulated_time(self, num_workers: Optional[int] = None) -> float:
         """Simulated seconds at ``num_workers`` (default: this scheduler's)."""
@@ -290,10 +438,16 @@ class SimulatedScheduler:
         return self.ledger.simulated_time(workers, machine=self.machine, tau=self.tau)
 
     def fork(self) -> "SimulatedScheduler":
-        """A child scheduler with the same profile and a fresh ledger."""
-        return SimulatedScheduler(
+        """A child scheduler with the same profile and a fresh ledger.
+
+        Children never record worker lanes: their simulated clocks start
+        at zero, so their chunks would overlap the root's lane intervals.
+        """
+        child = SimulatedScheduler(
             self.num_workers, self.machine, self.tau, instr=self.instr
         )
+        child._timeline = None
+        return child
 
     def absorb(self, child: "SimulatedScheduler") -> None:
         """Merge a child scheduler's ledger into this one."""

@@ -52,10 +52,25 @@ class VertexSubset:
         return VertexSubset(n, mask=np.ones(n, dtype=bool))
 
     @staticmethod
-    def from_ids(n: int, ids: np.ndarray) -> "VertexSubset":
-        """Sparse subset from (possibly unsorted, possibly duplicated) ids."""
-        ids = np.unique(np.asarray(ids, dtype=np.int64))
-        return VertexSubset(n, ids=ids)
+    def from_ids(n: int, ids: np.ndarray, sched=None) -> "VertexSubset":
+        """Sparse subset from (possibly unsorted, possibly duplicated) ids.
+
+        When a scheduler with enabled instrumentation is passed, the
+        duplicate fraction removed here — the EDGEMAP dedup hit rate — is
+        observed (observe-only; the dedup's cost is charged by callers).
+        """
+        raw = np.asarray(ids, dtype=np.int64)
+        unique = np.unique(raw)
+        if sched is not None and raw.size:
+            instr = getattr(sched, "instr", None)
+            if instr is not None and instr.enabled:
+                from repro.obs.instrument import M_DEDUP_HITS, M_DEDUP_RATE
+
+                hits = int(raw.size - unique.size)
+                if hits:
+                    instr.count(M_DEDUP_HITS, float(hits))
+                instr.observe(M_DEDUP_RATE, hits / raw.size)
+        return VertexSubset(n, ids=unique)
 
     @property
     def is_dense(self) -> bool:

@@ -118,3 +118,79 @@ def test_empty_registry_exports_empty():
     assert registry.to_jsonl() == ""
     assert registry.to_prometheus() == ""
     assert registry.collect() == []
+
+
+def test_histogram_quantile_interpolates_within_buckets():
+    hist = Histogram("lat", buckets=[1.0, 10.0, 100.0])
+    for value in (2.0, 4.0, 6.0, 8.0):  # all inside the (1, 10] bucket
+        hist.observe(value)
+    # All mass in one bucket, edges clamped to observed [2, 8]: the p50
+    # interpolation lands at the midpoint of the observed range.
+    assert hist.quantile(0.5) == pytest.approx(5.0)
+    assert hist.quantile(0.0) == 2.0
+    assert hist.quantile(1.0) == 8.0
+
+
+def test_histogram_quantile_spans_buckets_and_overflow():
+    hist = Histogram("lat", buckets=[10.0, 100.0])
+    for value in (1.0, 5.0, 50.0, 500.0):
+        hist.observe(value)
+    # p25 rank sits in the first bucket, p95 in the +Inf overflow, which
+    # resolves to the observed max.
+    assert 1.0 <= hist.quantile(0.25) <= 10.0
+    assert hist.quantile(0.95) == 500.0
+    assert hist.quantile(0.99) == 500.0
+
+
+def test_histogram_quantile_edge_cases():
+    hist = Histogram("lat", buckets=[1.0, 10.0])
+    assert hist.quantile(0.5) is None  # empty series
+    hist.observe(3.0)
+    # A single observation returns itself at every quantile.
+    assert hist.quantile(0.0) == 3.0
+    assert hist.quantile(0.5) == 3.0
+    assert hist.quantile(1.0) == 3.0
+    assert hist.quantile(0.5, engine="other") is None  # unseen labels
+    with pytest.raises(ValueError, match="quantile"):
+        hist.quantile(1.5)
+
+
+def test_prometheus_escaped_label_values_round_trip():
+    registry = MetricsRegistry()
+    nasty = 'say "hi", {a}=b\\c\nnewline'
+    registry.counter("weird_total").inc(4, site=nasty, plain="ok")
+    text = registry.to_prometheus()
+    # The emitted line escapes backslash, quote, and newline.
+    assert '\\"hi\\"' in text
+    assert "\\\\c" in text
+    assert "\\n" in text
+    (sample,) = [s for s in parse_prometheus(text) if s["name"] == "weird_total"]
+    assert sample["labels"] == {"site": nasty, "plain": "ok"}
+    assert sample["value"] == 4
+
+
+def test_prometheus_histogram_bucket_lines_round_trip_with_labels():
+    registry = MetricsRegistry()
+    hist = registry.histogram("probe", buckets=[1.0, 2.5, 5.0])
+    for value in (0.5, 2.0, 2.0, 4.0, 9.0):
+        hist.observe(value, kernel="par", site='a,"b"')
+    samples = parse_prometheus(registry.to_prometheus())
+    buckets = {
+        s["labels"]["le"]: s["value"]
+        for s in samples
+        if s["name"] == "probe_bucket"
+    }
+    assert buckets == {"1": 1, "2.5": 3, "5": 4, "+Inf": 5}
+    for sample in samples:
+        if sample["name"].startswith("probe"):
+            assert sample["labels"]["kernel"] == "par"
+            assert sample["labels"]["site"] == 'a,"b"'
+    (count,) = [s for s in samples if s["name"] == "probe_count"]
+    assert count["value"] == 5
+
+
+def test_parse_prometheus_rejects_malformed_labels():
+    with pytest.raises(ValueError, match="unterminated"):
+        parse_prometheus('bad{site="open 1')
+    with pytest.raises(ValueError, match="unquoted"):
+        parse_prometheus("bad{site=open} 1")

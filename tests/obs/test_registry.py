@@ -1,0 +1,133 @@
+"""Run registry: schema, append/load, and the cross-run diff gate."""
+
+import json
+
+import pytest
+
+from repro.core.api import cluster
+from repro.core.config import ClusteringConfig
+from repro.graphs.karate import karate_club_graph
+from repro.obs.registry import (
+    OBJECTIVE_TOLERANCE,
+    RUNS_SCHEMA,
+    RunRegistryError,
+    append_run,
+    diff_runs,
+    find_run,
+    load_runs,
+    make_run_record,
+    validate_run_record,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ClusteringConfig(resolution=0.05, seed=3)
+    return cluster(karate_club_graph(), config)
+
+
+def test_make_run_record_satisfies_schema(result):
+    record = make_run_record(result, run_id="r1", graph="karate")
+    assert record["schema"] == RUNS_SCHEMA
+    assert validate_run_record(record) == []
+    assert record["workload"]["graph"] == "karate"
+    assert record["metrics"]["wall_seconds"] > 0
+    assert record["info"]["num_clusters"] == result.num_clusters
+
+
+def test_append_and_load_round_trip(result, tmp_path):
+    path = tmp_path / "runs.jsonl"
+    first = make_run_record(result, run_id="a", graph="karate", timestamp=1.0)
+    second = make_run_record(result, run_id="b", graph="karate", timestamp=2.0)
+    append_run(path, first)
+    append_run(path, second)
+    records = load_runs(path)
+    assert [r["run_id"] for r in records] == ["a", "b"]
+    assert find_run(records, "b")["timestamp"] == 2.0
+    with pytest.raises(RunRegistryError, match="not in registry"):
+        find_run(records, "missing")
+
+
+def test_append_rejects_invalid_record(tmp_path):
+    with pytest.raises(RunRegistryError, match="refusing to register"):
+        append_run(tmp_path / "runs.jsonl", {"schema": RUNS_SCHEMA})
+
+
+def test_load_rejects_corrupt_registry(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    path.write_text('{"schema": "nope"}\n')
+    with pytest.raises(RunRegistryError, match="line 0"):
+        load_runs(path)
+    path.write_text("not json\n")
+    with pytest.raises(RunRegistryError, match="invalid JSON"):
+        load_runs(path)
+
+
+def test_find_run_latest_wins_on_reused_id(result, tmp_path):
+    path = tmp_path / "runs.jsonl"
+    append_run(
+        path, make_run_record(result, run_id="r", graph="karate", timestamp=1.0)
+    )
+    append_run(
+        path, make_run_record(result, run_id="r", graph="karate", timestamp=2.0)
+    )
+    assert find_run(load_runs(path), "r")["timestamp"] == 2.0
+
+
+def _record(result, run_id, **metric_overrides):
+    record = make_run_record(result, run_id=run_id, graph="karate")
+    record["metrics"].update(metric_overrides)
+    return record
+
+
+def test_diff_passes_identical_runs(result):
+    base = _record(result, "base")
+    report = diff_runs(base, _record(result, "same"))
+    assert report.ok
+    assert report.compared == 4
+
+
+def test_diff_flags_wall_regression_over_ten_percent(result):
+    base = _record(result, "base")
+    slower = _record(
+        result, "slower", wall_seconds=base["metrics"]["wall_seconds"] * 1.2
+    )
+    report = diff_runs(base, slower)
+    assert not report.ok
+    assert [r.metric for r in report.regressions] == ["wall_seconds"]
+    # 5% slower stays within the wall tolerance.
+    ok = _record(
+        result, "ok", wall_seconds=base["metrics"]["wall_seconds"] * 1.05
+    )
+    assert diff_runs(base, ok).ok
+
+
+def test_diff_flags_small_objective_regression(result):
+    base = _record(result, "base")
+    worse = _record(
+        result, "worse", f_objective=base["metrics"]["f_objective"] * 0.995
+    )
+    report = diff_runs(base, worse)
+    assert not report.ok
+    assert [r.metric for r in report.regressions] == ["f_objective"]
+    assert report.regressions[0].change > OBJECTIVE_TOLERANCE
+    # The same 0.5% change on wall time would be far below its tolerance,
+    # which is the point of the split thresholds.
+    jitter = _record(
+        result, "jitter", wall_seconds=base["metrics"]["wall_seconds"] * 1.005
+    )
+    assert diff_runs(base, jitter).ok
+
+
+def test_diff_notes_workload_mismatch(result):
+    base = _record(result, "base")
+    other = make_run_record(result, run_id="other", graph="different-graph")
+    report = diff_runs(base, other)
+    assert any("workloads differ" in note for note in report.skipped)
+
+
+def test_registry_record_is_json_line(result, tmp_path):
+    path = tmp_path / "runs.jsonl"
+    append_run(path, make_run_record(result, run_id="x", graph="karate"))
+    (line,) = path.read_text().splitlines()
+    assert json.loads(line)["run_id"] == "x"

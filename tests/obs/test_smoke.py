@@ -27,7 +27,8 @@ def test_traced_cli_clustering_smoke(tmp_path, capsys):
     ) == 0
     out = capsys.readouterr().out
     assert "per-level profile:" in out
-    assert "top regions by simulated work:" in out
+    assert "regions by simulated work:" in out
+    assert "round distributions (bucket-interpolated):" in out
 
     # The trace validates and rebuilds into the run -> level -> phase ->
     # round taxonomy.

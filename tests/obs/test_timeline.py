@@ -1,0 +1,139 @@
+"""Worker timelines: schema validation, lane exclusivity, Chrome export."""
+
+import json
+
+import pytest
+
+from repro.core.api import cluster
+from repro.core.config import ClusteringConfig
+from repro.graphs.karate import karate_club_graph
+from repro.obs.instrument import Instrumentation
+from repro.obs.schema import TraceSchemaError, validate_trace_records
+from repro.obs.timeline import (
+    PID_SPANS,
+    PID_WORKERS,
+    chrome_trace,
+    load_trace_records,
+    write_chrome_trace,
+)
+from repro.obs.tracer import Tracer
+
+
+def _traced_run(**config_kwargs):
+    instr = Instrumentation()
+    config = ClusteringConfig(resolution=0.05, seed=3, **config_kwargs)
+    result = cluster(karate_club_graph(), config, instrumentation=instr)
+    return result, instr
+
+
+def test_traced_run_emits_worker_chunks_per_lane():
+    _, instr = _traced_run()
+    workers = instr.tracer.worker_records()
+    assert workers, "instrumented run produced no worker chunks"
+    lanes = {w["worker"] for w in workers}
+    assert len(lanes) > 1  # parallel run spreads over multiple lanes
+    assert all(w["end"] >= w["start"] for w in workers)
+    assert all(w["items"] >= 0 and w["wait"] >= 0.0 for w in workers)
+    # The trace (spans + events + worker chunks) passes schema validation,
+    # which includes the strict per-lane non-overlap check.
+    assert validate_trace_records(instr.tracer.records) == []
+
+
+def test_worker_chunks_never_overlap_within_a_lane():
+    _, instr = _traced_run()
+    by_lane = {}
+    for chunk in instr.tracer.worker_records():
+        by_lane.setdefault(chunk["worker"], []).append(chunk)
+    for chunks in by_lane.values():
+        chunks.sort(key=lambda c: c["start"])
+        for prev, nxt in zip(chunks, chunks[1:]):
+            assert nxt["start"] >= prev["end"] - 1e-9
+
+
+def test_schema_flags_overlapping_worker_chunks():
+    tracer = Tracer()
+    with tracer.span("run"):
+        tracer.worker_chunk(0, 0.0, 2.0, "a")
+        tracer.worker_chunk(0, 1.0, 3.0, "b")  # overlaps chunk "a"
+        tracer.worker_chunk(1, 1.0, 3.0, "c")  # different lane: fine
+    problems = validate_trace_records(tracer.records)
+    assert any("worker 0" in p and "starts at" in p for p in problems)
+    assert not any("worker 1" in p for p in problems)
+
+
+def test_schema_rejects_malformed_worker_records():
+    tracer = Tracer()
+    with tracer.span("run"):
+        tracer.worker_chunk(0, 0.0, 1.0, "ok")
+    good = list(tracer.records)
+    bad = [dict(r) for r in good]
+    for record in bad:
+        if record["type"] == "worker":
+            record["end"] = record["start"] - 1.0
+    assert any("ends before" in p for p in validate_trace_records(bad))
+    bad = [dict(r) for r in good]
+    for record in bad:
+        if record["type"] == "worker":
+            record["worker"] = -2
+    assert any("non-negative" in p for p in validate_trace_records(bad))
+
+
+def test_chrome_trace_shape_and_lane_exclusivity(tmp_path):
+    result, instr = _traced_run()
+    trace_path = tmp_path / "run.jsonl"
+    out_path = tmp_path / "run.chrome.json"
+    instr.write_trace(trace_path)
+    write_chrome_trace(trace_path, out_path)
+
+    document = json.loads(out_path.read_text())  # valid JSON on disk
+    events = document["traceEvents"]
+    assert document["displayTimeUnit"] == "ms"
+
+    span_events = [
+        e for e in events if e["ph"] == "X" and e["pid"] == PID_SPANS
+    ]
+    worker_events = [
+        e for e in events if e["ph"] == "X" and e["pid"] == PID_WORKERS
+    ]
+    assert {e["name"] for e in span_events} >= {"run", "level", "phase"}
+    assert worker_events
+
+    # One lane per simulated worker, and within each lane the complete
+    # events are strictly non-overlapping.
+    lanes = {}
+    for event in worker_events:
+        lanes.setdefault(event["tid"], []).append(event)
+    assert len(lanes) > 1
+    for chunks in lanes.values():
+        chunks.sort(key=lambda e: e["ts"])
+        for prev, nxt in zip(chunks, chunks[1:]):
+            assert nxt["ts"] >= prev["ts"] + prev["dur"] - 1e-3  # us slack
+
+    # Thread-name metadata names every lane.
+    named = {
+        e["tid"]
+        for e in events
+        if e["ph"] == "M" and e["pid"] == PID_WORKERS and "tid" in e
+    }
+    assert named == set(lanes)
+
+
+def test_chrome_trace_rejects_invalid_records():
+    with pytest.raises(TraceSchemaError):
+        chrome_trace([{"type": "span", "name": "broken"}])
+
+
+def test_sequential_run_uses_single_lane():
+    _, instr = _traced_run(parallel=False, num_workers=1)
+    workers = instr.tracer.worker_records()
+    assert workers
+    assert {w["worker"] for w in workers} == {0}
+
+
+def test_load_trace_records_round_trip(tmp_path):
+    _, instr = _traced_run()
+    path = tmp_path / "t.jsonl"
+    instr.write_trace(path)
+    records = load_trace_records(path)
+    assert len(records) == len(instr.tracer.records)
+    assert validate_trace_records(records) == []

@@ -37,7 +37,37 @@ def test_profile_flag_prints_tables(capsys):
     assert _run(["--profile"]) == 0
     out = capsys.readouterr().out
     assert "per-level profile:" in out
-    assert "top regions by simulated work:" in out
+    assert "top 8 regions by simulated work:" in out
+    assert "round distributions (bucket-interpolated):" in out
+    assert "p50=" in out and "p95=" in out
+
+
+def test_profile_top_bounds_the_region_table(capsys):
+    assert _run(["--profile", "--profile-top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "top 2 regions by simulated work:" in out
+    regions = [
+        line
+        for line in out.splitlines()
+        if line.startswith("  ") and "%" in line
+    ]
+    assert len(regions) == 2
+
+
+def test_profile_json_writes_payload_without_profile_flag(tmp_path, capsys):
+    path = tmp_path / "profile.json"
+    assert _run(["--profile-json", str(path), "--profile-top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "per-level profile:" not in out  # table needs --profile
+    payload = json.loads(path.read_text())
+    assert payload["levels"]
+    assert len(payload["top_regions"]) == 3
+    metrics = {row["metric"] for row in payload["round_quantiles"]}
+    assert any(m.startswith("round gain") for m in metrics)
+    assert any(m.startswith("frontier size") for m in metrics)
+    for row in payload["round_quantiles"]:
+        assert row["p50"] <= row["p95"]
+    assert payload["stats"]["num_clusters"] > 0
 
 
 def test_no_flags_no_observability_output(capsys):
@@ -76,3 +106,73 @@ def test_observability_composes_with_resilience(tmp_path, capsys):
         if r["type"] == "event" and r["name"] == "resilience"
     }
     assert "budget-stop" in kinds
+
+
+def test_trace_contains_worker_lanes(tmp_path):
+    trace = tmp_path / "out.jsonl"
+    assert _run(["--trace", str(trace)]) == 0
+    records = Tracer.parse_jsonl(trace.read_text())
+    lanes = {r["worker"] for r in records if r["type"] == "worker"}
+    assert len(lanes) > 1
+
+
+def test_obs_timeline_subcommand(tmp_path, capsys):
+    trace = tmp_path / "out.jsonl"
+    assert _run(["--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["obs", "timeline", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "worker lanes" in out
+    chrome = tmp_path / "out.chrome.json"
+    assert chrome.exists()
+    document = json.loads(chrome.read_text())
+    pids = {e["pid"] for e in document["traceEvents"]}
+    assert pids == {0, 1}
+
+
+def test_obs_timeline_rejects_invalid_trace(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"type": "span", "name": "broken"}\n')
+    assert main(["obs", "timeline", str(bad)]) == 2
+    assert "invalid trace" in capsys.readouterr().err
+
+
+def test_register_report_and_diff_flow(tmp_path, capsys):
+    runs = tmp_path / "runs.jsonl"
+    assert _run(["--register", str(runs), "--run-id", "base"]) == 0
+    # A second entry with identical metrics (re-running would add real
+    # wall-clock jitter and make the pass/fail assertion flaky).
+    record = json.loads(runs.read_text().splitlines()[0])
+    record["run_id"] = "same"
+    with open(runs, "a") as handle:
+        handle.write(json.dumps(record) + "\n")
+    capsys.readouterr()
+
+    assert main(["obs", "report", str(runs)]) == 0
+    report_out = capsys.readouterr().out
+    assert "base" in report_out and "same" in report_out
+
+    # Identical workloads and metrics: the diff gate passes.
+    assert main(["obs", "diff", str(runs), "base", "same"]) == 0
+    assert "0 regression(s)" in capsys.readouterr().out
+
+
+def test_obs_diff_fails_on_injected_wall_regression(tmp_path, capsys):
+    runs = tmp_path / "runs.jsonl"
+    assert _run(["--register", str(runs), "--run-id", "base"]) == 0
+    record = json.loads(runs.read_text().splitlines()[0])
+    record["run_id"] = "slow"
+    record["metrics"]["wall_seconds"] *= 1.2  # > 10% wall regression
+    with open(runs, "a") as handle:
+        handle.write(json.dumps(record) + "\n")
+    capsys.readouterr()
+    assert main(["obs", "diff", str(runs), "base", "slow"]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_obs_diff_unknown_run_id(tmp_path, capsys):
+    runs = tmp_path / "runs.jsonl"
+    assert _run(["--register", str(runs), "--run-id", "base"]) == 0
+    capsys.readouterr()
+    assert main(["obs", "diff", str(runs), "base", "nope"]) == 2
+    assert "not in registry" in capsys.readouterr().err
