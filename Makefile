@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast smoke-obs baselines compare-baselines bench \
-	bench-snapshot ci
+	bench-snapshot bench-kernels compare-kernels ci
 
 ## Full test suite (tier 1).
 test:
@@ -39,13 +39,29 @@ compare-baselines:
 bench:
 	$(PYTHON) -m pytest benchmarks -q
 
-## Refresh the committed repo-root BENCH_PR3.json telemetry snapshot
-## (quality metrics + telemetry coverage counts); commit the result.
+## Refresh the committed repo-root BENCH_PR3.json / BENCH_PR4.json
+## snapshots (telemetry coverage + kernel speedups); commit the result.
 bench-snapshot:
 	$(PYTHON) -m repro.obs.bench emit --snapshot-only
 
+## Refresh only the kernel snapshot (BENCH_PR4.json): vectorized-vs-
+## reference speedups plus end-to-end parity rows.
+bench-kernels:
+	$(PYTHON) -m repro.obs.bench emit --snapshot-only
+
+## Re-measure the kernel snapshot into a scratch dir and compare against
+## the committed BENCH_PR4.json.  Wall-clock speedup ratios are noisier
+## than the deterministic f/sim metrics, so this gate uses a wider 30%
+## tolerance than the default 10%.
+compare-kernels:
+	$(PYTHON) -m repro.obs.bench emit --snapshot-only \
+	    --snapshot-dir /tmp/repro-bench-current
+	$(PYTHON) -m repro.obs.bench compare \
+	    BENCH_PR4.json /tmp/repro-bench-current/BENCH_PR4.json \
+	    --tolerance 0.30
+
 ## The full gate a PR must pass: tier-1 tests, the observability smoke,
-## the committed-baseline regression compare, and the <3% disabled
-## instrumentation-overhead bench.
-ci: test smoke-obs compare-baselines
+## the committed-baseline regression compare (including the kernel
+## snapshot), and the <3% disabled instrumentation-overhead bench.
+ci: test smoke-obs compare-baselines compare-kernels
 	$(PYTHON) -m pytest -x -q benchmarks/bench_obs_overhead.py

@@ -223,6 +223,7 @@ def _cmd_cluster(args) -> int:
         refine=not args.no_refine,
         num_iter=None if args.converge else args.num_iter,
         num_workers=args.workers,
+        kernel=args.kernel,
         seed=args.seed,
     )
     policy = _resilience_policy(args)
@@ -547,6 +548,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--converge", action="store_true",
                    help="run to convergence (the ^CON variants)")
     p.add_argument("--workers", type=int, default=60)
+    p.add_argument("--kernel", choices=["vectorized", "reference"],
+                   default="vectorized",
+                   help="move-evaluation kernel (bit-identical results; "
+                        "reference is the dict-loop oracle)")
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--output", help="write labels (one per line)")
     r = p.add_argument_group("resilience")

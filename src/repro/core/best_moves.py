@@ -112,6 +112,7 @@ def run_best_moves(
                     charge_depth=sync,
                     allow_escape=config.escape_moves,
                     swap_avoidance=sync,
+                    kernel=config.kernel,
                 )
                 moving = targets != state.assignments[window]
                 if moving.any():

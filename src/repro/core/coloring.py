@@ -124,6 +124,7 @@ def run_colored_best_moves(
                     kernel_threshold=config.kernel_threshold,
                     charge_depth=True,  # each color class is a barrier
                     allow_escape=config.escape_moves,
+                    kernel=config.kernel,
                 )
                 moving = targets != state.assignments[window]
                 if moving.any():

@@ -74,6 +74,11 @@ class ClusteringConfig:
     kernel_threshold:
         Degree above which the parallel hash-table best-move kernel is
         charged instead of the sequential one (Appendix B).
+    kernel:
+        Move-evaluation kernel (:mod:`repro.kernels`): ``"vectorized"``
+        (segment-reduction fast path, the default) or ``"reference"``
+        (dict-loop oracle).  Bit-identical outputs; only wall-clock
+        differs (DESIGN.md §8).
     escape_moves:
         Allow a vertex whose every option has negative gain to escape to
         its (empty) home cluster slot.  Needed for correctness under
@@ -96,6 +101,7 @@ class ClusteringConfig:
     machine: Machine = field(default_factory=Machine.c2_standard_60)
     async_windows: int = 32
     kernel_threshold: int = 512
+    kernel: str = "vectorized"
     escape_moves: bool = True
     seed: Optional[int] = None
     max_levels: int = 50
@@ -122,6 +128,13 @@ class ClusteringConfig:
         if self.kernel_threshold < 1:
             raise ConfigError(
                 f"kernel_threshold must be >= 1, got {self.kernel_threshold}"
+            )
+        # Imported here to keep repro.kernels import-light at config load.
+        from repro.kernels import KERNELS
+
+        if self.kernel not in KERNELS:
+            raise ConfigError(
+                f"kernel must be one of {sorted(KERNELS)}, got {self.kernel!r}"
             )
 
     @property

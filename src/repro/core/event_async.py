@@ -29,8 +29,8 @@ import numpy as np
 from repro.core.best_moves import BestMovesStats
 from repro.core.config import ClusteringConfig
 from repro.core.frontier import next_frontier
-from repro.core.moves import compute_single_move
 from repro.core.state import ClusterState
+from repro.kernels import DEFAULT_KERNEL, get_kernel
 from repro.graphs.csr import CSRGraph
 from repro.obs.instrument import instr_of
 
@@ -42,6 +42,7 @@ def _event_iteration(
     resolution: float,
     num_workers: int,
     allow_escape: bool,
+    kernel: str = DEFAULT_KERNEL,
 ) -> tuple:
     """One pass over ``order`` with P concurrent workers.
 
@@ -49,7 +50,13 @@ def _event_iteration(
     move applies only if the vertex's cluster is unchanged since its read
     (a failed CAS re-queues the vertex once, as real implementations
     retry).
+
+    Evaluation binds to the kernel layer's single-vertex entry point:
+    the oracle commits one vertex at a time, so both kernels resolve to
+    the dict path here (see ``VectorizedKernel.single_move``) and the
+    results are kernel-independent by construction.
     """
+    single_move = get_kernel(kernel).single_move
     # Event heap holds (finish_time, sequence, vertex, read_assignment,
     # target, gain).  Workers pick up the next queued vertex when they
     # finish.
@@ -69,7 +76,7 @@ def _event_iteration(
         v = int(order[queue_position])
         duration = float(durations[queue_position])
         queue_position += 1
-        target, gain = compute_single_move(
+        target, gain = single_move(
             graph, state, v, resolution, allow_escape=allow_escape
         )
         read_assignment = int(state.assignments[v])
@@ -101,7 +108,7 @@ def _event_iteration(
             start_task(now)
         elif extra_queue:
             retry_v = extra_queue.pop()
-            target, gain = compute_single_move(
+            target, gain = single_move(
                 graph, state, retry_v, resolution, allow_escape=allow_escape
             )
             heapq.heappush(
@@ -149,7 +156,7 @@ def run_event_driven_best_moves(
             order = rng.permutation(active) if rng is not None else active
             movers, origins, targets, gain = _event_iteration(
                 graph, state, order, resolution, config.num_workers,
-                config.escape_moves,
+                config.escape_moves, kernel=config.kernel,
             )
             if sched is not None:
                 degrees = graph.offsets[order + 1] - graph.offsets[order]

@@ -15,7 +15,7 @@ like with like.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -23,8 +23,8 @@ from repro.core.best_moves import BestMovesStats
 from repro.core.config import ClusteringConfig
 from repro.core.frontier import next_frontier
 from repro.core.louvain_par import MultiLevelStats, multilevel_louvain
-from repro.core.moves import compute_single_move
 from repro.core.state import ClusterState
+from repro.kernels import DEFAULT_KERNEL, get_kernel
 from repro.graphs.csr import CSRGraph
 from repro.graphs.stats import MemoryTracker
 from repro.obs.instrument import instr_of
@@ -37,35 +37,32 @@ def _sequential_sweep(
     resolution: float,
     sched=None,
     allow_escape: bool = True,
+    kernel: str = DEFAULT_KERNEL,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
     """One sweep of immediate best moves.
 
+    Evaluation (and the exact sequence of ``move_one`` state mutations)
+    is delegated to the selected kernel's ``sweep`` — the dict
+    vertex-at-a-time loop or the speculative batched replay, which are
+    bit-identical (DESIGN.md §8).  The sweep's simulated cost is charged
+    here, identically for every kernel: pure sequential work, so a
+    one-worker run's simulated time is its total work.
+
     Returns ``(movers, origins, targets, total_gain)``.
     """
-    movers: List[int] = []
-    origins: List[int] = []
-    targets: List[int] = []
-    total_gain = 0.0
-    for v in order.tolist():
-        target, gain = compute_single_move(
-            graph, state, v, resolution, allow_escape=allow_escape
-        )
-        if gain > 0.0:
-            origins.append(int(state.assignments[v]))
-            state.move_one(v, target)
-            movers.append(v)
-            targets.append(target)
-            total_gain += gain
+    movers, origins, targets, total_gain = get_kernel(kernel).sweep(
+        graph,
+        state,
+        order,
+        resolution,
+        allow_escape=allow_escape,
+        instr=getattr(sched, "instr", None),
+    )
     if sched is not None:
         degrees = graph.offsets[order + 1] - graph.offsets[order]
         work = float(degrees.sum()) + 4.0 * order.size
         sched.charge(work=work, depth=work, label="seq-sweep")
-    return (
-        np.asarray(movers, dtype=np.int64),
-        np.asarray(origins, dtype=np.int64),
-        np.asarray(targets, dtype=np.int64),
-        total_gain,
-    )
+    return movers, origins, targets, total_gain
 
 
 def sequential_best_moves(
@@ -99,7 +96,7 @@ def sequential_best_moves(
             order = rng.permutation(active) if rng is not None else active
             movers, origins, targets, gain = _sequential_sweep(
                 graph, state, order, resolution, sched=sched,
-                allow_escape=config.escape_moves,
+                allow_escape=config.escape_moves, kernel=config.kernel,
             )
             stats.iterations += 1
             round_span.set(moves=int(movers.size), gain=gain)

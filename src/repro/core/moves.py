@@ -1,4 +1,4 @@
-"""Best-move computation kernels.
+"""Best-move computation: kernel dispatch plus the simulated cost model.
 
 For each vertex ``v`` and candidate cluster ``c'``, the gain of residing in
 ``c'`` is ``S(v, c') - lambda * k_v * K_{c'\\v}`` where ``S(v, c')`` sums
@@ -10,11 +10,19 @@ reachable cluster has negative gain, which negative rescaled weights make
 common).
 
 :func:`compute_batch_moves` evaluates a whole *batch* of vertices against
-one state snapshot, vectorized; it is both the synchronous step (batch =
-all of V') and the asynchronous concurrency window (batch ~ worker count).
-Cost is charged per the Appendix B kernel split: low-degree vertices use a
+one state snapshot; it is both the synchronous step (batch = all of V')
+and the asynchronous concurrency window (batch ~ worker count).  The
+actual evaluation is delegated to a :mod:`repro.kernels` kernel selected
+by the ``kernel`` argument (``ClusteringConfig.kernel``): the dict-loop
+reference oracle or the segment-reduction vectorized fast path, which are
+bit-identical in outputs (DESIGN.md §8).
+
+This module owns the *cost model*, which is kernel-independent: cost is
+charged per the Appendix B kernel split — low-degree vertices use a
 sequential scan (depth = degree), high-degree vertices a parallel hash
-table (depth = O(log degree), extra table-initialization work).
+table (depth = O(log degree), extra table-initialization work) — and is
+invoked identically for every kernel, so ``sim_time_seconds`` stays
+bit-for-bit comparable across kernel choices.
 """
 
 from __future__ import annotations
@@ -26,15 +34,18 @@ import numpy as np
 
 from repro.core.state import ClusterState
 from repro.graphs.csr import CSRGraph
+from repro.kernels import DEFAULT_KERNEL, get_kernel
+from repro.kernels.base import GAIN_EPS  # noqa: F401  (back-compat re-export)
+from repro.kernels.reference import (
+    accumulate_neighbor_weights,
+    reference_single_move,
+)
+from repro.obs.instrument import M_KERNEL_BATCH
 from repro.parallel.hash_table import (
     PARALLEL_INSERT_COST,
     TABLE_SLACK,
     observe_table_metrics,
 )
-from repro.parallel.primitives import ragged_gather_indices
-
-#: Minimum strict improvement for a move (guards float-noise oscillation).
-GAIN_EPS = 1e-10
 
 
 def kernel_depth(degrees: np.ndarray, threshold: int) -> float:
@@ -43,13 +54,18 @@ def kernel_depth(degrees: np.ndarray, threshold: int) -> float:
     Low-degree vertices use the sequential scan kernel (depth = degree);
     high-degree vertices the parallel hash table (depth = O(log degree));
     the batch's depth is the worst single-vertex kernel (Appendix B).
+    The parallel branch clamps to >= 1: a degree-1 vertex routed to the
+    hash-table kernel (possible only with ``threshold < 1``) still pays
+    at least one step, not ``2*log2(1) = 0``.
     """
     if degrees.size == 0:
         return 1.0
     par_mask = degrees > threshold
     seq_depth = float(degrees[~par_mask].max()) if (~par_mask).any() else 0.0
     par_depth = (
-        2.0 * math.log2(float(degrees[par_mask].max())) if par_mask.any() else 0.0
+        max(2.0 * math.log2(float(degrees[par_mask].max())), 1.0)
+        if par_mask.any()
+        else 0.0
     )
     return max(seq_depth, par_depth, 1.0)
 
@@ -98,6 +114,7 @@ def compute_batch_moves(
     charge_depth: bool = True,
     allow_escape: bool = True,
     swap_avoidance: bool = False,
+    kernel: str = DEFAULT_KERNEL,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Desired cluster per batch vertex against the current state snapshot.
 
@@ -105,90 +122,28 @@ def compute_batch_moves(
     the cluster that maximizes vertex ``batch[i]``'s objective (its current
     cluster when no strict improvement exists) and ``gains[i] >= 0`` is the
     objective improvement (unordered ``F`` scale) of taking that move in
-    isolation.
+    isolation.  ``kernel`` selects the evaluation kernel; the cost charged
+    to ``sched`` is identical for every kernel.
     """
     batch = np.asarray(batch, dtype=np.int64)
     if batch.size == 0:
         empty = np.zeros(0, dtype=np.int64)
         return empty, np.zeros(0, dtype=np.float64)
-    n = graph.num_vertices
-    assignments = state.assignments
-    cluster_weights = state.cluster_weights
-
-    edge_idx, row = ragged_gather_indices(graph.offsets, batch)
-    nbr_clusters = assignments[graph.neighbors[edge_idx]]
-    edge_w = graph.weights[edge_idx]
-
-    k_batch = graph.node_weights[batch]
-    current = assignments[batch]
-    stay_gain = -resolution * k_batch * (cluster_weights[current] - k_batch)
-
-    best_gain = stay_gain.copy()
-    targets = current.copy()
-
-    if edge_idx.size:
-        # Aggregate S(v, c) for every (batch vertex, neighboring cluster).
-        key = row * np.int64(n) + nbr_clusters
-        unique_key, inverse = np.unique(key, return_inverse=True)
-        sums = np.bincount(inverse, weights=edge_w, minlength=unique_key.size)
-        cand_row = (unique_key // n).astype(np.int64)
-        cand_cluster = (unique_key % n).astype(np.int64)
-
-        own = cand_cluster == current[cand_row]
-        if own.any():
-            # At most one "own cluster" entry per row: direct scatter.
-            stay_gain[cand_row[own]] += sums[own]
-            best_gain = stay_gain.copy()
-
-        ext_idx = np.flatnonzero(~own)
-        if ext_idx.size and swap_avoidance:
-            ext_row = cand_row[ext_idx]
-            ext_cluster = cand_cluster[ext_idx]
-            # Swap-avoidance heuristic for *synchronous* scheduling (Lu et
-            # al. [27], used by Grappolo): a singleton vertex may merge
-            # into another singleton cluster only when the target id is
-            # smaller than its own — otherwise lockstep rounds swap
-            # mutually-attracted singleton pairs forever and synchronous
-            # runs never converge.  Asynchronous and sequential schedules
-            # self-heal (the second vertex of a pair sees the first's
-            # move), so they run pure best moves.
-            allowed = ~(
-                (state.cluster_sizes[current[ext_row]] == 1)
-                & (state.cluster_sizes[ext_cluster] == 1)
-                & (ext_cluster > current[ext_row])
-            )
-            ext_idx = ext_idx[allowed]
-        if ext_idx.size:
-            ext_row = cand_row[ext_idx]
-            ext_cluster = cand_cluster[ext_idx]
-            ext_gain = (
-                sums[ext_idx]
-                - resolution * k_batch[ext_row] * cluster_weights[ext_cluster]
-            )
-            # Per-row argmax: sort by (row, -gain, cluster id) and take the
-            # first entry of each row group; the cluster-id tiebreak makes
-            # the kernel deterministic given the state snapshot.
-            order = np.lexsort((ext_cluster, -ext_gain, ext_row))
-            rows_present, first = np.unique(ext_row[order], return_index=True)
-            sel = order[first]
-            chosen_gain = ext_gain[sel]
-            improved = chosen_gain > stay_gain[rows_present] + GAIN_EPS
-            hit = rows_present[improved]
-            targets[hit] = ext_cluster[sel][improved]
-            best_gain[hit] = chosen_gain[improved]
-
-    # Escape to the vertex's home slot when it sits empty and every other
-    # option (including staying) loses to isolation (gain 0).
-    if allow_escape:
-        escape_open = state.cluster_sizes[batch] == 0
-        escape = escape_open & (best_gain < -GAIN_EPS)
-        if escape.any():
-            targets[escape] = batch[escape]
-            best_gain[escape] = 0.0
-
+    instr = getattr(sched, "instr", None)
+    targets, gains = get_kernel(kernel).batch_moves(
+        graph,
+        state,
+        batch,
+        resolution,
+        allow_escape=allow_escape,
+        swap_avoidance=swap_avoidance,
+        instr=instr,
+    )
+    if instr is not None and instr.enabled:
+        instr.observe(M_KERNEL_BATCH, float(batch.size), kernel=kernel)
     degrees = graph.offsets[batch + 1] - graph.offsets[batch]
     _charge_batch(sched, degrees, kernel_threshold, label, include_depth=charge_depth)
-    return targets, best_gain - stay_gain
+    return targets, gains
 
 
 def all_move_gains(
@@ -206,12 +161,7 @@ def all_move_gains(
     target is the argmax (ties broken toward smaller ids).
     """
     assignments = state.assignments
-    lo, hi = graph.offsets[v], graph.offsets[v + 1]
-    nbr_clusters = assignments[graph.neighbors[lo:hi]]
-    wts = graph.weights[lo:hi]
-    acc: dict = {}
-    for c, w in zip(nbr_clusters.tolist(), wts.tolist()):
-        acc[c] = acc.get(c, 0.0) + w
+    acc = accumulate_neighbor_weights(graph, assignments, v)
     current = int(assignments[v])
     k_v = float(graph.node_weights[v])
     cw = state.cluster_weights
@@ -236,48 +186,16 @@ def compute_single_move(
 ) -> Tuple[int, float]:
     """Sequential best-move for one vertex (SEQUENTIAL-CC's inner kernel).
 
-    Semantically identical to a batch of size one; implemented with plain
-    dict accumulation, which is faster for the per-vertex loop of the
-    sequential algorithm.  Returns ``(target, gain)``.
+    Thin wrapper over the reference kernel's single-vertex evaluation
+    (:mod:`repro.kernels.reference`), kept here for back-compat: it is
+    semantically a batch of size one, and both registered kernels resolve
+    single-vertex evaluation to this dict path.
     """
-    assignments = state.assignments
-    lo = graph.offsets[v]
-    hi = graph.offsets[v + 1]
-    nbr_clusters = assignments[graph.neighbors[lo:hi]]
-    wts = graph.weights[lo:hi]
-    acc: dict = {}
-    for c, w in zip(nbr_clusters.tolist(), wts.tolist()):
-        acc[c] = acc.get(c, 0.0) + w
-    current = int(assignments[v])
-    k_v = float(graph.node_weights[v])
-    cw = state.cluster_weights
-    stay = acc.get(current, 0.0) - resolution * k_v * (float(cw[current]) - k_v)
-    best_ext_gain = -math.inf
-    best_ext_cluster = -1
-    own_singleton = state.cluster_sizes[current] == 1
-    for c, s in acc.items():
-        if c == current:
-            continue
-        # Swap-avoidance under synchronous scheduling: see compute_batch_moves.
-        if (
-            swap_avoidance
-            and own_singleton
-            and c > current
-            and state.cluster_sizes[c] == 1
-        ):
-            continue
-        gain = s - resolution * k_v * float(cw[c])
-        # Exact comparison with cluster-id tiebreak, mirroring the batch
-        # kernel's lexsort so the two kernels agree bit-for-bit.
-        if gain > best_ext_gain or (gain == best_ext_gain and c < best_ext_cluster):
-            best_ext_gain = gain
-            best_ext_cluster = c
-    best_gain = stay
-    best_cluster = current
-    if best_ext_cluster >= 0 and best_ext_gain > stay + GAIN_EPS:
-        best_gain = best_ext_gain
-        best_cluster = best_ext_cluster
-    if allow_escape and state.cluster_sizes[v] == 0 and best_gain < -GAIN_EPS:
-        best_cluster = v
-        best_gain = 0.0
-    return best_cluster, best_gain - stay
+    return reference_single_move(
+        graph,
+        state,
+        v,
+        resolution,
+        allow_escape=allow_escape,
+        swap_avoidance=swap_avoidance,
+    )

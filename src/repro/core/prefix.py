@@ -133,6 +133,7 @@ def run_prefix_best_moves(
                     kernel_threshold=config.kernel_threshold,
                     charge_depth=False,
                     allow_escape=config.escape_moves,
+                    kernel=config.kernel,
                 )
                 length = conflict_free_prefix(graph, state, remaining, targets)
                 window = remaining[:length]

@@ -41,6 +41,7 @@ class CSRGraph:
         "self_loops",
         "node_weights",
         "node_weight_sq",
+        "_integer_weights",
     )
 
     def __init__(
@@ -66,6 +67,7 @@ class CSRGraph:
         self.self_loops = np.asarray(self_loops, dtype=np.float64)
         self.node_weights = np.asarray(node_weights, dtype=np.float64)
         self.node_weight_sq = np.asarray(node_weight_sq, dtype=np.float64)
+        self._integer_weights: Optional[bool] = None
         if validate:
             self._validate()
 
@@ -116,6 +118,22 @@ class CSRGraph:
     def num_edges(self) -> int:
         """Number of undirected edges (excluding self-loops)."""
         return self.neighbors.size // 2
+
+    @property
+    def has_integer_weights(self) -> bool:
+        """True when every edge weight is integer-valued (lazily cached).
+
+        Integer-valued float64 sums (below 2**53) are exact under any
+        addition order, which lets the vectorized move kernel use faster
+        reductions without breaking bit-identity with the dict oracle
+        (DESIGN.md §8).  Unit-weight graphs — every generator here — all
+        qualify.
+        """
+        if self._integer_weights is None:
+            self._integer_weights = bool(
+                np.all(self.weights == np.trunc(self.weights))
+            )
+        return self._integer_weights
 
     def degree(self, v: int) -> int:
         return int(self.offsets[v + 1] - self.offsets[v])

@@ -1,0 +1,46 @@
+"""Move-evaluation kernels: the reference dict oracle and the
+vectorized segment-reduction fast path (DESIGN.md §8).
+
+Engines never import concrete kernels; they resolve one by name via
+:func:`get_kernel` (the ``ClusteringConfig.kernel`` knob / ``--kernel``
+CLI flag).  Both kernels are bit-identical in outputs and state
+mutations — only wall-clock differs — so the choice never changes
+``f_objective`` or ``sim_time_seconds``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.kernels.base import GAIN_EPS, MoveKernel
+from repro.kernels.reference import ReferenceKernel
+from repro.kernels.vectorized import VectorizedKernel
+
+#: Registered kernels by config name.
+KERNELS = {
+    "reference": ReferenceKernel(),
+    "vectorized": VectorizedKernel(),
+}
+
+#: The default kernel (``ClusteringConfig.kernel``'s default).
+DEFAULT_KERNEL = "vectorized"
+
+
+def get_kernel(name: str) -> MoveKernel:
+    """Resolve a kernel by config name; raises ``ConfigError`` if unknown."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown kernel {name!r}; choose from {sorted(KERNELS)}"
+        ) from None
+
+
+__all__ = [
+    "DEFAULT_KERNEL",
+    "GAIN_EPS",
+    "KERNELS",
+    "MoveKernel",
+    "ReferenceKernel",
+    "VectorizedKernel",
+    "get_kernel",
+]

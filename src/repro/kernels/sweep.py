@@ -1,0 +1,222 @@
+"""Speculative batched evaluation of the *sequential* sweep.
+
+Algorithm 2 moves vertices one at a time, each evaluated against the
+state left by all previous moves — seemingly inherently serial.  But a
+vertex's evaluation only reads (a) the assignments of its neighbors,
+(b) the weights of its candidate clusters (its neighbors' clusters, its
+own cluster, and its home slot ``v``), and (c) the size of slot ``v``;
+and a single move only writes its mover's assignment plus the weight and
+size of two clusters.  So a block of the permutation can be evaluated in
+one vectorized batch against the block-start snapshot, and every
+position whose reads provably cannot have been touched by an
+earlier-in-block predicted mover replays its prediction verbatim:
+
+1. batch-evaluate ``order[pos : pos+block]`` with the segment kernel;
+2. *threat analysis* (vectorized): for each position, the earliest
+   predicted-mover position that touches anything it reads — via
+   ``first_touch`` scatter-mins over source/destination clusters and a
+   gather over neighbor adjacency;
+3. positions with ``threat >= position`` are **valid**: their sequential
+   evaluation would see exactly the snapshot, so the prediction is the
+   sequential decision (bit-identical).  Valid spans commit wholesale:
+   within a span, movers' touched clusters are pairwise disjoint (a
+   second toucher would have been threatened), so scatter-add order
+   cannot matter and the span replicates ``move_one`` arithmetic
+   exactly;
+4. an invalid position recomputes with the dict oracle at its proper
+   turn; when the recomputation *confirms* the prediction the block
+   continues (the threat model still holds), otherwise the block is cut
+   after it and evaluation restarts from the next position.
+
+The block size adapts (doubling on full consumption, halving on early
+cuts) so early high-churn sweeps degenerate gracefully toward the
+reference loop while late sparse sweeps consume whole blocks at
+O(1) Python calls each.
+
+The fast path assumes exact :class:`~repro.core.state.ClusterState`
+write semantics; any subclass (``FaultyClusterState`` buffers, delays
+and duplicates writes) falls back to the reference sweep, keeping
+fault-injection runs bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.state import ClusterState
+from repro.kernels.reference import reference_single_move, reference_sweep
+from repro.obs.instrument import M_KERNEL_BLOCK, M_KERNEL_FALLBACK
+from repro.parallel.primitives import ragged_gather_indices
+
+#: Initial / minimum speculative block length.
+MIN_BLOCK = 64
+#: Maximum speculative block length (bounds wasted evaluation on a cut).
+MAX_BLOCK = 4096
+
+
+def _block_threats(
+    graph,
+    assignments: np.ndarray,
+    block: np.ndarray,
+    current: np.ndarray,
+    targets: np.ndarray,
+    pred_move: np.ndarray,
+) -> np.ndarray:
+    """Earliest predicted-mover position threatening each block position.
+
+    Position ``i`` is threatened by mover position ``p`` when ``p``'s
+    source or destination cluster is one ``i`` reads (a neighbor's
+    cluster, its own cluster, or its home slot) or when the mover is a
+    neighbor of ``i`` (changing ``i``'s candidate set).  Unthreatened
+    positions get ``block.size`` (= +inf for position comparisons).
+    """
+    size = block.size
+    movers = np.flatnonzero(pred_move)
+    if movers.size == 0:
+        return np.full(size, size, dtype=np.int64)
+    n = assignments.size
+    first_touch = np.full(n, size, dtype=np.int64)
+    np.minimum.at(first_touch, targets[movers], movers)
+    np.minimum.at(first_touch, current[movers], movers)
+    mover_pos = np.full(n, size, dtype=np.int64)
+    np.minimum.at(mover_pos, block[movers], movers)
+    # Own cluster (stay gain) and home slot (escape-openness reads
+    # cluster_sizes[v], which changes only when a move touches cluster v).
+    threat = np.minimum(first_touch[current], first_touch[block])
+    edge_idx, row = ragged_gather_indices(graph.offsets, block)
+    if edge_idx.size:
+        nbrs = graph.neighbors[edge_idx]
+        np.minimum.at(
+            threat,
+            row,
+            np.minimum(first_touch[assignments[nbrs]], mover_pos[nbrs]),
+        )
+    return threat
+
+
+def speculative_sweep(
+    graph,
+    state,
+    order: np.ndarray,
+    resolution: float,
+    allow_escape: bool = True,
+    instr=None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Sequential sweep with speculative batched evaluation.
+
+    Bit-identical to :func:`~repro.kernels.reference.reference_sweep`:
+    same movers, same targets, same float gains, same state mutations.
+    """
+    # Deferred import: vectorized.py imports this module for its kernel
+    # class, so the batch entry point cannot be imported at module load.
+    from repro.kernels.vectorized import vectorized_batch_moves
+
+    if type(state) is not ClusterState:
+        # Subclasses (fault injection) have different write semantics than
+        # the threat model assumes; the oracle loop is always correct.
+        if instr is not None and instr.enabled:
+            instr.count(M_KERNEL_FALLBACK, 1.0, site="sweep")
+        return reference_sweep(
+            graph, state, order, resolution, allow_escape=allow_escape, instr=instr
+        )
+
+    movers: list = []
+    origins: list = []
+    targets_out: list = []
+    total_gain = 0.0
+    observe = instr is not None and instr.enabled
+
+    assignments = state.assignments
+    cluster_weights = state.cluster_weights
+    cluster_sizes = state.cluster_sizes
+    node_weights = state.node_weights
+
+    def commit_span(block, current, targets, gains, pred_move, lo, hi):
+        """Apply a valid span's predicted movers wholesale.
+
+        Touched clusters are pairwise disjoint across the span's movers
+        (see module docstring), so each cluster receives at most one
+        weight/size update and the scatter adds equal the serial
+        ``move_one`` arithmetic bit-for-bit.
+        """
+        nonlocal total_gain
+        idx = np.flatnonzero(pred_move[lo:hi])
+        if idx.size == 0:
+            return
+        idx += lo
+        span_movers = block[idx]
+        span_src = current[idx]
+        span_dst = targets[idx]
+        k = node_weights[span_movers].astype(np.float64)
+        assignments[span_movers] = span_dst
+        np.subtract.at(cluster_weights, span_src, k)
+        np.add.at(cluster_weights, span_dst, k)
+        np.add.at(cluster_sizes, span_src, -1)
+        np.add.at(cluster_sizes, span_dst, 1)
+        movers.extend(span_movers.tolist())
+        origins.extend(span_src.tolist())
+        targets_out.extend(span_dst.tolist())
+        # Serial Python adds in visit order, matching the reference loop's
+        # float accumulation exactly.
+        for gain in gains[idx].tolist():
+            total_gain += gain
+
+    pos = 0
+    block_size = MIN_BLOCK
+    total = order.size
+    while pos < total:
+        block = order[pos: pos + block_size]
+        size = block.size
+        targets, gains = vectorized_batch_moves(
+            graph,
+            state,
+            block,
+            resolution,
+            allow_escape=allow_escape,
+            swap_avoidance=False,
+            instr=instr,
+        )
+        current = assignments[block]
+        pred_move = targets != current
+        threat = _block_threats(graph, assignments, block, current, targets, pred_move)
+        valid = threat >= np.arange(size, dtype=np.int64)
+
+        consumed = size
+        cursor = 0
+        for p in np.flatnonzero(~valid).tolist():
+            commit_span(block, current, targets, gains, pred_move, cursor, p)
+            v = int(block[p])
+            target, gain = reference_single_move(
+                graph, state, v, resolution, allow_escape=allow_escape
+            )
+            if gain > 0.0:
+                origins.append(int(assignments[v]))
+                state.move_one(v, target)
+                movers.append(v)
+                targets_out.append(target)
+                total_gain += gain
+            cursor = p + 1
+            if target != int(targets[p]) or gain != float(gains[p]):
+                # Misprediction: downstream threat analysis is void; cut
+                # the block after this position and re-evaluate.
+                consumed = cursor
+                break
+        else:
+            commit_span(block, current, targets, gains, pred_move, cursor, size)
+
+        pos += consumed
+        if observe:
+            instr.observe(M_KERNEL_BLOCK, float(consumed))
+        if consumed == block_size:
+            block_size = min(block_size * 2, MAX_BLOCK)
+        elif consumed < block_size // 2:
+            block_size = max(MIN_BLOCK, block_size // 2)
+
+    return (
+        np.asarray(movers, dtype=np.int64),
+        np.asarray(origins, dtype=np.int64),
+        np.asarray(targets_out, dtype=np.int64),
+        total_gain,
+    )

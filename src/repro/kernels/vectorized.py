@@ -1,0 +1,235 @@
+"""Segment-reduction batch kernel: every ``S(v, c')`` in one sorted pass.
+
+The batch's CSR slices are expanded to flat ``(vertex, neighbor_cluster,
+weight)`` triples via :func:`~repro.parallel.primitives.
+ragged_gather_indices`, the packed ``row * n + cluster`` keys are sorted
+once (stable), and one segment reduction over the sorted weights
+produces every per-(vertex, cluster) sum at once — the semisort-style
+aggregation the paper uses for compression (Appendix B), applied to
+move evaluation.
+The per-vertex argmax (with the stay-put / fresh-singleton candidates
+and the ``GAIN_EPS`` strict-improvement guard) is then a handful of
+segment reductions: Python-level work is O(1) calls regardless of batch
+size.
+
+Bit-identity with the dict oracle is by construction:
+
+* the stable sort keeps each (vertex, cluster) segment in CSR adjacency
+  order, and the segment reduction preserves the dict accumulation's
+  addition semantics: integer-valued weights (exact under any order)
+  use ``add.reduceat``, fractional weights use a ``bincount``
+  scatter-add that sums each bucket strictly left-to-right;
+* the argmax takes, per vertex, the first segment (= lowest cluster id,
+  segments being cluster-sorted) whose gain equals the exact segment
+  maximum — the oracle's lowest-id tiebreak;
+* IEEE addition is commutative, so assembling ``stay`` as
+  ``-λ·k·(K-k) + S_own`` here and ``S_own - λ·k·(K-k)`` there is the
+  same float.
+
+Tiny batches (asynchronous concurrency windows degenerate to a few
+vertices) are dominated by NumPy per-call overhead, so below
+``SMALL_BATCH_WORK`` scanned edges the kernel falls back to the dict
+loop — legal precisely because the two paths are bit-identical; the
+fallback is counted under ``repro_kernel_fallbacks_total``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels.base import GAIN_EPS, MoveKernel
+from repro.kernels.reference import reference_batch_moves, reference_single_move
+from repro.kernels.sweep import speculative_sweep
+from repro.obs.instrument import M_KERNEL_FALLBACK, M_KERNEL_SEGMENTS
+from repro.parallel.primitives import ragged_gather_indices
+
+#: Below this many scanned entries (batch edges + vertices) the dict loop
+#: beats the ~40 fixed NumPy calls of the segment path (measured on the
+#: PR3 RMAT workload, where async windows are ~8 vertices of degree ~11).
+SMALL_BATCH_WORK = 192
+
+
+def vectorized_batch_moves(
+    graph,
+    state,
+    batch: np.ndarray,
+    resolution: float,
+    allow_escape: bool = True,
+    swap_avoidance: bool = False,
+    instr=None,
+    small_batch_work: int = SMALL_BATCH_WORK,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(targets, gains)`` for ``batch`` via one-sort segment reduction."""
+    n = graph.num_vertices
+    assignments = state.assignments
+    cluster_weights = state.cluster_weights
+
+    degrees = graph.offsets[batch + 1] - graph.offsets[batch]
+    deg_sum = int(degrees.sum())
+    if deg_sum + batch.size < small_batch_work:
+        if instr is not None and instr.enabled:
+            instr.count(M_KERNEL_FALLBACK, 1.0, site="batch")
+        return reference_batch_moves(
+            graph,
+            state,
+            batch,
+            resolution,
+            allow_escape=allow_escape,
+            swap_avoidance=swap_avoidance,
+            instr=instr,
+        )
+
+    edge_idx, row = ragged_gather_indices(graph.offsets, batch)
+    k_batch = graph.node_weights[batch]
+    current = assignments[batch]
+    stay_gain = -resolution * k_batch * (cluster_weights[current] - k_batch)
+    targets = current.copy()
+
+    if edge_idx.size:
+        nbr_clusters = assignments[graph.neighbors[edge_idx]]
+        edge_w = graph.weights[edge_idx]
+        # One stable sort groups the flat (vertex, cluster) pairs; reduceat
+        # then emits every S(v, c') segment sum in CSR order.
+        key = row * np.int64(n) + nbr_clusters
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        boundary = np.empty(sorted_key.size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(sorted_key[1:], sorted_key[:-1], out=boundary[1:])
+        seg_start = np.flatnonzero(boundary)
+        # reduceat's reduce loop uses SIMD partial accumulators, which
+        # reorders float addition within a segment (1-ULP drift against
+        # the dict oracle on fractional weights).  Integer-valued weights
+        # sum exactly under any order, so they take the faster reduceat;
+        # everything else goes through bincount — a plain sequential
+        # scatter-add, accumulating each segment strictly left-to-right
+        # in CSR adjacency order, the dict oracle's exact addition order.
+        if graph.has_integer_weights:
+            sums = np.add.reduceat(edge_w[order], seg_start)
+        else:
+            seg_id = np.cumsum(boundary) - 1
+            sums = np.bincount(
+                seg_id, weights=edge_w[order], minlength=seg_start.size
+            )
+        seg_key = sorted_key[seg_start]
+        cand_row = seg_key // np.int64(n)
+        cand_cluster = seg_key - cand_row * np.int64(n)
+        if instr is not None and instr.enabled:
+            instr.observe(M_KERNEL_SEGMENTS, float(seg_start.size))
+
+        own = cand_cluster == current[cand_row]
+        if own.any():
+            # At most one "own cluster" segment per row: direct scatter.
+            stay_gain[cand_row[own]] += sums[own]
+        best_gain = stay_gain.copy()
+
+        ext = ~own
+        if swap_avoidance and ext.any():
+            # Swap-avoidance heuristic for *synchronous* scheduling (Lu et
+            # al. [27], used by Grappolo): a singleton vertex may merge
+            # into another singleton cluster only when the target id is
+            # smaller than its own — otherwise lockstep rounds swap
+            # mutually-attracted singleton pairs forever and synchronous
+            # runs never converge.  Asynchronous and sequential schedules
+            # self-heal (the second vertex of a pair sees the first's
+            # move), so they run pure best moves.
+            blocked = (
+                (state.cluster_sizes[current[cand_row]] == 1)
+                & (state.cluster_sizes[cand_cluster] == 1)
+                & (cand_cluster > current[cand_row])
+            )
+            ext &= ~blocked
+        ext_idx = np.flatnonzero(ext)
+        if ext_idx.size:
+            ext_row = cand_row[ext_idx]
+            ext_cluster = cand_cluster[ext_idx]
+            ext_gain = (
+                sums[ext_idx]
+                - resolution * k_batch[ext_row] * cluster_weights[ext_cluster]
+            )
+            # Per-row argmax without a second sort: segments arrive sorted
+            # by (row, cluster), so the row maximum comes from one more
+            # reduceat and the winner is the first (= lowest cluster id)
+            # segment matching it exactly — the oracle's tiebreak.
+            row_start = np.empty(ext_row.size, dtype=bool)
+            row_start[0] = True
+            np.not_equal(ext_row[1:], ext_row[:-1], out=row_start[1:])
+            starts = np.flatnonzero(row_start)
+            row_max = np.maximum.reduceat(ext_gain, starts)
+            counts = np.diff(np.append(starts, ext_row.size))
+            hit = np.flatnonzero(ext_gain == np.repeat(row_max, counts))
+            rows_of_hit = ext_row[hit]
+            keep = np.empty(hit.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(rows_of_hit[1:], rows_of_hit[:-1], out=keep[1:])
+            sel = hit[keep]
+            rows_present = rows_of_hit[keep]
+            chosen_gain = ext_gain[sel]
+            improved = chosen_gain > stay_gain[rows_present] + GAIN_EPS
+            winners = rows_present[improved]
+            targets[winners] = ext_cluster[sel][improved]
+            best_gain[winners] = chosen_gain[improved]
+    else:
+        best_gain = stay_gain.copy()
+
+    # Escape to the vertex's home slot when it sits empty and every other
+    # option (including staying) loses to isolation (gain 0).
+    if allow_escape:
+        escape = (state.cluster_sizes[batch] == 0) & (best_gain < -GAIN_EPS)
+        if escape.any():
+            targets[escape] = batch[escape]
+            best_gain[escape] = 0.0
+
+    return targets, best_gain - stay_gain
+
+
+class VectorizedKernel(MoveKernel):
+    """Segment-reduction fast path with dict fallback for tiny batches."""
+
+    name = "vectorized"
+
+    def batch_moves(
+        self,
+        graph,
+        state,
+        batch,
+        resolution,
+        *,
+        allow_escape=True,
+        swap_avoidance=False,
+        instr=None,
+    ):
+        return vectorized_batch_moves(
+            graph,
+            state,
+            batch,
+            resolution,
+            allow_escape=allow_escape,
+            swap_avoidance=swap_avoidance,
+            instr=instr,
+        )
+
+    def single_move(
+        self, graph, state, v, resolution, *, allow_escape=True, swap_avoidance=False
+    ):
+        # A batch of one IS a dict: the event-driven oracle commits one
+        # vertex at a time, and the measured dirty-tracking variant cost
+        # more in invalidation checks than the dict evaluation it avoided
+        # (DESIGN.md §8), so both kernels share the reference single path.
+        return reference_single_move(
+            graph,
+            state,
+            v,
+            resolution,
+            allow_escape=allow_escape,
+            swap_avoidance=swap_avoidance,
+        )
+
+    def sweep(
+        self, graph, state, order, resolution, *, allow_escape=True, instr=None
+    ):
+        return speculative_sweep(
+            graph, state, order, resolution, allow_escape=allow_escape, instr=instr
+        )

@@ -514,6 +514,145 @@ def snapshot_suite(repeats: int = 3) -> BenchSuite:
     return suite
 
 
+def kernels_suite(repeats: int = 3) -> BenchSuite:
+    """The PR4 kernel snapshot: vectorized-vs-reference speedups + parity.
+
+    Three kinds of rows:
+
+    * ``kernel-eval-*`` — a microbenchmark of the kernel layer alone:
+      one full-frontier ``batch_moves`` call on a singleton state, timed
+      for both kernels.  ``kernel_speedup`` (higher-better) is the
+      headline acceptance metric; ``identical`` records bit-equality of
+      the returned targets and gains.
+    * ``<engine>-scale8-<kernel>`` — end-to-end engine runs whose
+      comparable metrics (``f_objective``, ``sim_time_seconds``) must
+      match *exactly* across kernels — the cost model never sees which
+      kernel evaluated the moves (DESIGN.md §8).
+    * ``relaxed-scale12-vectorized`` — a larger run riding along as
+      wall-clock evidence that the default kernel scales.
+    """
+    import numpy as np
+
+    from repro.core.config import ClusteringConfig
+    from repro.core.engines import multilevel_with_engine
+    from repro.core.objective import lambdacc_objective
+    from repro.core.state import ClusterState
+    from repro.generators.rmat import rmat_graph
+    from repro.kernels.reference import reference_batch_moves
+    from repro.kernels.vectorized import vectorized_batch_moves
+    from repro.parallel.scheduler import SimulatedScheduler
+    from repro.utils.rng import make_rng
+
+    suite = BenchSuite(
+        "PR4",
+        meta={
+            "workload": dict(BASELINE_RMAT),
+            "resolution": BASELINE_RESOLUTION,
+            "repeats": repeats,
+        },
+    )
+
+    # --- kernel-eval microbenchmark: the layer the PR vectorizes -------
+    for scale in (BASELINE_RMAT["scale"], 12):
+        graph = rmat_graph(
+            scale, BASELINE_RMAT["edge_factor"] * 2**scale,
+            seed=BASELINE_RMAT["seed"],
+        )
+        batch = np.arange(graph.num_vertices, dtype=np.int64)
+
+        def eval_with(kernel_fn, graph=graph, batch=batch):
+            state = ClusterState.singletons(graph)
+            return kernel_fn(graph, state, batch, BASELINE_RESOLUTION)
+
+        (ref_targets, ref_gains), ref_timing = time_callable(
+            lambda: eval_with(reference_batch_moves),
+            repeats=max(repeats, 5), warmup=1,
+        )
+        (vec_targets, vec_gains), vec_timing = time_callable(
+            lambda: eval_with(vectorized_batch_moves),
+            repeats=max(repeats, 5), warmup=1,
+        )
+        suite.add_row(
+            f"kernel-eval-scale{scale}",
+            metrics={"kernel_speedup": ref_timing.best / vec_timing.best},
+            vertices=graph.num_vertices,
+            edges=graph.num_edges,
+            reference_seconds=ref_timing.best,
+            vectorized_seconds=vec_timing.best,
+            identical=bool(
+                np.array_equal(ref_targets, vec_targets)
+                and np.array_equal(ref_gains, vec_gains)
+            ),
+        )
+
+    # --- end-to-end engine parity rows ---------------------------------
+    def engine_run(graph, engine, kernel, workers):
+        config = ClusteringConfig(
+            resolution=BASELINE_RESOLUTION,
+            refine=False,
+            seed=BASELINE_SEED,
+            num_workers=workers,
+            kernel=kernel,
+        )
+        sched = SimulatedScheduler(num_workers=workers)
+        assignments, stats = multilevel_with_engine(
+            graph,
+            BASELINE_RESOLUTION,
+            config,
+            engine=engine,
+            sched=sched,
+            rng=make_rng(BASELINE_SEED),
+        )
+        return assignments, sched.simulated_time(workers)
+
+    graph8 = _baseline_graph()
+    for engine in ("relaxed", "prefix"):
+        reference_assignments = None
+        for kernel in ("reference", "vectorized"):
+            (assignments, sim_time), timing = time_callable(
+                lambda: engine_run(graph8, engine, kernel, workers=60),
+                repeats=repeats, warmup=1,
+            )
+            row = {
+                "metrics": {
+                    "f_objective": lambdacc_objective(
+                        graph8, assignments, BASELINE_RESOLUTION
+                    ),
+                    "sim_time_seconds": sim_time,
+                },
+                "wall_seconds": timing.best,
+            }
+            if kernel == "reference":
+                reference_assignments = assignments
+            else:
+                row["identical"] = bool(
+                    np.array_equal(assignments, reference_assignments)
+                )
+            suite.add_row(f"{engine}-scale8-{kernel}", **row)
+
+    # --- scale-12 default-kernel run (acceptance: well under 60 s) -----
+    graph12 = rmat_graph(
+        12, BASELINE_RMAT["edge_factor"] * 2**12, seed=BASELINE_RMAT["seed"]
+    )
+    (assignments, sim_time), timing = time_callable(
+        lambda: engine_run(graph12, "relaxed", "vectorized", workers=60),
+        repeats=repeats, warmup=1,
+    )
+    suite.add_row(
+        "relaxed-scale12-vectorized",
+        metrics={
+            "f_objective": lambdacc_objective(
+                graph12, assignments, BASELINE_RESOLUTION
+            ),
+            "sim_time_seconds": sim_time,
+        },
+        wall_seconds=timing.best,
+        vertices=graph12.num_vertices,
+        edges=graph12.num_edges,
+    )
+    return suite
+
+
 def emit_baselines(out_dir=DEFAULT_BASELINE_DIR, repeats: int = 3) -> List[Path]:
     """Regenerate the committed ``BENCH_engines.json`` / ``BENCH_overhead.json``."""
     paths = [
@@ -549,12 +688,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     p.add_argument(
         "--snapshot",
         action="store_true",
-        help="also write the repo-root BENCH_PR3.json telemetry snapshot",
+        help="also write the repo-root BENCH_PR3.json / BENCH_PR4.json "
+             "snapshots",
     )
     p.add_argument(
         "--snapshot-only",
         action="store_true",
-        help="write only BENCH_PR3.json (skip the baseline suites)",
+        help="write only the PR snapshots (skip the baseline suites)",
     )
     p.add_argument("--snapshot-dir", default=".", metavar="DIR")
 
@@ -571,8 +711,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             for path in emit_baselines(args.out, repeats=args.repeats):
                 print(f"wrote {path}")
         if args.snapshot or args.snapshot_only:
-            path = snapshot_suite(repeats=args.repeats).write(args.snapshot_dir)
-            print(f"wrote {path}")
+            for suite in (
+                snapshot_suite(repeats=args.repeats),
+                kernels_suite(repeats=args.repeats),
+            ):
+                path = suite.write(args.snapshot_dir)
+                print(f"wrote {path}")
         return 0
     if args.command == "validate-trace":
         from repro.obs.schema import TraceSchemaError, validate_trace_file

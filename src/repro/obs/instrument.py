@@ -62,6 +62,14 @@ M_RESILIENCE_EVENTS = "repro_resilience_events_total"
 M_OBJECTIVE = "repro_objective_f"
 #: Final modularity of the run (gauge).
 M_MODULARITY = "repro_modularity"
+#: Batch size per best-move kernel invocation, labeled by kernel (histogram).
+M_KERNEL_BATCH = "repro_kernel_batch_size"
+#: Distinct (vertex, cluster) segments per vectorized reduceat pass (histogram).
+M_KERNEL_SEGMENTS = "repro_kernel_segments"
+#: Vectorized-kernel falls back to the dict oracle, labeled by site (counter).
+M_KERNEL_FALLBACK = "repro_kernel_fallbacks_total"
+#: Positions consumed per speculative sweep block (histogram).
+M_KERNEL_BLOCK = "repro_kernel_sweep_block"
 
 _HELP = {
     M_MOVES: "Vertex moves applied by BEST-MOVES engines",
@@ -81,6 +89,10 @@ _HELP = {
     M_RESILIENCE_EVENTS: "Resilience events by kind",
     M_OBJECTIVE: "Final unordered LambdaCC objective F",
     M_MODULARITY: "Final modularity",
+    M_KERNEL_BATCH: "Batch size per best-move kernel invocation",
+    M_KERNEL_SEGMENTS: "Distinct (vertex, cluster) segments per reduceat pass",
+    M_KERNEL_FALLBACK: "Vectorized-kernel fallbacks to the dict oracle",
+    M_KERNEL_BLOCK: "Positions consumed per speculative sweep block",
 }
 
 

@@ -95,6 +95,7 @@ def make_run_record(
             "resolution": float(result.resolution),
             "seed": config.seed,
             "workers": int(config.num_workers),
+            "kernel": config.kernel,
         },
         "metrics": {
             "wall_seconds": float(result.wall_seconds),
