@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-fast smoke-obs baselines compare-baselines bench \
-	bench-snapshot bench-kernels compare-kernels ci
+	bench-snapshot bench-kernels compare-kernels chaos bench-supervisor ci
 
 ## Full test suite (tier 1).
 test:
@@ -60,8 +60,22 @@ compare-kernels:
 	    BENCH_PR4.json /tmp/repro-bench-current/BENCH_PR4.json \
 	    --tolerance 0.30
 
+## Supervised chaos matrix: every fault site x every engine x both
+## kernels on the karate workload, asserting the recovery invariants
+## (terminate, objective within tolerance or explicitly degraded,
+## checkpoints replay bit-identically).  Deterministic; exits nonzero on
+## any unrecovered cell.
+chaos:
+	$(PYTHON) -m repro.cli chaos --karate --seed 1
+
+## The <3% no-fault supervision overhead bench.
+bench-supervisor:
+	$(PYTHON) -m pytest -x -q benchmarks/bench_supervisor.py
+
 ## The full gate a PR must pass: tier-1 tests, the observability smoke,
 ## the committed-baseline regression compare (including the kernel
-## snapshot), and the <3% disabled instrumentation-overhead bench.
-ci: test smoke-obs compare-baselines compare-kernels
-	$(PYTHON) -m pytest -x -q benchmarks/bench_obs_overhead.py
+## snapshot), the supervised chaos matrix, and the <3% overhead benches
+## (disabled instrumentation, no-fault supervision).
+ci: test smoke-obs compare-baselines compare-kernels chaos
+	$(PYTHON) -m pytest -x -q benchmarks/bench_obs_overhead.py \
+	    benchmarks/bench_supervisor.py

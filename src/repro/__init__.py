@@ -32,6 +32,13 @@ from repro.graphs.builders import graph_from_edges
 from repro.graphs.csr import CSRGraph
 from repro.graphs.karate import karate_club_graph
 from repro.parallel.scheduler import CostLedger, Machine, SimulatedScheduler
+from repro.supervisor import (
+    FallbackLadder,
+    RetryPolicy,
+    RunSupervisor,
+    Watchdog,
+    supervise,
+)
 
 __version__ = "1.0.0"
 
@@ -40,15 +47,20 @@ __all__ = [
     "ClusterResult",
     "ClusteringConfig",
     "CostLedger",
+    "FallbackLadder",
     "Frontier",
     "Machine",
     "Mode",
     "Objective",
+    "RetryPolicy",
+    "RunSupervisor",
     "SimulatedScheduler",
+    "Watchdog",
     "cluster",
     "correlation_clustering",
     "graph_from_edges",
     "karate_club_graph",
     "modularity_clustering",
+    "supervise",
     "__version__",
 ]

@@ -13,7 +13,9 @@ Subcommands:
   (the Figure 9/10 methodology on your own data);
 * ``hierarchy`` — print the multilevel coarsening hierarchy of one run;
 * ``consensus`` — cluster several seeds and write the consensus labels;
-* ``table1``   — print the surrogate dataset table.
+* ``table1``   — print the surrogate dataset table;
+* ``chaos``    — run the supervised chaos matrix (fault kind x site x
+  engine x kernel) and assert the recovery invariants.
 """
 
 from __future__ import annotations
@@ -27,7 +29,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.api import cluster
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.core.config import ClusteringConfig, Frontier, Mode, Objective
 from repro.eval.ari import adjusted_rand_index
 from repro.eval.ground_truth import average_precision_recall
@@ -52,7 +54,9 @@ def _load_graph(args) -> "object":
     if args.input:
         if str(args.input).endswith((".graph", ".metis")):
             return read_metis(args.input)
-        return read_edge_list(args.input)
+        return read_edge_list(
+            args.input, on_malformed=getattr(args, "on_malformed", "strict")
+        )
     if args.surrogate:
         return load_snap_surrogate(args.surrogate, seed=args.seed or 0).graph
     return karate_club_graph()
@@ -105,6 +109,32 @@ def _resilience_policy(args):
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume_from=args.resume,
+    )
+
+
+def _supervisor(args):
+    """Build a RunSupervisor when any supervision flag is present."""
+    wants_supervision = (
+        args.supervise
+        or args.max_attempts is not None
+        or args.run_deadline is not None
+        or args.level_deadline is not None
+    )
+    if not wants_supervision:
+        return None
+    from repro.supervisor import RetryPolicy, RunSupervisor, Watchdog
+
+    retry = RetryPolicy(
+        max_attempts_per_rung=(
+            args.max_attempts if args.max_attempts is not None else 3
+        )
+    )
+    watchdog = Watchdog(
+        run_deadline_seconds=args.run_deadline,
+        level_deadline_seconds=args.level_deadline,
+    )
+    return RunSupervisor(
+        retry=retry, watchdog=watchdog, checkpoint_dir=args.checkpoint_dir
     )
 
 
@@ -228,13 +258,30 @@ def _cmd_cluster(args) -> int:
     )
     policy = _resilience_policy(args)
     instr = _instrumentation(args)
+    supervisor = _supervisor(args)
     result = cluster(
         graph, config, resilience=policy, instrumentation=instr,
-        engine=args.engine,
+        engine=args.engine, supervisor=supervisor,
     )
     print(result.summary())
     for line in result.failure_log:
         print(f"  ! {line}", file=sys.stderr)
+    if "supervisor" in result.extras:
+        meta = result.extras["supervisor"]
+        print(
+            f"  supervised: rung={meta['rung']} attempts={meta['attempts']} "
+            f"retries={meta['retries']} fallbacks={meta['fallbacks']} "
+            f"watchdog_fires={meta['watchdog_fires']}"
+            + (" SALVAGED" if meta["salvaged"] else ""),
+            file=sys.stderr,
+        )
+    if "input_repairs" in result.extras:
+        repairs = result.extras["input_repairs"]
+        print(
+            "  input repairs: "
+            + " ".join(f"{k}={v}" for k, v in sorted(repairs.items())),
+            file=sys.stderr,
+        )
     if "fault_injections" in result.extras:
         tally = result.extras["fault_injections"]
         injected = " ".join(f"{k}={v}" for k, v in sorted(tally.items()))
@@ -430,6 +477,52 @@ def _cmd_consensus(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.resilience.chaos import chaos_matrix
+    from repro.resilience.faults import FaultKind
+
+    graph = _load_graph(args)
+    config = ClusteringConfig(
+        resolution=args.resolution,
+        num_workers=args.workers,
+        num_iter=args.num_iter,
+    )
+    kinds = None
+    if args.kinds:
+        kinds = []
+        for token in args.kinds.split(","):
+            try:
+                kinds.append(FaultKind(token.strip()))
+            except ValueError:
+                raise ConfigError(
+                    f"unknown fault kind {token.strip()!r}; "
+                    f"available: {sorted(k.value for k in FaultKind)}"
+                ) from None
+    engines = args.engines.split(",") if args.engines else None
+    kernels = args.kernels.split(",") if args.kernels else None
+    report = chaos_matrix(
+        graph,
+        config,
+        engines=engines,
+        kernels=kernels,
+        kinds=kinds,
+        rate=args.rate,
+        max_injections=args.max_injections,
+        seed=args.seed,
+        tolerance=args.tolerance,
+        check_replay=not args.no_replay,
+    )
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def _cmd_obs_timeline(args) -> int:
     from repro.obs.schema import TraceSchemaError
     from repro.obs.timeline import write_chrome_trace
@@ -554,6 +647,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "reference is the dict-loop oracle)")
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--output", help="write labels (one per line)")
+    p.add_argument("--on-malformed", choices=["strict", "repair"],
+                   default="strict",
+                   help="edge-list inputs: reject defects (strict) or drop "
+                        "self-loops / merge duplicate edges and report the "
+                        "counts (repair); NaN/inf weights always reject")
     r = p.add_argument_group("resilience")
     r.add_argument("--audit", action="store_true",
                    help="audit state invariants at level boundaries and "
@@ -579,6 +677,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "(bare kind = default rate)")
     r.add_argument("--fault-seed", type=int, default=0,
                    help="seed for the fault-injection schedule")
+    s = p.add_argument_group("supervision")
+    s.add_argument("--supervise", action="store_true",
+                   help="run under the self-healing supervisor: retry with "
+                        "resume-from-checkpoint, then descend the fallback "
+                        "ladder (reference kernel, sequential engine, "
+                        "graceful), salvaging best-so-far as a last resort")
+    s.add_argument("--max-attempts", type=int, default=None, metavar="N",
+                   help="supervisor attempts per ladder rung (default 3; "
+                        "implies --supervise)")
+    s.add_argument("--run-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="watchdog deadline for the whole supervised run "
+                        "(implies --supervise)")
+    s.add_argument("--level-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="watchdog deadline per engine invocation "
+                        "(implies --supervise)")
+    s.add_argument("--checkpoint-dir", metavar="DIR",
+                   help="directory for the supervisor's rotating "
+                        "checkpoint slots (default: a temp dir)")
     o = p.add_argument_group("observability")
     o.add_argument("--engine", choices=["relaxed", "prefix", "colored",
                                         "event", "sequential"],
@@ -672,6 +790,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table1", help="print the surrogate dataset table")
     p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser(
+        "chaos",
+        help="supervised chaos matrix: inject faults across engines and "
+             "kernels, assert every cell recovers",
+    )
+    add_graph_source(p)
+    p.add_argument("--resolution", type=float, default=0.01)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--num-iter", type=int, default=10)
+    p.add_argument("--engines", metavar="LIST",
+                   help="comma-separated engine names (default: all five)")
+    p.add_argument("--kernels", metavar="LIST",
+                   help="comma-separated kernel names (default: both)")
+    p.add_argument("--kinds", metavar="LIST",
+                   help="comma-separated fault kinds (default: transient,"
+                        "dup-move,cas-fail,delay-frontier)")
+    p.add_argument("--rate", type=float, default=0.3,
+                   help="per-draw injection probability (default 0.3)")
+    p.add_argument("--max-injections", type=int, default=6,
+                   help="cap on injections per cell, guaranteeing the "
+                        "hazard eventually stops firing (default 6)")
+    p.add_argument("--tolerance", type=float, default=0.15,
+                   help="relative objective tolerance vs the fault-free "
+                        "baseline (default 0.15)")
+    p.add_argument("--no-replay", action="store_true",
+                   help="skip the checkpoint replay bit-identity check")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the full report as JSON")
+    p.set_defaults(func=_cmd_chaos, seed=1)
 
     p = sub.add_parser(
         "obs", help="observability: timelines and the runs registry"

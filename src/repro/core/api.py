@@ -44,6 +44,7 @@ def cluster(
     resilience: Optional[ResiliencePolicy] = None,
     instrumentation: Optional[Instrumentation] = None,
     engine: Optional[str] = None,
+    supervisor=None,
 ) -> ClusterResult:
     """Cluster ``graph`` according to ``config``; see :class:`ClusterResult`.
 
@@ -64,7 +65,21 @@ def cluster(
     ``engine`` optionally overrides the BEST-MOVES engine by registry name
     (see :data:`repro.core.engines.ENGINES`); by default ``config.parallel``
     selects the paper's relaxed engine or the sequential baseline.
+
+    ``supervisor`` optionally attaches a
+    :class:`~repro.supervisor.RunSupervisor`: the run then executes under
+    retry-with-resume, watchdog deadlines, and the fallback ladder
+    (DESIGN.md §10), with every recovery decision in the result's
+    ``failure_log`` and ``extras["supervisor"]``.
     """
+    if supervisor is not None:
+        return supervisor.run(
+            graph,
+            config,
+            resilience=resilience,
+            instrumentation=instrumentation,
+            engine=engine,
+        )
     if graph.num_vertices == 0:
         raise ValueError("cannot cluster an empty graph")
     instr = (
@@ -133,6 +148,8 @@ def cluster(
             mod_value = 0.0
 
         extras: dict = {}
+        if getattr(graph, "repairs", None):
+            extras["input_repairs"] = dict(graph.repairs)
         degraded = False
         failure_log: list = []
         if ctx is not None:

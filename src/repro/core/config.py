@@ -157,3 +157,14 @@ class ClusteringConfig:
         opts = [self.mode.value, self.frontier.value, "refine" if self.refine else "no-refine"]
         con = "^CON" if self.run_to_convergence else ""
         return f"{base}-{obj}{con}[{','.join(opts)}]"
+
+    def config_tag(self, effective_lambda: float) -> str:
+        """Checkpoint compatibility tag for this config at a resolution.
+
+        Deliberately built from :meth:`describe` — which excludes the
+        kernel and the engine — so a checkpoint written on one fallback
+        rung (e.g. the vectorized kernel) can be resumed on another (the
+        reference kernel, or the sequential engine): the multilevel
+        hierarchy and objective are what must match, not the executor.
+        """
+        return f"{self.describe()}|lambda={effective_lambda:.12g}"

@@ -43,6 +43,17 @@ ENGINES: Dict[str, Callable] = {
     "sequential": sequential_best_moves,
 }
 
+#: The supervisor's last-resort engine: Algorithm 2's sequential sweeps
+#: have no windows, no atomics, and no speculative conflicts to go wrong.
+FALLBACK_ENGINE = "sequential"
+
+
+def fallback_engine(name: Optional[str]) -> Optional[str]:
+    """The engine to fall back to, or ``None`` if already at the bottom."""
+    if name == FALLBACK_ENGINE:
+        return None
+    return FALLBACK_ENGINE
+
 
 def get_engine(name: str) -> Callable:
     """Look up an engine by name."""

@@ -101,6 +101,11 @@ class ClusterResult:
             sim_time_seconds=self.sim_time(),
             degraded=self.degraded,
         )
+        # Surface input repairs and supervision decisions when present so
+        # bench/report consumers see them without digging into extras.
+        for key in ("input_repairs", "supervisor"):
+            if key in self.extras:
+                summary[key] = self.extras[key]
         return summary
 
     def sim_time(self, num_workers: Optional[int] = None) -> float:

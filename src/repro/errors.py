@@ -41,6 +41,18 @@ class BudgetExhausted(ReproError):
     gracefully instead of raising)."""
 
 
+class WatchdogTimeout(BudgetExhausted):
+    """Raised when a supervisor watchdog wall-clock deadline (whole-run or
+    per-level) fires under ``strict`` resilience policy; graceful runs
+    degrade and return best-so-far instead of raising."""
+
+
+class SupervisorExhausted(ReproError):
+    """Raised when the :class:`~repro.supervisor.RunSupervisor` exhausts
+    every retry and fallback rung without obtaining any clustering result
+    (the salvage run itself failed)."""
+
+
 class CheckpointError(ReproError):
     """Raised when a checkpoint file is missing, corrupt, or was written
     by an incompatible configuration."""

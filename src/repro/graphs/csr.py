@@ -41,6 +41,7 @@ class CSRGraph:
         "self_loops",
         "node_weights",
         "node_weight_sq",
+        "repairs",
         "_integer_weights",
     )
 
@@ -67,6 +68,9 @@ class CSRGraph:
         self.self_loops = np.asarray(self_loops, dtype=np.float64)
         self.node_weights = np.asarray(node_weights, dtype=np.float64)
         self.node_weight_sq = np.asarray(node_weight_sq, dtype=np.float64)
+        #: Input-repair counts attached by ``read_edge_list(...,
+        #: on_malformed="repair")``; ``None`` for graphs built cleanly.
+        self.repairs: Optional[dict] = None
         self._integer_weights: Optional[bool] = None
         if validate:
             self._validate()

@@ -25,7 +25,10 @@ PathLike = Union[str, Path]
 
 
 def read_edge_list(
-    path: PathLike, num_vertices=None, allow_signed: bool = False
+    path: PathLike,
+    num_vertices=None,
+    allow_signed: bool = False,
+    on_malformed: str = "strict",
 ) -> CSRGraph:
     """Read a SNAP-style (optionally weighted) edge-list file.
 
@@ -34,7 +37,19 @@ def read_edge_list(
     (NaN/inf) or — unless ``allow_signed`` (correlation clustering accepts
     signed weights) — negative edge weights, which would otherwise flow
     silently into CSR construction.
+
+    ``on_malformed="repair"`` tolerates the two defects real crawled edge
+    lists routinely carry: self-loop lines are dropped and duplicate
+    edges (either orientation) are merged with their weights summed, with
+    the counts attached as ``graph.repairs`` (surfaced through
+    ``ClusterResult.stats_dict()["input_repairs"]``).  Structural junk —
+    bad tokens, negative ids, NaN/inf weights — still raises the typed
+    error in both modes: those are not repairable, only wrong.
     """
+    if on_malformed not in ("strict", "repair"):
+        raise ValueError(
+            f"on_malformed must be 'strict' or 'repair', got {on_malformed!r}"
+        )
     us: List[int] = []
     vs: List[int] = []
     ws: List[float] = []
@@ -82,9 +97,42 @@ def read_edge_list(
     edges = np.stack(
         [np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64)], axis=1
     ) if us else np.zeros((0, 2), dtype=np.int64)
-    return graph_from_edges(
-        edges, weights=np.asarray(ws, dtype=np.float64), num_vertices=num_vertices
-    )
+    weights = np.asarray(ws, dtype=np.float64)
+    repairs = None
+    if on_malformed == "repair":
+        edges, weights, repairs = _repair_edges(edges, weights)
+    graph = graph_from_edges(edges, weights=weights, num_vertices=num_vertices)
+    if repairs is not None:
+        graph.repairs = repairs
+    return graph
+
+
+def _repair_edges(edges: np.ndarray, weights: np.ndarray):
+    """Drop self-loops and count duplicate merges; see ``read_edge_list``.
+
+    The duplicate *merging* itself is the CSR builder's normal behavior
+    (weights summed); repair mode's contribution is dropping loops before
+    they reach the self-loop channel and reporting both counts.
+    """
+    loops = edges[:, 0] == edges[:, 1] if edges.size else np.zeros(0, dtype=bool)
+    dropped = int(loops.sum())
+    if dropped:
+        edges = edges[~loops]
+        weights = weights[~loops]
+    if edges.size:
+        canonical = np.stack(
+            [np.minimum(edges[:, 0], edges[:, 1]),
+             np.maximum(edges[:, 0], edges[:, 1])],
+            axis=1,
+        )
+        merged = int(edges.shape[0] - np.unique(canonical, axis=0).shape[0])
+    else:
+        merged = 0
+    repairs = {
+        "self_loops_dropped": dropped,
+        "duplicate_edges_merged": merged,
+    }
+    return edges, weights, repairs
 
 
 def write_edge_list(graph: CSRGraph, path: PathLike, weighted: bool = False) -> None:

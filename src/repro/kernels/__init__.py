@@ -24,6 +24,17 @@ KERNELS = {
 #: The default kernel (``ClusteringConfig.kernel``'s default).
 DEFAULT_KERNEL = "vectorized"
 
+#: Supervisor fallback chain: each kernel's next-simpler substitute.  The
+#: reference oracle has nothing below it (absent key = bottom rung).
+KERNEL_FALLBACKS = {
+    "vectorized": "reference",
+}
+
+
+def fallback_kernel(name: str):
+    """The next-simpler kernel to fall back to, or ``None`` at the bottom."""
+    return KERNEL_FALLBACKS.get(name)
+
 
 def get_kernel(name: str) -> MoveKernel:
     """Resolve a kernel by config name; raises ``ConfigError`` if unknown."""
@@ -39,8 +50,10 @@ __all__ = [
     "DEFAULT_KERNEL",
     "GAIN_EPS",
     "KERNELS",
+    "KERNEL_FALLBACKS",
     "MoveKernel",
     "ReferenceKernel",
     "VectorizedKernel",
+    "fallback_kernel",
     "get_kernel",
 ]

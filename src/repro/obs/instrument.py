@@ -70,6 +70,16 @@ M_KERNEL_SEGMENTS = "repro_kernel_segments"
 M_KERNEL_FALLBACK = "repro_kernel_fallbacks_total"
 #: Positions consumed per speculative sweep block (histogram).
 M_KERNEL_BLOCK = "repro_kernel_sweep_block"
+#: Supervised attempts started, labeled by ladder rung (counter).
+M_SUPERVISOR_ATTEMPTS = "repro_supervisor_attempts_total"
+#: Supervisor retries of a failed attempt, labeled by reason (counter).
+M_SUPERVISOR_RETRIES = "repro_supervisor_retries_total"
+#: Ladder descents to a lower rung, labeled by target rung (counter).
+M_SUPERVISOR_FALLBACKS = "repro_supervisor_fallbacks_total"
+#: Watchdog deadline fires, labeled by scope: run/level (counter).
+M_SUPERVISOR_WATCHDOG = "repro_supervisor_watchdog_fires_total"
+#: Backoff delay before each supervisor retry, in seconds (histogram).
+M_SUPERVISOR_BACKOFF = "repro_supervisor_backoff_seconds"
 
 _HELP = {
     M_MOVES: "Vertex moves applied by BEST-MOVES engines",
@@ -93,6 +103,11 @@ _HELP = {
     M_KERNEL_SEGMENTS: "Distinct (vertex, cluster) segments per reduceat pass",
     M_KERNEL_FALLBACK: "Vectorized-kernel fallbacks to the dict oracle",
     M_KERNEL_BLOCK: "Positions consumed per speculative sweep block",
+    M_SUPERVISOR_ATTEMPTS: "Supervised attempts started, by ladder rung",
+    M_SUPERVISOR_RETRIES: "Supervisor retries of a failed attempt, by reason",
+    M_SUPERVISOR_FALLBACKS: "Ladder descents to a lower rung",
+    M_SUPERVISOR_WATCHDOG: "Watchdog deadline fires, by scope",
+    M_SUPERVISOR_BACKOFF: "Backoff delay before each supervisor retry",
 }
 
 

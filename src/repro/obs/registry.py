@@ -19,6 +19,7 @@ to append and ``repro obs report`` / ``repro obs diff`` to read back.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import List, Optional
@@ -116,7 +117,17 @@ def make_run_record(
 
 
 def append_run(path, record: dict) -> None:
-    """Validate and append one record to the registry (append-only)."""
+    """Validate and append one record to the registry (append-only).
+
+    The append is crash-safe: the new content is written to a temp file
+    in the same directory, fsynced, and renamed over the registry, so a
+    run killed mid-append can never leave a torn JSON line that poisons
+    ``repro obs report``/``diff``.  A torn tail left by some *earlier*
+    non-atomic writer (no trailing newline — the newline is the commit
+    marker) is dropped rather than propagated.  Registries are small
+    (one line per registered run), so the rewrite-on-append cost is noise
+    next to the clustering run being registered.
+    """
     problems = validate_run_record(record)
     if problems:
         raise RunRegistryError(
@@ -124,8 +135,31 @@ def append_run(path, record: dict) -> None:
         )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "a") as handle:
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    line = (json.dumps(record, sort_keys=True) + "\n").encode()
+    try:
+        existing = path.read_bytes()
+    except FileNotFoundError:
+        existing = b""
+    if existing and not existing.endswith(b"\n"):
+        existing = existing[: existing.rfind(b"\n") + 1]
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(existing + line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    try:
+        # Persist the rename itself, not just the file contents.
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - directory fsync is best-effort
+        pass
 
 
 def load_runs(path) -> List[dict]:

@@ -17,6 +17,10 @@ checkpoint cannot silently resume under a different configuration.
 from __future__ import annotations
 
 import json
+import os
+import struct
+import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
@@ -110,8 +114,29 @@ def _stats_from_json(payload: list) -> MultiLevelStats:
     return stats
 
 
+#: Everything a truncated/corrupt ``.npz`` can raise out of ``np.load``
+#: or a lazy member extraction — normalized to :class:`CheckpointError`
+#: so callers (and the supervisor's fall-back-to-previous-checkpoint
+#: path) never have to know zipfile/zlib/numpy internals.
+_CORRUPT_NPZ_ERRORS = (
+    OSError,
+    ValueError,
+    KeyError,
+    EOFError,
+    struct.error,
+    zipfile.BadZipFile,
+    zlib.error,
+)
+
+
 def save_checkpoint(path: PathLike, ckpt: MultilevelCheckpoint) -> None:
-    """Write ``ckpt`` to ``path`` as one compressed ``.npz`` file."""
+    """Write ``ckpt`` to ``path`` as one compressed ``.npz`` file.
+
+    The write is atomic (temp file in the same directory, fsync, then
+    rename), so a run killed mid-checkpoint can never leave a torn file
+    where the previous good checkpoint used to be.  The file lands at
+    exactly ``path`` (no implicit ``.npz`` suffixing).
+    """
     meta = {
         "version": CHECKPOINT_VERSION,
         "level": ckpt.level,
@@ -128,7 +153,16 @@ def save_checkpoint(path: PathLike, ckpt: MultilevelCheckpoint) -> None:
     for idx, (graph, v2s) in enumerate(ckpt.retained):
         _pack_graph(arrays, f"r{idx}", graph)
         arrays[f"r{idx}_v2s"] = np.asarray(v2s, dtype=np.int64)
-    np.savez_compressed(path, **arrays)
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def load_checkpoint(
@@ -139,11 +173,15 @@ def load_checkpoint(
     """Load a checkpoint, validating format and (optionally) the config.
 
     Raises :class:`~repro.errors.CheckpointError` on a missing/corrupt
-    file, an unknown version, or a config/graph mismatch.
+    file, an unknown version, or a config/graph mismatch.  "Corrupt"
+    includes a truncated zip (killed mid-write by a pre-atomic writer) and
+    torn compressed members — the underlying ``zipfile``/``zlib``/numpy
+    exceptions are never allowed to leak, so the supervisor can uniformly
+    fall back to the previous checkpoint on any :class:`CheckpointError`.
     """
     try:
         data = np.load(path)
-    except (OSError, ValueError) as exc:
+    except _CORRUPT_NPZ_ERRORS as exc:
         raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
     try:
         if "meta" not in data:
@@ -190,6 +228,14 @@ def load_checkpoint(
             total_moves=int(meta.get("total_moves", 0)),
             total_rounds=int(meta.get("total_rounds", 0)),
         )
+    except CheckpointError:
+        raise
+    except _CORRUPT_NPZ_ERRORS as exc:
+        # npz members decompress lazily: torn compressed data can surface
+        # on extraction even when the archive directory parsed fine.
+        raise CheckpointError(
+            f"{path}: corrupt checkpoint payload: {exc}"
+        ) from exc
     finally:
         data.close()
 

@@ -14,17 +14,23 @@ checkpoints.  One context serves one run.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
 from repro.core.state import ClusterState
-from repro.obs.instrument import M_RESILIENCE_EVENTS, instr_of
+from repro.obs.instrument import (
+    M_RESILIENCE_EVENTS,
+    M_SUPERVISOR_WATCHDOG,
+    instr_of,
+)
 from repro.errors import (
     BudgetExhausted,
     InvariantViolation,
     TransientFault,
+    WatchdogTimeout,
 )
 from repro.resilience.audit import DEFAULT_TOLERANCE, StateAuditor
 from repro.resilience.checkpoint import (
@@ -40,11 +46,18 @@ from repro.resilience.guards import (
     BudgetGuard,
     RunBudget,
     backoff_seconds,
+    is_watchdog_reason,
 )
 
 #: Simulated core frequency (mirrors the scheduler's constant) used to
 #: charge backoff delays to the ledger as serialized operations.
 _OPS_PER_SECOND = 2.0e9
+
+#: Assumed cost of a checkpoint write before the first one is measured.
+#: Under a nonzero ``checkpoint_budget_fraction`` this floor is what makes
+#: short runs write nothing: the first write only becomes eligible once
+#: ``floor / fraction`` seconds of run wall have passed.
+_CHECKPOINT_COST_FLOOR = 0.005
 
 
 @dataclass
@@ -69,6 +82,13 @@ class ResiliencePolicy:
     checkpoint_every: int = 1
     #: Resume from this checkpoint file instead of starting fresh.
     resume_from: Optional[str] = None
+    #: Cap checkpoint I/O at this fraction of run wall time (0 = write at
+    #: every eligible level boundary).  With fraction ``f``, a write is
+    #: skipped until ``f *`` (wall since the last write) covers the last
+    #: write's measured cost — so short runs write nothing and long runs
+    #: spend at most ~``f`` of their wall on checkpointing.  The
+    #: supervisor uses this to keep its no-fault overhead under budget.
+    checkpoint_budget_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -76,6 +96,11 @@ class ResiliencePolicy:
         if self.checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if not 0.0 <= self.checkpoint_budget_fraction < 1.0:
+            raise ValueError(
+                "checkpoint_budget_fraction must be in [0, 1), got "
+                f"{self.checkpoint_budget_fraction}"
             )
 
 
@@ -99,14 +124,19 @@ class ResilienceContext:
         )
         self._tag: Optional[str] = None
         self._num_vertices = 0
+        # Checkpoint-throttle state (checkpoint_budget_fraction > 0).
+        self._ckpt_epoch = time.perf_counter()
+        self._last_ckpt_time: Optional[float] = None
+        self._last_ckpt_cost = _CHECKPOINT_COST_FLOOR
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def bind(self, graph, resolution: float, config) -> None:
         """Associate the context with the run it will guard."""
-        self._tag = f"{config.describe()}|lambda={resolution:.12g}"
+        self._tag = config.config_tag(resolution)
         self._num_vertices = graph.num_vertices
+        self._ckpt_epoch = time.perf_counter()
 
     def note(self, message: str, kind: str = "note") -> None:
         self.failure_log.append(message)
@@ -148,6 +178,10 @@ class ResilienceContext:
         graceful degradation, corrupted aggregates are resynced.
         """
         stats = None
+        if self.guard is not None:
+            # Arm the per-level watchdog: max_level_wall_seconds measures
+            # this one invocation, not the run.
+            self.guard.start_invocation()
         for attempt in range(self.policy.max_retries + 1):
             if self.policy.faults is not None:
                 # Deferred frontier vertices are ids on *this* level's
@@ -221,12 +255,22 @@ class ResilienceContext:
         reason = self.guard.exceeded(total_moves, total_rounds)
         if reason is None:
             return False
+        watchdog = is_watchdog_reason(reason)
         if self.policy.strict:
+            if watchdog:
+                raise WatchdogTimeout(reason)
             raise BudgetExhausted(reason)
         self.stopped = True
-        self.degrade(
-            f"{reason}; returning best-so-far clustering", kind="budget-stop"
-        )
+        if watchdog:
+            self.instr.count(M_SUPERVISOR_WATCHDOG, 1.0, scope="level")
+            self.degrade(
+                f"{reason}; returning best-so-far clustering",
+                kind="watchdog-stop",
+            )
+        else:
+            self.degrade(
+                f"{reason}; returning best-so-far clustering", kind="budget-stop"
+            )
         return True
 
     # ------------------------------------------------------------------
@@ -254,6 +298,16 @@ class ResilienceContext:
             return
         if level % self.policy.checkpoint_every != 0:
             return
+        fraction = self.policy.checkpoint_budget_fraction
+        if fraction > 0.0:
+            since = time.perf_counter() - (
+                self._last_ckpt_time
+                if self._last_ckpt_time is not None
+                else self._ckpt_epoch
+            )
+            if since * fraction < self._last_ckpt_cost:
+                return
+        started = time.perf_counter()
         self.instr.event(
             "resilience",
             kind="checkpoint",
@@ -273,3 +327,5 @@ class ResilienceContext:
                 num_vertices=self._num_vertices,
             ),
         )
+        self._last_ckpt_time = time.perf_counter()
+        self._last_ckpt_cost = self._last_ckpt_time - started

@@ -24,29 +24,73 @@ from repro.errors import ConfigError
 DEFAULT_BACKOFF_BASE = 1e-4
 
 
+_BUDGET_FIELDS = (
+    "max_sim_seconds",
+    "max_wall_seconds",
+    "max_moves",
+    "max_rounds",
+    "max_level_wall_seconds",
+)
+
+
 @dataclass(frozen=True)
 class RunBudget:
-    """Resource caps for one clustering run (``None`` = unlimited)."""
+    """Resource caps for one clustering run (``None`` = unlimited).
+
+    ``max_level_wall_seconds`` is the supervisor watchdog's per-level
+    deadline: wall seconds one engine invocation (a level's best-moves or
+    refine pass) may take before the guard reports a watchdog reason
+    (``watchdog:`` prefix, raised as
+    :class:`~repro.errors.WatchdogTimeout` under strict policy).  Being a
+    cooperative guard it fires at the next consultation point, not
+    mid-invocation.
+    """
 
     max_sim_seconds: Optional[float] = None
     max_wall_seconds: Optional[float] = None
     max_moves: Optional[int] = None
     max_rounds: Optional[int] = None
+    max_level_wall_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
-        for name in ("max_sim_seconds", "max_wall_seconds", "max_moves", "max_rounds"):
+        for name in _BUDGET_FIELDS:
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise ConfigError(f"{name} must be positive, got {value}")
 
     @property
     def unlimited(self) -> bool:
-        return (
-            self.max_sim_seconds is None
-            and self.max_wall_seconds is None
-            and self.max_moves is None
-            and self.max_rounds is None
-        )
+        return all(getattr(self, name) is None for name in _BUDGET_FIELDS)
+
+
+def merge_budgets(
+    a: Optional[RunBudget], b: Optional[RunBudget]
+) -> Optional[RunBudget]:
+    """The tightest combination of two budgets (min of each cap).
+
+    Used by the supervisor to overlay watchdog deadlines on whatever
+    budget the caller already configured.  ``None`` inputs pass the other
+    through.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+
+    def tightest(name: str):
+        x, y = getattr(a, name), getattr(b, name)
+        if x is None:
+            return y
+        if y is None:
+            return x
+        return min(x, y)
+
+    return RunBudget(**{name: tightest(name) for name in _BUDGET_FIELDS})
+
+
+def is_watchdog_reason(reason: str) -> bool:
+    """Whether a guard message reports a watchdog deadline (vs a budget)."""
+    return reason.startswith("watchdog:")
 
 
 class BudgetGuard:
@@ -56,6 +100,16 @@ class BudgetGuard:
         self.budget = budget
         self.sched = sched
         self._start_wall = time.perf_counter()
+        self._invocation_started: Optional[float] = None
+
+    def start_invocation(self) -> None:
+        """Mark the start of one engine invocation (per-level watchdog).
+
+        Called by :meth:`~repro.resilience.context.ResilienceContext.
+        run_engine` so ``max_level_wall_seconds`` measures a single level's
+        best-moves/refine pass, not the whole run.
+        """
+        self._invocation_started = time.perf_counter()
 
     def exceeded(self, moves: int, rounds: int) -> Optional[str]:
         """The first exhausted limit as a message, or ``None``.
@@ -81,6 +135,16 @@ class BudgetGuard:
                 return (
                     f"wall-clock budget exhausted "
                     f"({wall:.3f}s >= {budget.max_wall_seconds:g}s)"
+                )
+        if (
+            budget.max_level_wall_seconds is not None
+            and self._invocation_started is not None
+        ):
+            level_wall = time.perf_counter() - self._invocation_started
+            if level_wall >= budget.max_level_wall_seconds:
+                return (
+                    f"watchdog: level wall deadline exceeded "
+                    f"({level_wall:.3f}s >= {budget.max_level_wall_seconds:g}s)"
                 )
         return None
 

@@ -1,0 +1,38 @@
+"""Self-healing supervised execution for clustering runs (DESIGN.md §10).
+
+The :class:`RunSupervisor` wraps :func:`repro.core.api.cluster` in a
+retry/fallback state machine::
+
+    RUNNING --fault--> FAULTED --attempts left--> RETRYING --> RUNNING
+       |                  |
+       |                  +--rung exhausted--> FALLBACK --> RUNNING
+       |                  +--everything exhausted--> DEGRADED (salvage)
+       +--success--> DONE
+
+Retries resume from the last good checkpoint (never a cold restart when a
+checkpoint exists), the :class:`Watchdog` enforces per-level and whole-run
+wall-clock deadlines through the existing
+:class:`~repro.resilience.guards.RunBudget` hooks, and the
+:class:`FallbackLadder` degrades the executor deterministically
+(vectorized -> reference kernel, parallel engine -> sequential sweeps,
+strict audit -> graceful resync).  Every decision lands in
+``ClusterResult.failure_log`` and as ``repro_supervisor_*`` metrics/trace
+events riding ``sched.instr``.
+"""
+
+from repro.supervisor.policy import FallbackLadder, RetryPolicy, Rung, Watchdog
+from repro.supervisor.supervisor import (
+    CheckpointRotation,
+    RunSupervisor,
+    supervise,
+)
+
+__all__ = [
+    "CheckpointRotation",
+    "FallbackLadder",
+    "RetryPolicy",
+    "Rung",
+    "RunSupervisor",
+    "Watchdog",
+    "supervise",
+]

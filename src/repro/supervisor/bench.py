@@ -1,0 +1,78 @@
+"""Supervisor overhead suite: supervision must be ~free when nothing fails.
+
+ISSUE 6's contract: a :class:`~repro.supervisor.RunSupervisor` wrapped
+around a fault-free run costs <3% wall clock over the same run
+unsupervised.  Two mechanisms make that hold:
+
+* checkpoint writes are throttled by ``checkpoint_budget_fraction`` (the
+  supervisor defaults it to 2% of run wall), so short runs skip
+  checkpointing entirely and long runs amortize it;
+* everything else on the no-fault path is bookkeeping — one tempdir, one
+  span, one strict :class:`~repro.resilience.context.ResiliencePolicy`.
+
+Supervision must also never change the answer when nothing fails: the
+clustering, objective, and simulated parallel cost are asserted
+bit-identical against the unsupervised run.
+"""
+
+from __future__ import annotations
+
+from repro.obs.bench import BASELINE_RESOLUTION, BenchSuite, time_callable
+
+#: Design target for no-fault supervised overhead (ISSUE 6 acceptance).
+SUPERVISED_TARGET = 0.03
+
+
+def overhead_suite(repeats: int = 5) -> BenchSuite:
+    """Supervised-vs-bare wall clock on a planted-partition workload."""
+    import numpy as np
+
+    from repro.core.api import cluster
+    from repro.core.config import ClusteringConfig
+    from repro.generators.planted import planted_partition_graph
+    from repro.supervisor import RunSupervisor
+
+    graph = planted_partition_graph(
+        num_vertices=2000, intra_degree=8.0, inter_degree=1.0, seed=0
+    ).graph
+    config = ClusteringConfig(resolution=BASELINE_RESOLUTION, seed=7)
+
+    base_result, base_timing = time_callable(
+        lambda: cluster(graph, config), repeats=repeats, warmup=1
+    )
+    supervised_result, supervised_timing = time_callable(
+        lambda: cluster(graph, config, supervisor=RunSupervisor()),
+        repeats=repeats,
+        warmup=1,
+    )
+    meta = supervised_result.extras.get("supervisor", {})
+
+    suite = BenchSuite(
+        "supervisor-overhead",
+        meta={
+            "workload": "planted(n=2000, intra=8, inter=1, seed=0)",
+            "resolution": BASELINE_RESOLUTION,
+            "repeats": repeats,
+        },
+    )
+    suite.add_row(
+        "baseline",
+        metrics={"sim_time_seconds": base_result.sim_time()},
+        wall_seconds=base_timing.best,
+    )
+    suite.add_row(
+        "supervised",
+        metrics={"slowdown": supervised_timing.best / base_timing.best},
+        wall_seconds=supervised_timing.best,
+        identical=bool(
+            np.array_equal(
+                supervised_result.assignments, base_result.assignments
+            )
+            and supervised_result.objective == base_result.objective
+        ),
+        sim_identical=supervised_result.sim_time() == base_result.sim_time(),
+        attempts=int(meta.get("attempts", 0)),
+        rung=str(meta.get("rung", "")),
+        degraded=bool(supervised_result.degraded),
+    )
+    return suite

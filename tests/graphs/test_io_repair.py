@@ -1,0 +1,92 @@
+"""Edge-list repair mode: tolerate crawl junk, count what was fixed."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import cluster
+from repro.core.config import ClusteringConfig
+from repro.errors import GraphFormatError
+from repro.graphs.io import read_edge_list
+
+
+def _write(tmp_path, text):
+    path = tmp_path / "graph.txt"
+    path.write_text(text)
+    return path
+
+
+class TestRepairMode:
+    def test_self_loops_dropped_and_counted(self, tmp_path):
+        path = _write(tmp_path, "0 1\n1 1\n1 2\n2 2\n")
+        graph = read_edge_list(path, on_malformed="repair")
+        assert graph.num_edges == 2
+        assert float(graph.self_loops.sum()) == 0.0
+        assert graph.repairs == {
+            "self_loops_dropped": 2,
+            "duplicate_edges_merged": 0,
+        }
+
+    def test_strict_routes_self_loops_to_loop_channel(self, tmp_path):
+        path = _write(tmp_path, "0 1\n1 1\n")
+        graph = read_edge_list(path)
+        assert graph.repairs is None
+        assert float(graph.self_loops.sum()) > 0.0
+
+    def test_duplicates_merged_and_counted_both_orientations(self, tmp_path):
+        path = _write(tmp_path, "0 1\n1 0\n0 1\n1 2\n")
+        graph = read_edge_list(path, on_malformed="repair")
+        assert graph.num_edges == 2
+        assert graph.repairs["duplicate_edges_merged"] == 2
+        # Merging sums the duplicate weights.
+        u, v, w = graph.edge_list()
+        weights = {(int(a), int(b)): float(x) for a, b, x in zip(u, v, w)}
+        assert weights[(0, 1)] == pytest.approx(3.0)
+        assert weights[(1, 2)] == pytest.approx(1.0)
+
+    def test_clean_file_reports_zero_repairs(self, tmp_path):
+        path = _write(tmp_path, "0 1\n1 2\n")
+        graph = read_edge_list(path, on_malformed="repair")
+        assert graph.repairs == {
+            "self_loops_dropped": 0,
+            "duplicate_edges_merged": 0,
+        }
+
+    def test_structural_junk_still_raises_in_repair_mode(self, tmp_path):
+        for body in ("0 nope\n", "-1 2\n", "0 1 nan\n", "0 1 inf\n", "0\n"):
+            path = _write(tmp_path, body)
+            with pytest.raises(GraphFormatError):
+                read_edge_list(path, on_malformed="repair")
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = _write(tmp_path, "0 1\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path, on_malformed="lenient")
+
+    def test_repaired_and_clean_reads_agree(self, tmp_path):
+        dirty = _write(tmp_path, "0 1\n1 0\n1 1\n1 2\n")
+        clean_path = tmp_path / "clean.txt"
+        clean_path.write_text("0 1 2\n1 2\n")
+        repaired = read_edge_list(dirty, on_malformed="repair")
+        clean = read_edge_list(clean_path)
+        assert np.array_equal(repaired.offsets, clean.offsets)
+        assert np.array_equal(repaired.neighbors, clean.neighbors)
+        assert np.array_equal(repaired.weights, clean.weights)
+
+
+class TestRepairSurfacing:
+    def test_counts_flow_into_cluster_stats(self, tmp_path):
+        path = _write(
+            tmp_path,
+            "\n".join(f"{i} {(i + 1) % 8}" for i in range(8)) + "\n3 3\n0 1\n",
+        )
+        graph = read_edge_list(path, on_malformed="repair")
+        result = cluster(graph, ClusteringConfig(seed=1))
+        stats = result.stats_dict()
+        assert stats["input_repairs"] == {
+            "self_loops_dropped": 1,
+            "duplicate_edges_merged": 1,
+        }
+
+    def test_clean_graph_has_no_input_repairs_key(self, karate):
+        result = cluster(karate, ClusteringConfig(seed=1))
+        assert "input_repairs" not in result.stats_dict()

@@ -131,3 +131,41 @@ def test_registry_record_is_json_line(result, tmp_path):
     append_run(path, make_run_record(result, run_id="x", graph="karate"))
     (line,) = path.read_text().splitlines()
     assert json.loads(line)["run_id"] == "x"
+
+
+class TestCrashSafeAppend:
+    def test_append_drops_torn_tail_from_earlier_crash(self, result, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        good = make_run_record(result, run_id="good", graph="karate", timestamp=1.0)
+        append_run(path, good)
+        # Simulate an earlier non-atomic writer dying mid-line: no newline.
+        with open(path, "a") as handle:
+            handle.write('{"schema": "repro.obs.runs/v1", "run_id": "to')
+        fresh = make_run_record(result, run_id="fresh", graph="karate", timestamp=2.0)
+        append_run(path, fresh)
+        records = load_runs(path)
+        assert [r["run_id"] for r in records] == ["good", "fresh"]
+
+    def test_append_leaves_no_temp_file(self, result, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        append_run(path, make_run_record(result, run_id="a", graph="karate"))
+        append_run(path, make_run_record(result, run_id="b", graph="karate"))
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["runs.jsonl"]
+
+    def test_registry_always_ends_with_newline(self, result, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        append_run(path, make_run_record(result, run_id="a", graph="karate"))
+        assert path.read_bytes().endswith(b"\n")
+
+    def test_append_creates_parent_directories(self, result, tmp_path):
+        path = tmp_path / "nested" / "deeper" / "runs.jsonl"
+        append_run(path, make_run_record(result, run_id="a", graph="karate"))
+        assert len(load_runs(path)) == 1
+
+    def test_rejected_record_leaves_registry_untouched(self, result, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        append_run(path, make_run_record(result, run_id="a", graph="karate"))
+        before = path.read_bytes()
+        with pytest.raises(RunRegistryError):
+            append_run(path, {"schema": "wrong"})
+        assert path.read_bytes() == before

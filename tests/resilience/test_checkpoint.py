@@ -136,3 +136,66 @@ class TestLoadValidation:
         rng = np.random.Generator(np.random.MT19937(0))
         with pytest.raises(CheckpointError, match="MT19937"):
             restore_rng(rng, loaded.rng_state)
+
+
+class TestCorruptFiles:
+    """Torn/garbage checkpoint bytes must surface as CheckpointError only."""
+
+    def test_truncated_zip_raises_checkpoint_error(self, ckpt, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, ckpt)
+        blob = path.read_bytes()
+        for cut in (len(blob) // 3, len(blob) // 2, len(blob) - 8):
+            path.write_bytes(blob[:cut])
+            with pytest.raises(CheckpointError):
+                load_checkpoint(path)
+
+    def test_garbage_bytes_raise_checkpoint_error(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        path.write_bytes(b"\x00" * 512)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_empty_file_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "ck.npz"
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_corrupted_member_bytes_raise_checkpoint_error(self, ckpt, tmp_path):
+        # Flip bytes in the middle of the archive: the zip directory may
+        # still parse, but extracting a member hits torn compressed data.
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, ckpt)
+        blob = bytearray(path.read_bytes())
+        mid = len(blob) // 2
+        for i in range(mid, min(mid + 64, len(blob))):
+            blob[i] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+
+class TestAtomicSave:
+    def test_no_temp_file_left_behind(self, ckpt, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, ckpt)
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.npz"]
+
+    def test_failed_save_preserves_previous_checkpoint(self, ckpt, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, ckpt)
+        good = path.read_bytes()
+        broken = MultilevelCheckpoint(
+            level=ckpt.level,
+            current=object(),  # not a graph: save blows up mid-pack
+            retained=[],
+            rng_state=None,
+            stats=ckpt.stats,
+            config_tag=ckpt.config_tag,
+            num_vertices=ckpt.num_vertices,
+        )
+        with pytest.raises(Exception):
+            save_checkpoint(path, broken)
+        assert path.read_bytes() == good
+        assert [p.name for p in tmp_path.iterdir()] == ["ck.npz"]

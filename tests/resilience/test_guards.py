@@ -8,7 +8,12 @@ from repro.core.config import ClusteringConfig
 from repro.errors import BudgetExhausted, ConfigError, TransientFault
 from repro.parallel.scheduler import SimulatedScheduler
 from repro.resilience import FaultPlan, ResiliencePolicy, RunBudget
-from repro.resilience.guards import BudgetGuard, backoff_seconds
+from repro.resilience.guards import (
+    BudgetGuard,
+    backoff_seconds,
+    is_watchdog_reason,
+    merge_budgets,
+)
 
 
 class TestRunBudget:
@@ -119,3 +124,53 @@ class TestTransientRetries:
         )
         # Bounded injections: retries absorb them and the run completes.
         assert result.assignments.size == karate.num_vertices
+
+
+class TestWatchdogBudgetFields:
+    def test_level_wall_deadline_needs_an_armed_invocation(self):
+        guard = BudgetGuard(RunBudget(max_level_wall_seconds=1e-9))
+        # Never armed: the per-level deadline cannot fire.
+        assert guard.exceeded(moves=0, rounds=0) is None
+        guard.start_invocation()
+        reason = guard.exceeded(moves=0, rounds=0)
+        assert reason is not None
+        assert is_watchdog_reason(reason)
+
+    def test_rearming_resets_the_level_clock(self):
+        guard = BudgetGuard(RunBudget(max_level_wall_seconds=30.0))
+        guard.start_invocation()
+        assert guard.exceeded(moves=0, rounds=0) is None
+        guard.start_invocation()
+        assert guard.exceeded(moves=0, rounds=0) is None
+
+    def test_is_watchdog_reason_distinguishes_budget_messages(self):
+        assert is_watchdog_reason("watchdog: level wall deadline exceeded")
+        assert not is_watchdog_reason("round budget exhausted (3 >= 3)")
+        assert not is_watchdog_reason("")
+
+    def test_level_wall_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            RunBudget(max_level_wall_seconds=0.0)
+
+
+class TestMergeBudgets:
+    def test_none_passes_through(self):
+        budget = RunBudget(max_rounds=2)
+        assert merge_budgets(None, None) is None
+        assert merge_budgets(budget, None) is budget
+        assert merge_budgets(None, budget) is budget
+
+    def test_takes_the_tightest_of_each_cap(self):
+        merged = merge_budgets(
+            RunBudget(max_rounds=5, max_wall_seconds=10.0),
+            RunBudget(max_rounds=3, max_moves=100),
+        )
+        assert merged.max_rounds == 3
+        assert merged.max_wall_seconds == 10.0
+        assert merged.max_moves == 100
+        assert merged.max_sim_seconds is None
+
+    def test_merge_is_commutative(self):
+        a = RunBudget(max_moves=7, max_level_wall_seconds=1.0)
+        b = RunBudget(max_moves=9, max_rounds=4)
+        assert merge_budgets(a, b) == merge_budgets(b, a)

@@ -1,0 +1,82 @@
+"""The two-slot checkpoint rotation: recency, promotion, corrupt-drop."""
+
+import pytest
+
+from repro.supervisor import CheckpointRotation
+
+pytestmark = pytest.mark.supervisor
+
+
+def _write(path, payload=b"x"):
+    path.write_bytes(payload)
+
+
+class TestCheckpointRotation:
+    def test_slots_alternate(self, tmp_path):
+        rotation = CheckpointRotation(tmp_path)
+        first = rotation.begin_attempt()
+        rotation.end_attempt()
+        second = rotation.begin_attempt()
+        rotation.end_attempt()
+        third = rotation.begin_attempt()
+        assert first != second
+        assert third == first
+
+    def test_attempt_that_wrote_nothing_is_not_promoted(self, tmp_path):
+        rotation = CheckpointRotation(tmp_path)
+        rotation.begin_attempt()
+        assert rotation.end_attempt() is False
+        assert rotation.latest() is None
+
+    def test_attempt_that_wrote_becomes_latest(self, tmp_path):
+        rotation = CheckpointRotation(tmp_path)
+        slot = rotation.begin_attempt()
+        _write(slot)
+        assert rotation.end_attempt() is True
+        assert rotation.latest() == slot
+
+    def test_drop_latest_exposes_previous_good_checkpoint(self, tmp_path):
+        rotation = CheckpointRotation(tmp_path)
+        first = rotation.begin_attempt()
+        _write(first, b"good")
+        rotation.end_attempt()
+        second = rotation.begin_attempt()
+        _write(second, b"torn")
+        rotation.end_attempt()
+        assert rotation.latest() == second
+        assert rotation.drop_latest() == second
+        assert rotation.latest() == first
+        assert rotation.drop_latest() == first
+        assert rotation.latest() is None
+        assert rotation.drop_latest() is None
+
+    def test_pre_existing_slot_file_does_not_count_as_new(self, tmp_path):
+        # A stale file from a previous run must not be promoted unless this
+        # attempt actually rewrote it.
+        rotation = CheckpointRotation(tmp_path)
+        slot = rotation.begin_attempt()
+        rotation.end_attempt()
+        _write(slot, b"old")
+        rotation.begin_attempt()  # other slot
+        rotation.end_attempt()
+        reused = rotation.begin_attempt()
+        assert reused == slot
+        assert rotation.end_attempt() is False
+        assert rotation.latest() is None
+
+    def test_rewrite_promotes_to_newest(self, tmp_path):
+        rotation = CheckpointRotation(tmp_path)
+        first = rotation.begin_attempt()
+        _write(first, b"a")
+        rotation.end_attempt()
+        second = rotation.begin_attempt()
+        _write(second, b"b")
+        rotation.end_attempt()
+        third = rotation.begin_attempt()
+        assert third == first
+        _write(third, b"c")
+        rotation.end_attempt()
+        # first slot was rewritten: it is now the newest, second the backup.
+        assert rotation.latest() == first
+        rotation.drop_latest()
+        assert rotation.latest() == second
