@@ -1,8 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast smoke-obs baselines compare-baselines bench \
-	bench-snapshot bench-kernels compare-kernels chaos bench-supervisor ci
+.PHONY: test test-fast test-dynamic smoke-obs baselines compare-baselines \
+	bench bench-snapshot bench-kernels compare-kernels chaos \
+	bench-supervisor bench-dynamic ci
 
 ## Full test suite (tier 1).
 test:
@@ -11,6 +12,10 @@ test:
 ## Everything except the slow fault matrix.
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not faults"
+
+## Dynamic-clustering subsystem: incremental updates, snapshots, serving.
+test-dynamic:
+	$(PYTHON) -m pytest -x -q -m dynamic
 
 ## Observability smoke: one traced clustering, schema-validated trace,
 ## parse-back metrics (the `obs` marker), then the CLI gate on a fresh run.
@@ -72,10 +77,16 @@ chaos:
 bench-supervisor:
 	$(PYTHON) -m pytest -x -q benchmarks/bench_supervisor.py
 
+## Dynamic updates vs full recompute (>=5x fewer candidate evaluations at
+## an equal objective); the same suite behind the committed BENCH_PR7.json
+## (refresh with `python -m repro.dynamic.bench --out .`).
+bench-dynamic:
+	$(PYTHON) -m pytest -x -q benchmarks/bench_dynamic.py
+
 ## The full gate a PR must pass: tier-1 tests, the observability smoke,
 ## the committed-baseline regression compare (including the kernel
 ## snapshot), the supervised chaos matrix, and the <3% overhead benches
 ## (disabled instrumentation, no-fault supervision).
-ci: test smoke-obs compare-baselines compare-kernels chaos
+ci: test smoke-obs compare-baselines compare-kernels chaos bench-dynamic
 	$(PYTHON) -m pytest -x -q benchmarks/bench_obs_overhead.py \
 	    benchmarks/bench_supervisor.py

@@ -40,9 +40,11 @@ from repro.generators.snap_like import SNAP_SURROGATES, load_snap_surrogate, sur
 from repro.graphs.io import (
     read_communities,
     read_edge_list,
+    read_labels,
     read_metis,
     write_communities,
     write_edge_list,
+    write_labels,
 )
 from repro.graphs.karate import karate_club_graph
 
@@ -291,6 +293,9 @@ def _cmd_cluster(args) -> int:
     if args.output:
         _write_labels(result.assignments, args.output)
         print(f"labels written to {args.output}")
+    if args.output_labels:
+        write_labels(result.assignments, args.output_labels)
+        print(f"vertex/cluster labels written to {args.output_labels}")
     if instr is not None:
         if args.trace:
             instr.write_trace(args.trace)
@@ -313,6 +318,191 @@ def _cmd_cluster(args) -> int:
         )
         append_run(args.register, record)
         print(f"registered {run_id} in {args.register}")
+    return 0
+
+
+def _dynamic_config(args) -> ClusteringConfig:
+    """The correlation-only config shared by ``update`` and ``serve-sim``.
+
+    Must be flag-compatible with the ``cluster`` subcommand so a snapshot
+    written after ``repro cluster --output-labels`` + ``repro update``
+    restores under the same ``config_tag``.
+    """
+    return ClusteringConfig(
+        objective=Objective.CORRELATION,
+        resolution=args.resolution,
+        parallel=not args.sequential,
+        mode=Mode(args.mode),
+        frontier=Frontier(args.frontier),
+        refine=not args.no_refine,
+        num_iter=None if args.converge else args.num_iter,
+        num_workers=args.workers,
+        kernel=args.kernel,
+        seed=args.seed,
+    )
+
+
+def _dynamic_guard(args):
+    from repro.dynamic import DriftGuard
+
+    return DriftGuard(
+        max_drift=args.guard_drift,
+        recompute_every=args.guard_every,
+        max_frontier_fraction=args.guard_frontier,
+    )
+
+
+def _load_dynamic(args, config, store):
+    """Build the DynamicClusterer from a snapshot, labels, or bootstrap."""
+    from repro.dynamic import DynamicClusterer, load_snapshot
+
+    guard = _dynamic_guard(args)
+    instr = _instrumentation(args)
+    if args.snapshot:
+        return load_snapshot(
+            args.snapshot, config, engine=args.engine, guard=guard,
+            instrumentation=instr,
+        )
+    has_source = bool(args.input) or bool(args.surrogate) or args.karate
+    if has_source:
+        graph = _load_graph(args)
+        if args.labels:
+            assignments = read_labels(args.labels, num_vertices=graph.num_vertices)
+            return DynamicClusterer(
+                graph, assignments, config, engine=args.engine, guard=guard,
+                instrumentation=instr,
+            )
+        print("bootstrapping: clustering the input graph first", file=sys.stderr)
+        return DynamicClusterer.bootstrap(
+            graph, config, engine=args.engine, guard=guard, instrumentation=instr,
+        )
+    if store is not None and store.latest() is not None:
+        return store.load(
+            config, engine=args.engine, guard=guard, instrumentation=instr,
+        )
+    raise SystemExit(
+        "choose a state source: --snapshot FILE, a graph source "
+        "(--input/--surrogate/--karate, optionally with --labels), or a "
+        "--snapshot-dir holding a previous save"
+    )
+
+
+def _dynamic_graph_name(args) -> str:
+    if args.snapshot:
+        return f"snapshot:{Path(args.snapshot).name}"
+    if args.input or args.surrogate or args.karate:
+        return _graph_name(args)
+    return f"snapshot-dir:{Path(args.snapshot_dir).name}"
+
+
+def _cmd_update(args) -> int:
+    from repro.dynamic import SnapshotStore, batched, read_update_log, save_snapshot
+
+    config = _dynamic_config(args)
+    store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir else None
+    clusterer = _load_dynamic(args, config, store)
+    updates = read_update_log(args.updates)
+    batch_size = args.batch_size if args.batch_size else max(len(updates), 1)
+    start = time.perf_counter()
+    for batch in batched(updates, batch_size):
+        report = clusterer.apply(batch)
+        counts = " ".join(
+            f"{op}={k}" for op, k in report.op_counts.items() if k
+        )
+        line = (
+            f"batch {report.batch_index}: updates={report.num_updates} "
+            f"({counts}) seed={report.seed_size} rounds={report.iterations} "
+            f"moves={report.moves} evals={report.candidate_evaluations} "
+            f"f={report.f_objective:.9g}"
+        )
+        if report.drift is not None:
+            line += f" drift={report.drift:.3g}"
+        if report.escalated:
+            line += f" ESCALATED={report.escalated}"
+        print(line)
+    wall = time.perf_counter() - start
+    stats = clusterer.stats()
+    print(
+        f"final: n={stats['num_vertices']} m={stats['num_edges']} "
+        f"clusters={stats['num_clusters']} f={stats['f_objective']:.9g} "
+        f"batches={stats['batches_applied']} moves={stats['moves_applied']} "
+        f"escalations={stats['escalations']}"
+    )
+    if args.audit:
+        issues = clusterer.audit()
+        if issues:
+            for issue in issues:
+                print(f"  ! audit: {issue}", file=sys.stderr)
+            return 1
+        print("audit: clean")
+    if args.output_labels:
+        write_labels(clusterer.state.assignments, args.output_labels)
+        print(f"vertex/cluster labels written to {args.output_labels}")
+    if store is not None:
+        slot = store.save(clusterer)
+        print(f"snapshot rotated into {slot}")
+    if args.save_snapshot:
+        save_snapshot(args.save_snapshot, clusterer)
+        print(f"snapshot written to {args.save_snapshot}")
+    if clusterer.instr.enabled:
+        if args.trace:
+            clusterer.instr.write_trace(args.trace)
+            print(f"trace written to {args.trace}")
+        if args.metrics:
+            clusterer.instr.write_metrics(args.metrics)
+            print(f"metrics written to {args.metrics}")
+    if args.register:
+        from repro.core.objective import modularity
+        from repro.obs.registry import append_run, make_record
+
+        try:
+            mod = modularity(clusterer.graph, clusterer.state.assignments)
+        except (ValueError, ReproError):
+            mod = 0.0
+        run_id = args.run_id or f"update-{int(time.time())}"
+        record = make_record(
+            run_id,
+            workload={
+                "graph": _dynamic_graph_name(args),
+                "engine": clusterer.engine_name,
+                "objective": "correlation",
+                "resolution": float(clusterer.resolution),
+                "seed": config.seed,
+                "workers": int(config.num_workers),
+                "kernel": config.kernel,
+                "update_batch": {
+                    "batches": stats["batches_applied"],
+                    "updates": stats["updates_applied"],
+                    "batch_size": batch_size,
+                    "escalations": stats["escalations"],
+                },
+            },
+            metrics={
+                "wall_seconds": wall,
+                "sim_time_seconds": stats["sim_seconds"],
+                "f_objective": stats["f_objective"],
+                "modularity": float(mod),
+            },
+            info={
+                "num_clusters": stats["num_clusters"],
+                "moves": stats["moves_applied"],
+            },
+        )
+        append_run(args.register, record)
+        print(f"registered {run_id} in {args.register}")
+    return 0
+
+
+def _cmd_serve_sim(args) -> int:
+    from repro.dynamic import SnapshotStore, run_session
+
+    config = _dynamic_config(args)
+    store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir else None
+    clusterer = _load_dynamic(args, config, store)
+    with open(args.script) as handle:
+        script = handle.readlines()
+    for line in run_session(clusterer, script, store=store):
+        print(line)
     return 0
 
 
@@ -647,6 +837,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "reference is the dict-loop oracle)")
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--output", help="write labels (one per line)")
+    p.add_argument("--output-labels", metavar="PATH",
+                   help="write 'vertex<TAB>cluster' lines (round-trips "
+                        "into 'repro update --labels' without pickles)")
     p.add_argument("--on-malformed", choices=["strict", "repair"],
                    default="strict",
                    help="edge-list inputs: reject defects (strict) or drop "
@@ -820,6 +1013,99 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", metavar="FILE",
                    help="also write the full report as JSON")
     p.set_defaults(func=_cmd_chaos, seed=1)
+
+    def add_dynamic_flags(p):
+        """State source + config flags shared by update/serve-sim."""
+        p.add_argument("--snapshot", metavar="FILE",
+                       help="restore live state from a snapshot .npz")
+        p.add_argument("--snapshot-dir", metavar="DIR",
+                       help="two-slot rotating SnapshotStore directory "
+                            "(state source when no --snapshot/graph given; "
+                            "always a save target)")
+        p.add_argument("--input", help="edge-list file (u v [w] per line)")
+        p.add_argument("--surrogate", choices=sorted(SNAP_SURROGATES),
+                       help="named surrogate graph")
+        p.add_argument("--karate", action="store_true",
+                       help="use the karate club graph")
+        p.add_argument("--labels", metavar="PATH",
+                       help="start from a 'vertex<TAB>cluster' labels file "
+                            "(as written by cluster --output-labels) "
+                            "instead of re-clustering the graph source")
+        p.add_argument("--on-malformed", choices=["strict", "repair"],
+                       default="strict")
+        p.add_argument("--resolution", type=float, default=0.01,
+                       help="lambda (correlation objective only)")
+        p.add_argument("--sequential", action="store_true")
+        p.add_argument("--mode", choices=[m.value for m in Mode],
+                       default="async")
+        p.add_argument("--frontier", choices=[f.value for f in Frontier],
+                       default="vertex-neighbors")
+        p.add_argument("--no-refine", action="store_true")
+        p.add_argument("--num-iter", type=int, default=10)
+        p.add_argument("--converge", action="store_true")
+        p.add_argument("--workers", type=int, default=60)
+        p.add_argument("--kernel", choices=["vectorized", "reference"],
+                       default="vectorized")
+        p.add_argument("--seed", type=int, default=None)
+        p.add_argument("--engine", choices=["relaxed", "prefix", "colored",
+                                            "event", "sequential"],
+                       help="override the refinement engine (snapshots "
+                            "default to the engine they were written with)")
+        g = p.add_argument_group("drift guard")
+        g.add_argument("--guard-every", type=int, default=16, metavar="N",
+                       help="exact objective recompute every N batches "
+                            "(0 disables; default 16)")
+        g.add_argument("--guard-drift", type=float, default=1e-6,
+                       metavar="EPS",
+                       help="relative drift beyond which the guard "
+                            "escalates to full re-clustering (default 1e-6)")
+        g.add_argument("--guard-frontier", type=float, default=0.5,
+                       metavar="FRAC",
+                       help="escalate when one refinement round swept more "
+                            "than this fraction of the graph (default 0.5)")
+
+    p = sub.add_parser(
+        "update",
+        help="replay a JSONL edge-update log against a live clustering "
+             "(localized refinement; see DESIGN.md §11)",
+    )
+    add_dynamic_flags(p)
+    p.add_argument("--updates", required=True, metavar="JSONL",
+                   help="update log: one {\"op\",\"u\",\"v\",\"weight\"} "
+                        "object per line")
+    p.add_argument("--batch-size", type=int, default=None, metavar="N",
+                   help="apply updates in batches of N (default: one batch)")
+    p.add_argument("--audit", action="store_true",
+                   help="StateAuditor pass over the final state "
+                        "(non-zero exit on issues)")
+    p.add_argument("--output-labels", metavar="PATH",
+                   help="write final 'vertex<TAB>cluster' labels")
+    p.add_argument("--save-snapshot", metavar="FILE",
+                   help="write the final state as a snapshot .npz")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write the session's span trace (one 'update' span "
+                        "per batch) as JSONL")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="write repro_dynamic_* metrics; .json/.jsonl gets "
+                        "JSONL, anything else Prometheus text")
+    p.add_argument("--register", metavar="RUNS_JSONL",
+                   help="append this session to the runs registry with "
+                        "workload.update_batch tags")
+    p.add_argument("--run-id", metavar="ID",
+                   help="registry id for --register (default: update-<time>)")
+    p.set_defaults(func=_cmd_update, profile=False, profile_json=None)
+
+    p = sub.add_parser(
+        "serve-sim",
+        help="scripted query/update session against a live clustering "
+             "(get/same/members/stats/insert/delete/reweight/commit/"
+             "save/audit)",
+    )
+    add_dynamic_flags(p)
+    p.add_argument("--script", required=True, metavar="FILE",
+                   help="session script, one command per line")
+    p.set_defaults(func=_cmd_serve_sim, profile=False, profile_json=None,
+                   trace=None, metrics=None)
 
     p = sub.add_parser(
         "obs", help="observability: timelines and the runs registry"

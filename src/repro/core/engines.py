@@ -65,6 +65,44 @@ def get_engine(name: str) -> Callable:
         ) from None
 
 
+def run_engine_restricted(
+    graph: CSRGraph,
+    state,
+    resolution: float,
+    config: ClusteringConfig,
+    engine: Optional[str] = None,
+    frontier: Optional[np.ndarray] = None,
+    sched=None,
+    rng: Optional[np.random.Generator] = None,
+):
+    """One single-level BEST-MOVES run restricted to a seed ``frontier``.
+
+    The dynamic subsystem's localized-refinement entry point: no
+    coarsening, no singleton reset — the named engine runs *in place* on
+    the provided :class:`~repro.core.state.ClusterState`, with its first
+    iteration limited to ``frontier`` (subsequent iterations cascade via
+    the engine's own frontier maintenance).  ``frontier=None`` falls back
+    to the engine default (all vertices), which is exactly a full
+    single-level recompute from the current partition — the comparison
+    baseline the dynamic bench uses.
+
+    Returns the engine's :class:`~repro.core.best_moves.BestMovesStats`.
+    """
+    name = engine if engine is not None else (
+        "relaxed" if config.parallel else "sequential"
+    )
+    fn = get_engine(name)
+    return fn(
+        graph,
+        state,
+        resolution,
+        config,
+        sched=sched,
+        rng=rng,
+        initial_frontier=frontier,
+    )
+
+
 def multilevel_with_engine(
     graph: CSRGraph,
     resolution: float,

@@ -55,6 +55,37 @@ def next_frontier(
     raise ValueError(f"unknown frontier kind: {kind!r}")
 
 
+def seed_frontier(
+    graph: CSRGraph,
+    touched: np.ndarray,
+    sched=None,
+    include_neighbors: bool = False,
+) -> np.ndarray:
+    """Initial frontier for localized refinement (dynamic updates).
+
+    The endpoints of updated edges are the only vertices whose move
+    landscape changed (DESIGN.md §11's delta algebra: edge updates alter
+    neither ``k_v`` nor any ``K_c``), so the restricted engine run seeds
+    from exactly these vertices; the engine's own ``next_frontier`` then
+    cascades outward as moves happen.  ``include_neighbors=True`` widens
+    the seed by one hop — useful when the caller wants the first round to
+    already cover category (a) of the frontier argument above.
+    """
+    n = graph.num_vertices
+    touched = np.unique(np.asarray(touched, dtype=np.int64))
+    if touched.size and (touched[0] < 0 or touched[-1] >= n):
+        raise ValueError(f"touched vertex ids must lie in [0, {n})")
+    if not include_neighbors:
+        if sched is not None:
+            sched.charge(
+                work=float(max(touched.size, 1)), depth=1.0, label="frontier-seed"
+            )
+        return _inject_delay(touched, sched)
+    subset = VertexSubset.from_ids(n, touched, sched=sched)
+    neighbors = edge_map(graph, subset, sched=sched, label="frontier-seed")
+    return _inject_delay(neighbors.union(subset).ids(), sched)
+
+
 def _inject_delay(frontier: np.ndarray, sched) -> np.ndarray:
     """Apply injected frontier-update delays (resilience fault plans)."""
     faults = getattr(sched, "faults", None) if sched is not None else None

@@ -1,0 +1,48 @@
+"""Dynamic clustering: incremental edge updates over a live partition.
+
+Public surface (DESIGN.md §11):
+
+* :class:`~repro.dynamic.updates.EdgeUpdate` /
+  :class:`~repro.dynamic.updates.UpdateBatch` — validated edge
+  insert/delete/reweight operations and their JSONL log format;
+* :class:`~repro.dynamic.clusterer.DynamicClusterer` — the serving
+  facade: ``apply(batch)`` with localized refinement, ``cluster_of``,
+  ``assignments``, ``stats``, plus the :class:`DriftGuard` escalation
+  policy;
+* :class:`~repro.dynamic.snapshot.SnapshotStore` — two-slot rotating
+  ``.npz`` persistence of live state (bit-identical resumption);
+* :func:`~repro.dynamic.serve.run_session` — the deterministic scripted
+  session runner behind ``repro serve-sim``.
+"""
+
+from repro.dynamic.clusterer import DriftGuard, DynamicClusterer, UpdateReport
+from repro.dynamic.snapshot import (
+    SnapshotStore,
+    load_snapshot,
+    read_snapshot_meta,
+    save_snapshot,
+)
+from repro.dynamic.serve import run_session
+from repro.dynamic.updates import (
+    EdgeUpdate,
+    UpdateBatch,
+    batched,
+    read_update_log,
+    write_update_log,
+)
+
+__all__ = [
+    "DriftGuard",
+    "DynamicClusterer",
+    "EdgeUpdate",
+    "SnapshotStore",
+    "UpdateBatch",
+    "UpdateReport",
+    "batched",
+    "load_snapshot",
+    "read_snapshot_meta",
+    "read_update_log",
+    "run_session",
+    "save_snapshot",
+    "write_update_log",
+]

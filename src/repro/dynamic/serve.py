@@ -1,0 +1,155 @@
+"""Scripted query/update sessions against a :class:`DynamicClusterer`.
+
+``repro serve-sim`` is a *simulated* serving loop: a deterministic script
+drives the same facade a real service would call, producing one output
+line per command — which makes serving behavior testable with plain
+string comparison (no sockets, no timing).  Script grammar, one command
+per line (blank lines and ``#`` comments skipped)::
+
+    get U                # cluster_of(U)
+    same U V             # are U and V co-clustered right now?
+    members C            # member vertex ids of cluster C
+    stats                # serving-facade summary (deterministic subset)
+    insert U V [W]       # stage an edge update (default weight 1)
+    delete U V
+    reweight U V W
+    commit               # apply staged updates as one UpdateBatch
+    save                 # rotate a snapshot into the session's SnapshotStore
+    audit                # StateAuditor over the live state
+
+Floats are printed with ``%.9g`` and wall-clock numbers are excluded, so
+a session's transcript is reproducible bit-for-bit across machines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.dynamic.clusterer import DynamicClusterer
+from repro.dynamic.snapshot import SnapshotStore
+from repro.dynamic.updates import EdgeUpdate, UpdateBatch
+from repro.errors import UpdateError
+
+#: Keys of :meth:`DynamicClusterer.stats` included in ``stats`` output —
+#: the deterministic subset (no wall/sim seconds).
+STATS_KEYS = (
+    "num_vertices",
+    "num_edges",
+    "num_clusters",
+    "f_objective",
+    "batches_applied",
+    "moves_applied",
+    "escalations",
+)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.9g}"
+    return str(value)
+
+
+def run_session(
+    clusterer: DynamicClusterer,
+    script: Iterable[str],
+    store: Optional[SnapshotStore] = None,
+) -> List[str]:
+    """Execute a serve-sim script; returns one output line per command."""
+    out: List[str] = []
+    staged: List[EdgeUpdate] = []
+    for lineno, raw in enumerate(script, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        cmd, args = parts[0], parts[1:]
+        try:
+            out.append(_dispatch(clusterer, store, staged, cmd, args))
+        except UpdateError as exc:
+            raise UpdateError(f"serve script line {lineno} ({line!r}): {exc}") from exc
+    if staged:
+        out.append(f"warning: {len(staged)} staged updates never committed")
+    return out
+
+
+def _dispatch(
+    clusterer: DynamicClusterer,
+    store: Optional[SnapshotStore],
+    staged: List[EdgeUpdate],
+    cmd: str,
+    args: List[str],
+) -> str:
+    if cmd == "get":
+        (u,) = _ints(cmd, args, 1)
+        return f"cluster_of({u}) = {clusterer.cluster_of(u)}"
+    if cmd == "same":
+        u, v = _ints(cmd, args, 2)
+        same = clusterer.cluster_of(u) == clusterer.cluster_of(v)
+        return f"same({u}, {v}) = {'true' if same else 'false'}"
+    if cmd == "members":
+        (c,) = _ints(cmd, args, 1)
+        ids = ",".join(str(x) for x in clusterer.members(c))
+        return f"members({c}) = [{ids}]"
+    if cmd == "stats":
+        stats = clusterer.stats()
+        body = " ".join(f"{key}={_fmt(stats[key])}" for key in STATS_KEYS)
+        return f"stats: {body}"
+    if cmd in ("insert", "delete", "reweight"):
+        update = _parse_update(cmd, args)
+        staged.append(update)
+        suffix = "" if cmd == "delete" else f" w={_fmt(update.weight)}"
+        return f"staged {cmd} ({update.u}, {update.v}){suffix}"
+    if cmd == "commit":
+        if args:
+            raise UpdateError("commit takes no arguments")
+        batch = UpdateBatch(staged)
+        staged.clear()
+        report = clusterer.apply(batch)
+        line = (
+            f"commit[{report.batch_index}]: updates={report.num_updates} "
+            f"seed={report.seed_size} rounds={report.iterations} "
+            f"moves={report.moves} f={_fmt(report.f_objective)}"
+        )
+        if report.escalated:
+            line += f" escalated={report.escalated}"
+        return line
+    if cmd == "save":
+        if store is None:
+            raise UpdateError("save requires a snapshot store (--snapshot-dir)")
+        path = store.save(clusterer)
+        return f"saved {path.name}"
+    if cmd == "audit":
+        issues = clusterer.audit()
+        if not issues:
+            return "audit: clean"
+        return f"audit: {len(issues)} issues: " + "; ".join(issues)
+    raise UpdateError(f"unknown serve command {cmd!r}")
+
+
+def _ints(cmd: str, args: List[str], count: int) -> List[int]:
+    if len(args) != count:
+        raise UpdateError(f"{cmd} takes {count} argument(s), got {len(args)}")
+    try:
+        return [int(a) for a in args]
+    except ValueError as exc:
+        raise UpdateError(f"{cmd}: {exc}") from None
+
+
+def _parse_update(cmd: str, args: List[str]) -> EdgeUpdate:
+    if cmd == "insert":
+        if len(args) not in (2, 3):
+            raise UpdateError("insert takes U V [W]")
+        weight = float(args[2]) if len(args) == 3 else 1.0
+    elif cmd == "delete":
+        if len(args) != 2:
+            raise UpdateError("delete takes U V")
+        weight = 1.0
+    else:
+        if len(args) != 3:
+            raise UpdateError("reweight takes U V W")
+        weight = float(args[2])
+    try:
+        u, v = int(args[0]), int(args[1])
+    except ValueError as exc:
+        raise UpdateError(f"{cmd}: {exc}") from None
+    return EdgeUpdate(cmd, u, v, weight)

@@ -56,3 +56,16 @@ class SupervisorExhausted(ReproError):
 class CheckpointError(ReproError):
     """Raised when a checkpoint file is missing, corrupt, or was written
     by an incompatible configuration."""
+
+
+class UpdateError(ReproError):
+    """Raised when a dynamic edge update cannot be applied: unknown
+    operation, self-loop update, deleting or reweighting an edge that does
+    not exist, or a malformed update-log line."""
+
+
+class SnapshotError(CheckpointError):
+    """Raised when a dynamic-clusterer snapshot is missing, corrupt, or
+    incompatible with the restoring configuration.  Subclasses
+    :class:`CheckpointError` so supervisor-style fall-back-to-elder-slot
+    handling applies unchanged."""

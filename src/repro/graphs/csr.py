@@ -176,7 +176,7 @@ class CSRGraph:
         self, node_weights: np.ndarray, node_weight_sq: Optional[np.ndarray] = None
     ) -> "CSRGraph":
         """A view-sharing copy with replaced LambdaCC vertex weights."""
-        return CSRGraph(
+        derived = CSRGraph(
             self.offsets,
             self.neighbors,
             self.weights,
@@ -185,11 +185,14 @@ class CSRGraph:
             node_weight_sq=node_weight_sq,
             validate=False,
         )
+        if self.repairs is not None:
+            derived.repairs = dict(self.repairs)
+        return derived
 
     def with_unit_weights(self) -> "CSRGraph":
         """Copy treating every edge as weight 1 (the paper's unweighted
         treatment of weighted graphs, superscript-less variants)."""
-        return CSRGraph(
+        derived = CSRGraph(
             self.offsets,
             self.neighbors,
             np.ones_like(self.weights),
@@ -198,6 +201,9 @@ class CSRGraph:
             node_weight_sq=self.node_weight_sq,
             validate=False,
         )
+        if self.repairs is not None:
+            derived.repairs = dict(self.repairs)
+        return derived
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -1,0 +1,208 @@
+"""Mutable delta overlay over an immutable :class:`CSRGraph`.
+
+The dynamic subsystem (DESIGN.md §11) needs a graph that accepts edge
+inserts/deletes/reweights without paying a full rebuild per update.  CSR
+is the wrong shape for in-place structural mutation, so mutation is
+staged: a :class:`DeltaOverlayGraph` holds an immutable base CSR plus a
+dictionary of pending canonical ``(u < v) -> target weight`` entries
+(weight ``0`` means "edge absent").  Reads (:meth:`edge_weight`) consult
+the overlay first, then binary-search the base adjacency row.
+
+:meth:`compact` folds the pending deltas into a fresh ``CSRGraph`` and
+rebases the overlay on it:
+
+* **reweight fast path** — when no edge is created or removed and no new
+  vertex appeared, only the ``weights`` array changes: it is copied and
+  patched in place at the searchsorted positions of both arc directions
+  (O(m) copy, O(pending · log deg) patch, no re-sort);
+* **structural path** — otherwise the base edge list is materialized,
+  changed pairs are dropped, surviving pending pairs appended, and
+  :func:`~repro.graphs.builders.graph_from_edges` rebuilds the CSR.
+
+New vertex ids beyond the base simply grow ``n``; they join with unit
+LambdaCC weight (``k_v = 1``, ``k_v^2 = 1``) and no self-loop, matching
+every generator in :mod:`repro.graphs`.  ``graph.repairs`` provenance is
+carried through compaction so ``stats_dict()["input_repairs"]`` survives
+a dynamic session the same way it survives coarsening.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import UpdateError
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.csr import CSRGraph
+
+
+def base_edge_weight(graph: CSRGraph, u: int, v: int) -> float:
+    """Weight of undirected edge ``{u, v}`` in ``graph`` (0.0 if absent).
+
+    Binary-searches the (sorted) adjacency row of ``u``; falls back to a
+    linear scan on the rare hand-built graph with unsorted rows.
+    """
+    n = graph.num_vertices
+    if u >= n or v >= n:
+        return 0.0
+    nbrs, wts = graph.neighborhood(u)
+    if nbrs.size == 0:
+        return 0.0
+    pos = int(np.searchsorted(nbrs, v))
+    if pos < nbrs.size and nbrs[pos] == v:
+        return float(wts[pos])
+    hits = np.flatnonzero(nbrs == v)
+    return float(wts[hits[0]]) if hits.size else 0.0
+
+
+class DeltaOverlayGraph:
+    """An immutable CSR base plus pending edge-weight deltas."""
+
+    __slots__ = ("base", "_pending", "_num_vertices", "_structural")
+
+    def __init__(self, base: CSRGraph) -> None:
+        self.base = base
+        #: canonical ``(min, max) -> target weight`` (0.0 = absent).
+        self._pending: Dict[Tuple[int, int], float] = {}
+        self._num_vertices = base.num_vertices
+        self._structural = False
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertex count including staged (not-yet-compacted) growth."""
+        return self._num_vertices
+
+    @property
+    def pending_count(self) -> int:
+        """Number of distinct edges with a staged weight change."""
+        return len(self._pending)
+
+    @property
+    def is_structural(self) -> bool:
+        """True when compaction must rebuild the CSR (edge set or vertex
+        count changed), false when the reweight fast path applies."""
+        return self._structural or self._num_vertices != self.base.num_vertices
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Current weight of ``{u, v}`` under the overlay (0.0 if absent)."""
+        if u == v:
+            raise UpdateError(f"self-loop query on vertex {u}")
+        key = (u, v) if u < v else (v, u)
+        if key in self._pending:
+            return self._pending[key]
+        return base_edge_weight(self.base, u, v)
+
+    # ------------------------------------------------------------------ #
+    # Staged mutation
+    # ------------------------------------------------------------------ #
+
+    def ensure_vertex(self, v: int) -> None:
+        """Grow the vertex space to include id ``v``."""
+        if v < 0:
+            raise UpdateError(f"negative vertex id {v}")
+        if v >= self._num_vertices:
+            self._num_vertices = v + 1
+
+    def set_edge(self, u: int, v: int, weight: float) -> None:
+        """Stage ``{u, v}``'s weight to ``weight`` (``0`` removes it)."""
+        if u == v:
+            raise UpdateError(f"self-loop update on vertex {u} is not allowed")
+        if not np.isfinite(weight):
+            raise UpdateError(f"non-finite edge weight {weight!r} for ({u}, {v})")
+        self.ensure_vertex(u)
+        self.ensure_vertex(v)
+        key = (u, v) if u < v else (v, u)
+        existed = base_edge_weight(self.base, key[0], key[1]) != 0.0
+        if weight == 0.0 or not existed:
+            # Edge created or removed relative to the base: CSR topology
+            # changes, the reweight fast path is off for this compaction.
+            self._structural = True
+        self._pending[key] = float(weight)
+
+    # ------------------------------------------------------------------ #
+    # Compaction
+    # ------------------------------------------------------------------ #
+
+    def compact(self) -> CSRGraph:
+        """Fold pending deltas into a fresh CSR and rebase on it."""
+        if not self._pending and self._num_vertices == self.base.num_vertices:
+            return self.base
+        if self.is_structural:
+            new_graph = self._rebuild()
+        else:
+            new_graph = self._patch_weights()
+        if self.base.repairs is not None:
+            new_graph.repairs = dict(self.base.repairs)
+        self.base = new_graph
+        self._pending = {}
+        self._structural = False
+        return new_graph
+
+    def _patch_weights(self) -> CSRGraph:
+        """Reweight fast path: same topology, patched ``weights`` copy."""
+        base = self.base
+        weights = base.weights.copy()
+        for (u, v), w in self._pending.items():
+            for src, dst in ((u, v), (v, u)):
+                lo = int(base.offsets[src])
+                row = base.neighbors[lo : base.offsets[src + 1]]
+                pos = int(np.searchsorted(row, dst))
+                if pos >= row.size or row[pos] != dst:
+                    hits = np.flatnonzero(row == dst)
+                    if not hits.size:  # pragma: no cover - guarded by set_edge
+                        raise UpdateError(
+                            f"reweight fast path lost edge ({src}, {dst})"
+                        )
+                    pos = int(hits[0])
+                weights[lo + pos] = w
+        return CSRGraph(
+            base.offsets,
+            base.neighbors,
+            weights,
+            self_loops=base.self_loops,
+            node_weights=base.node_weights,
+            node_weight_sq=base.node_weight_sq,
+            validate=False,
+        )
+
+    def _rebuild(self) -> CSRGraph:
+        """Structural path: merge base edge list with pending deltas."""
+        base = self.base
+        old_n = base.num_vertices
+        n = self._num_vertices
+        src, dst, wts = base.edge_list()
+        if self._pending:
+            changed = np.fromiter(
+                (u * n + v for (u, v) in self._pending), dtype=np.int64,
+                count=len(self._pending),
+            )
+            keep = ~np.isin(src * np.int64(n) + dst, changed)
+            src, dst, wts = src[keep], dst[keep], wts[keep]
+            live = [(u, v, w) for (u, v), w in self._pending.items() if w != 0.0]
+            if live:
+                add = np.asarray(live, dtype=np.float64)
+                src = np.concatenate([src, add[:, 0].astype(np.int64)])
+                dst = np.concatenate([dst, add[:, 1].astype(np.int64)])
+                wts = np.concatenate([wts, add[:, 2]])
+        grown = n - old_n
+        node_weights = base.node_weights
+        if grown:
+            node_weights = np.concatenate(
+                [node_weights, np.ones(grown, dtype=np.float64)]
+            )
+        new_graph = graph_from_edges(
+            np.stack([src, dst], axis=1) if src.size else np.zeros((0, 2), np.int64),
+            weights=wts,
+            num_vertices=n,
+            node_weights=node_weights,
+        )
+        new_graph.self_loops[:old_n] = base.self_loops
+        new_graph.node_weight_sq[:old_n] = base.node_weight_sq
+        if grown:
+            new_graph.node_weight_sq[old_n:] = 1.0
+        return new_graph

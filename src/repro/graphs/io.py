@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from pathlib import Path
-from typing import List, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -146,6 +146,65 @@ def write_edge_list(graph: CSRGraph, path: PathLike, weighted: bool = False) -> 
         else:
             for a, b in zip(u, v):
                 handle.write(f"{a} {b}\n")
+
+
+def write_labels(assignments: np.ndarray, path: PathLike) -> None:
+    """Write a clustering as ``vertex<TAB>cluster`` lines, one per vertex.
+
+    The pickle-free round-trip format behind ``repro cluster
+    --output-labels`` and ``repro update --labels``: explicit vertex ids
+    (unlike the positional ``--output`` format) so a partial edit or a
+    reordered file is detected on read instead of silently mis-assigning.
+    """
+    assignments = np.asarray(assignments)
+    with open(path, "w") as handle:
+        handle.write(f"# repro labels: n={assignments.size}\n")
+        for vertex, cluster in enumerate(assignments):
+            handle.write(f"{vertex}\t{int(cluster)}\n")
+
+
+def read_labels(path: PathLike, num_vertices: Optional[int] = None) -> np.ndarray:
+    """Read a ``vertex<TAB>cluster`` label file back into an assignment array.
+
+    Every vertex in ``[0, n)`` must appear exactly once (``n`` inferred
+    from the max vertex id, or validated against ``num_vertices``).
+    """
+    pairs: List[Tuple[int, int]] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'vertex<TAB>cluster', got {line!r}"
+                )
+            try:
+                pairs.append((int(parts[0]), int(parts[1])))
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: {exc}") from None
+    if not pairs:
+        return np.zeros(0, dtype=np.int64)
+    vertices = np.asarray([p[0] for p in pairs], dtype=np.int64)
+    clusters = np.asarray([p[1] for p in pairs], dtype=np.int64)
+    n = int(vertices.max()) + 1 if num_vertices is None else int(num_vertices)
+    if vertices.min() < 0 or vertices.max() >= n:
+        raise GraphFormatError(
+            f"{path}: vertex ids outside [0, {n}) in label file"
+        )
+    seen = np.zeros(n, dtype=bool)
+    if seen[vertices].any() or np.unique(vertices).size != vertices.size:
+        raise GraphFormatError(f"{path}: duplicate vertex id in label file")
+    seen[vertices] = True
+    if not seen.all():
+        missing = int(np.flatnonzero(~seen)[0])
+        raise GraphFormatError(
+            f"{path}: label file missing vertex {missing} (expected all of [0, {n}))"
+        )
+    assignments = np.zeros(n, dtype=np.int64)
+    assignments[vertices] = clusters
+    return assignments
 
 
 def read_communities(path: PathLike) -> List[np.ndarray]:

@@ -102,6 +102,10 @@ def _compress(
             node_weight_sq=node_weight_sq,
             validate=False,
         )
+    if graph.repairs is not None:
+        # Repair provenance rides the coarsening so multilevel runs keep
+        # reporting stats_dict()["input_repairs"] at every level.
+        compressed.repairs = dict(graph.repairs)
     return compressed, vertex_to_super
 
 

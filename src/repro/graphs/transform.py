@@ -44,6 +44,10 @@ def induced_subgraph(
     )
     sub.self_loops[:] = graph.self_loops[vertices]
     sub.node_weight_sq[:] = graph.node_weight_sq[vertices]
+    if graph.repairs is not None:
+        # Input-repair provenance survives preprocessing, so a run on the
+        # cleaned subgraph still reports stats_dict()["input_repairs"].
+        sub.repairs = dict(graph.repairs)
     return sub, vertices
 
 

@@ -75,45 +75,72 @@ def validate_run_record(record: dict) -> List[str]:
     return problems
 
 
+def make_record(
+    run_id: str,
+    workload: dict,
+    metrics: dict,
+    info: Optional[dict] = None,
+    timestamp: Optional[float] = None,
+) -> dict:
+    """Assemble and validate one registry record from its parts.
+
+    ``workload`` may carry arbitrary extra identity keys beyond the
+    standard ones — the dynamic subsystem tags its runs with a nested
+    ``update_batch`` object (batches, updates per op, escalations) so
+    ``repro obs diff`` only compares dynamic runs against dynamic runs.
+    """
+    record = {
+        "schema": RUNS_SCHEMA,
+        "run_id": run_id,
+        "timestamp": float(time.time() if timestamp is None else timestamp),
+        "workload": dict(workload),
+        "metrics": dict(metrics),
+        "info": dict(info or {}),
+    }
+    problems = validate_run_record(record)
+    if problems:
+        raise RunRegistryError("; ".join(problems))
+    return record
+
+
 def make_run_record(
     result,
     run_id: str,
     graph: str,
     engine: Optional[str] = None,
     timestamp: Optional[float] = None,
+    workload_extra: Optional[dict] = None,
 ) -> dict:
     """Build a registry record from a :class:`~repro.core.result.
     ClusterResult`."""
     config = result.config
-    record = {
-        "schema": RUNS_SCHEMA,
-        "run_id": run_id,
-        "timestamp": float(time.time() if timestamp is None else timestamp),
-        "workload": {
-            "graph": graph,
-            "engine": engine or ("relaxed" if config.parallel else "sequential"),
-            "objective": config.objective.value,
-            "resolution": float(result.resolution),
-            "seed": config.seed,
-            "workers": int(config.num_workers),
-            "kernel": config.kernel,
-        },
-        "metrics": {
+    workload = {
+        "graph": graph,
+        "engine": engine or ("relaxed" if config.parallel else "sequential"),
+        "objective": config.objective.value,
+        "resolution": float(result.resolution),
+        "seed": config.seed,
+        "workers": int(config.num_workers),
+        "kernel": config.kernel,
+    }
+    if workload_extra:
+        workload.update(workload_extra)
+    return make_record(
+        run_id,
+        workload,
+        metrics={
             "wall_seconds": float(result.wall_seconds),
             "sim_time_seconds": float(result.sim_time()),
             "f_objective": float(result.f_objective),
             "modularity": float(result.modularity),
         },
-        "info": {
+        info={
             "num_clusters": int(result.num_clusters),
             "rounds": int(result.rounds),
             "degraded": bool(result.degraded),
         },
-    }
-    problems = validate_run_record(record)
-    if problems:  # pragma: no cover - construction always satisfies schema
-        raise RunRegistryError("; ".join(problems))
-    return record
+        timestamp=timestamp,
+    )
 
 
 def append_run(path, record: dict) -> None:

@@ -1,0 +1,144 @@
+"""DeltaOverlayGraph: staged mutation, fast-path vs rebuild equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UpdateError
+from repro.graphs.builders import graph_from_edges
+from repro.graphs.delta import DeltaOverlayGraph, base_edge_weight
+from repro.graphs.karate import karate_club_graph
+
+pytestmark = pytest.mark.dynamic
+
+
+def edge_dict(graph):
+    u, v, w = graph.edge_list()
+    return {(int(a), int(b)): float(x) for a, b, x in zip(u, v, w)}
+
+
+class TestBaseEdgeWeight:
+    def test_present_edge(self):
+        g = graph_from_edges([(0, 1), (1, 2)], weights=np.asarray([2.0, 0.5]))
+        assert base_edge_weight(g, 0, 1) == 2.0
+        assert base_edge_weight(g, 1, 0) == 2.0
+
+    def test_absent_edge(self):
+        g = graph_from_edges([(0, 1), (1, 2)])
+        assert base_edge_weight(g, 0, 2) == 0.0
+
+    def test_out_of_range(self):
+        g = graph_from_edges([(0, 1)])
+        assert base_edge_weight(g, 0, 99) == 0.0
+
+
+class TestOverlayReads:
+    def test_reads_through_to_base(self):
+        g = karate_club_graph()
+        overlay = DeltaOverlayGraph(g)
+        assert overlay.edge_weight(0, 1) == 1.0
+        assert overlay.edge_weight(0, 9) == 0.0
+
+    def test_pending_shadows_base(self):
+        overlay = DeltaOverlayGraph(graph_from_edges([(0, 1)]))
+        overlay.set_edge(0, 1, 5.0)
+        assert overlay.edge_weight(0, 1) == 5.0
+        assert overlay.edge_weight(1, 0) == 5.0
+
+    def test_self_loop_query_rejected(self):
+        overlay = DeltaOverlayGraph(graph_from_edges([(0, 1)]))
+        with pytest.raises(UpdateError, match="self-loop"):
+            overlay.edge_weight(2, 2)
+
+
+class TestCompaction:
+    def test_noop_compact_returns_base(self):
+        g = karate_club_graph()
+        overlay = DeltaOverlayGraph(g)
+        assert overlay.compact() is g
+
+    def test_reweight_uses_fast_path(self):
+        g = karate_club_graph()
+        overlay = DeltaOverlayGraph(g)
+        overlay.set_edge(0, 1, 3.0)
+        assert not overlay.is_structural
+        compacted = overlay.compact()
+        # Fast path: topology arrays are shared, only weights are new.
+        assert compacted.offsets is g.offsets
+        assert compacted.neighbors is g.neighbors
+        assert base_edge_weight(compacted, 0, 1) == 3.0
+        assert compacted.num_edges == g.num_edges
+
+    def test_insert_and_delete_rebuild(self):
+        g = karate_club_graph()
+        overlay = DeltaOverlayGraph(g)
+        overlay.set_edge(0, 9, 1.0)  # absent in karate -> structural
+        overlay.set_edge(0, 1, 0.0)  # delete
+        assert overlay.is_structural
+        compacted = overlay.compact()
+        expected = edge_dict(g)
+        expected[(0, 9)] = 1.0
+        del expected[(0, 1)]
+        assert edge_dict(compacted) == expected
+
+    def test_fast_path_matches_rebuild(self):
+        """The same reweights through either path give the same graph."""
+        g = karate_club_graph()
+        fast = DeltaOverlayGraph(g)
+        slow = DeltaOverlayGraph(g)
+        for (u, v), w in [((0, 1), 2.5), ((2, 3), 0.25)]:
+            fast.set_edge(u, v, w)
+            slow.set_edge(u, v, w)
+        slow._structural = True  # force the rebuild path
+        a, b = fast.compact(), slow.compact()
+        assert edge_dict(a) == edge_dict(b)
+        assert np.array_equal(a.self_loops, b.self_loops)
+        assert np.array_equal(a.node_weights, b.node_weights)
+        assert np.array_equal(a.node_weight_sq, b.node_weight_sq)
+
+    def test_vertex_growth(self):
+        g = graph_from_edges([(0, 1)])
+        overlay = DeltaOverlayGraph(g)
+        overlay.set_edge(1, 4, 2.0)
+        assert overlay.num_vertices == 5
+        compacted = overlay.compact()
+        assert compacted.num_vertices == 5
+        assert np.array_equal(compacted.node_weights, np.ones(5))
+        assert np.array_equal(compacted.node_weight_sq, np.ones(5))
+        assert base_edge_weight(compacted, 1, 4) == 2.0
+
+    def test_insert_then_delete_cancels(self):
+        g = graph_from_edges([(0, 1)])
+        overlay = DeltaOverlayGraph(g)
+        overlay.set_edge(0, 2, 1.0)
+        overlay.set_edge(0, 2, 0.0)
+        compacted = overlay.compact()
+        assert base_edge_weight(compacted, 0, 2) == 0.0
+        assert compacted.num_edges == 1
+
+    def test_compact_rebases(self):
+        overlay = DeltaOverlayGraph(graph_from_edges([(0, 1)]))
+        overlay.set_edge(0, 1, 4.0)
+        first = overlay.compact()
+        assert overlay.base is first
+        assert overlay.pending_count == 0
+        overlay.set_edge(0, 1, 0.0)
+        second = overlay.compact()
+        assert second.num_edges == 0
+
+    def test_repairs_propagate_through_compaction(self):
+        g = karate_club_graph()
+        g.repairs = {"bad_weight": 2}
+        overlay = DeltaOverlayGraph(g)
+        overlay.set_edge(0, 1, 3.0)
+        assert overlay.compact().repairs == {"bad_weight": 2}
+        overlay.set_edge(0, 9, 1.0)
+        assert overlay.compact().repairs == {"bad_weight": 2}
+
+    def test_set_edge_validation(self):
+        overlay = DeltaOverlayGraph(graph_from_edges([(0, 1)]))
+        with pytest.raises(UpdateError, match="self-loop"):
+            overlay.set_edge(1, 1, 1.0)
+        with pytest.raises(UpdateError, match="non-finite"):
+            overlay.set_edge(0, 1, float("inf"))
+        with pytest.raises(UpdateError, match="negative"):
+            overlay.ensure_vertex(-2)

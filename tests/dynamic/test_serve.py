@@ -1,0 +1,110 @@
+"""serve-sim sessions: deterministic transcripts over the serving facade."""
+
+import pytest
+
+from repro.core.config import ClusteringConfig
+from repro.dynamic.clusterer import DriftGuard, DynamicClusterer
+from repro.dynamic.serve import run_session
+from repro.dynamic.snapshot import SnapshotStore
+from repro.errors import UpdateError
+from repro.graphs.karate import karate_club_graph
+
+pytestmark = pytest.mark.dynamic
+
+NO_GUARD = DriftGuard(recompute_every=0, max_frontier_fraction=1.0)
+
+
+def make_clusterer(seed=1):
+    config = ClusteringConfig(resolution=0.1, seed=seed)
+    return DynamicClusterer.bootstrap(
+        karate_club_graph(), config, guard=NO_GUARD
+    )
+
+
+class TestQueries:
+    def test_get_and_same(self):
+        dc = make_clusterer()
+        out = run_session(dc, ["get 0", "same 0 1", "same 0 33"])
+        assert out[0] == f"cluster_of(0) = {dc.state.assignments[0]}"
+        assert out[1].startswith("same(0, 1) = ")
+        assert out[2].startswith("same(0, 33) = ")
+
+    def test_members_and_stats(self):
+        dc = make_clusterer()
+        out = run_session(dc, [f"members {dc.state.assignments[0]}", "stats"])
+        assert out[0].startswith("members(")
+        assert "num_vertices=34" in out[1]
+        assert "batches_applied=0" in out[1]
+        # Wall/sim seconds stay out of the transcript (determinism).
+        assert "sim" not in out[1]
+
+    def test_comments_and_blanks_skipped(self):
+        dc = make_clusterer()
+        assert run_session(dc, ["# nothing", "", "   "]) == []
+
+    def test_audit_clean(self):
+        dc = make_clusterer()
+        assert run_session(dc, ["audit"]) == ["audit: clean"]
+
+
+class TestUpdatesAndCommit:
+    def test_commit_applies_staged_batch(self):
+        dc = make_clusterer()
+        out = run_session(
+            dc,
+            ["insert 0 9", "reweight 0 1 2.0", "delete 0 2", "commit", "audit"],
+        )
+        assert out[0] == "staged insert (0, 9) w=1"
+        assert out[1] == "staged reweight (0, 1) w=2"
+        assert out[2] == "staged delete (0, 2)"
+        assert out[3].startswith("commit[0]: updates=3 seed=4 ")
+        assert out[4] == "audit: clean"
+        assert dc.batches_applied == 1
+
+    def test_transcript_is_deterministic(self):
+        script = ["insert 0 9", "commit", "get 9", "stats"]
+        assert run_session(make_clusterer(), script) == run_session(
+            make_clusterer(), script
+        )
+
+    def test_uncommitted_warning(self):
+        dc = make_clusterer()
+        out = run_session(dc, ["insert 0 9"])
+        assert out[-1] == "warning: 1 staged updates never committed"
+        assert dc.batches_applied == 0
+
+    def test_save_requires_store(self):
+        dc = make_clusterer()
+        with pytest.raises(UpdateError, match="snapshot store"):
+            run_session(dc, ["save"])
+
+    def test_save_rotates_store(self, tmp_path):
+        dc = make_clusterer()
+        store = SnapshotStore(tmp_path)
+        out = run_session(dc, ["save", "insert 0 9", "commit", "save"], store)
+        assert out[0] == "saved snap-a.npz"
+        assert out[3] == "saved snap-b.npz"
+        assert store.latest().name == "snap-b.npz"
+
+
+class TestErrors:
+    def test_unknown_command_reports_line(self):
+        with pytest.raises(UpdateError, match="line 2.*frobnicate"):
+            run_session(make_clusterer(), ["get 0", "frobnicate"])
+
+    def test_bad_arity(self):
+        with pytest.raises(UpdateError, match="argument"):
+            run_session(make_clusterer(), ["get 0 1"])
+        with pytest.raises(UpdateError, match="commit takes no"):
+            run_session(make_clusterer(), ["commit now"])
+        with pytest.raises(UpdateError, match="insert takes"):
+            run_session(make_clusterer(), ["insert 0"])
+
+    def test_bad_integers(self):
+        with pytest.raises(UpdateError, match="line 1"):
+            run_session(make_clusterer(), ["get zero"])
+
+    def test_update_error_carries_script_context(self):
+        # The stage fails at commit time, so the commit line is blamed.
+        with pytest.raises(UpdateError, match="line 2.*absent"):
+            run_session(make_clusterer(), ["delete 0 9", "commit"])

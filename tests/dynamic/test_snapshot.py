@@ -1,0 +1,154 @@
+"""Snapshot persistence: exact round-trips, rotation, corruption fallback."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ClusteringConfig
+from repro.dynamic.clusterer import DriftGuard, DynamicClusterer
+from repro.dynamic.snapshot import (
+    SnapshotStore,
+    load_snapshot,
+    read_snapshot_meta,
+    save_snapshot,
+)
+from repro.dynamic.updates import EdgeUpdate, UpdateBatch
+from repro.errors import CheckpointError, SnapshotError
+from repro.graphs.karate import karate_club_graph
+
+pytestmark = pytest.mark.dynamic
+
+RESOLUTION = 0.1
+NO_GUARD = DriftGuard(recompute_every=0, max_frontier_fraction=1.0)
+
+
+def make_clusterer(seed=1):
+    config = ClusteringConfig(resolution=RESOLUTION, seed=seed)
+    return DynamicClusterer.bootstrap(
+        karate_club_graph(), config, guard=NO_GUARD
+    )
+
+
+BATCH_A = UpdateBatch(
+    [EdgeUpdate("insert", 0, 9, 1.0), EdgeUpdate("reweight", 0, 1, 2.0)]
+)
+BATCH_B = UpdateBatch(
+    [EdgeUpdate("delete", 0, 2), EdgeUpdate("insert", 20, 40, 1.5)]
+)
+
+
+def assert_same_live_state(a, b):
+    assert np.array_equal(a.state.assignments, b.state.assignments)
+    assert np.array_equal(a.state.cluster_weights, b.state.cluster_weights)
+    assert np.array_equal(a.state.cluster_sizes, b.state.cluster_sizes)
+    assert np.array_equal(a._k2, b._k2)
+    assert a.f_objective == b.f_objective  # exact, not approx
+    assert a.batches_applied == b.batches_applied
+    assert a.updates_applied == b.updates_applied
+
+
+class TestSaveLoad:
+    def test_round_trip_is_exact(self, tmp_path):
+        dc = make_clusterer()
+        dc.apply(BATCH_A)
+        path = tmp_path / "snap.npz"
+        save_snapshot(path, dc)
+        restored = load_snapshot(path, dc.config, guard=NO_GUARD)
+        assert_same_live_state(dc, restored)
+        assert restored.engine_name == dc.engine_name
+        assert restored.audit() == []
+
+    def test_restart_equivalence(self, tmp_path):
+        """save -> restore -> updates == uninterrupted session."""
+        live = make_clusterer()
+        live.apply(BATCH_A)
+        path = tmp_path / "snap.npz"
+        save_snapshot(path, live)
+        restored = load_snapshot(path, live.config, guard=NO_GUARD)
+
+        live.apply(BATCH_B)
+        restored.apply(BATCH_B)
+        assert_same_live_state(live, restored)
+
+    def test_meta_contents(self, tmp_path):
+        dc = make_clusterer()
+        dc.apply(BATCH_A)
+        path = tmp_path / "snap.npz"
+        save_snapshot(path, dc, generation=3)
+        meta = read_snapshot_meta(path)
+        assert meta["kind"] == "repro-dynamic-snapshot"
+        assert meta["generation"] == 3
+        assert meta["num_vertices"] == 34
+        assert meta["counters"]["batches_applied"] == 1
+
+    def test_repairs_survive(self, tmp_path):
+        dc = make_clusterer()
+        dc.graph.repairs = {"bad_weight": 1}
+        path = tmp_path / "snap.npz"
+        save_snapshot(path, dc)
+        restored = load_snapshot(path, dc.config, guard=NO_GUARD)
+        assert restored.graph.repairs == {"bad_weight": 1}
+
+    def test_config_tag_mismatch_rejected(self, tmp_path):
+        dc = make_clusterer()
+        path = tmp_path / "snap.npz"
+        save_snapshot(path, dc)
+        other = ClusteringConfig(resolution=0.5, seed=1)
+        with pytest.raises(SnapshotError, match="config"):
+            load_snapshot(path, other)
+
+    def test_corrupt_file_raises_snapshot_error(self, tmp_path):
+        path = tmp_path / "snap.npz"
+        path.write_bytes(b"not an npz")
+        with pytest.raises(SnapshotError):
+            read_snapshot_meta(path)
+
+    def test_snapshot_error_is_checkpoint_error(self):
+        # Supervisor-style fall-back-to-elder-slot handling applies as-is.
+        assert issubclass(SnapshotError, CheckpointError)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, data=np.arange(3))
+        with pytest.raises(SnapshotError, match="not a repro snapshot"):
+            read_snapshot_meta(path)
+
+
+class TestSnapshotStore:
+    def test_rotation_alternates_slots(self, tmp_path):
+        dc = make_clusterer()
+        store = SnapshotStore(tmp_path)
+        first = store.save(dc)
+        dc.apply(BATCH_A)
+        second = store.save(dc)
+        assert {first.name, second.name} == {"snap-a.npz", "snap-b.npz"}
+        assert store.latest() == second
+        dc.apply(BATCH_B)
+        third = store.save(dc)
+        assert third == first  # elder slot is overwritten
+        assert store.latest() == third
+
+    def test_load_newest(self, tmp_path):
+        dc = make_clusterer()
+        store = SnapshotStore(tmp_path)
+        store.save(dc)
+        dc.apply(BATCH_A)
+        store.save(dc)
+        restored = store.load(dc.config, guard=NO_GUARD)
+        assert_same_live_state(dc, restored)
+
+    def test_corrupt_newest_falls_back_to_elder(self, tmp_path):
+        dc = make_clusterer()
+        store = SnapshotStore(tmp_path)
+        store.save(dc)
+        elder_state = dc.state.assignments.copy()
+        dc.apply(BATCH_A)
+        newest = store.save(dc)
+        # Truncate the newest snapshot: the payload (not the header) rots.
+        newest.write_bytes(newest.read_bytes()[:150])
+        restored = store.load(dc.config, guard=NO_GUARD)
+        assert np.array_equal(restored.state.assignments, elder_state)
+
+    def test_empty_store_raises(self, tmp_path):
+        store = SnapshotStore(tmp_path / "empty")
+        with pytest.raises(SnapshotError, match="no snapshot"):
+            store.load(ClusteringConfig(resolution=RESOLUTION))

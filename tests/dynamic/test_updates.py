@@ -1,0 +1,143 @@
+"""EdgeUpdate / UpdateBatch validation and the JSONL update-log format."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic.updates import (
+    EdgeUpdate,
+    UpdateBatch,
+    batched,
+    read_update_log,
+    write_update_log,
+)
+from repro.errors import UpdateError
+
+pytestmark = pytest.mark.dynamic
+
+
+class TestEdgeUpdate:
+    def test_valid_ops(self):
+        for op in ("insert", "delete", "reweight"):
+            upd = EdgeUpdate(op, 1, 2, 3.0)
+            assert upd.op == op
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(UpdateError, match="unknown update op"):
+            EdgeUpdate("upsert", 1, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(UpdateError, match="self-loop"):
+            EdgeUpdate("insert", 3, 3)
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(UpdateError, match="negative"):
+            EdgeUpdate("insert", -1, 2)
+
+    def test_non_finite_weight_rejected(self):
+        with pytest.raises(UpdateError, match="non-finite"):
+            EdgeUpdate("insert", 1, 2, float("nan"))
+
+    def test_delete_normalizes_weight(self):
+        assert EdgeUpdate("delete", 1, 2, 7.5).weight == 1.0
+
+    def test_key_is_canonical(self):
+        assert EdgeUpdate("insert", 9, 2).key == (2, 9)
+        assert EdgeUpdate("insert", 2, 9).key == (2, 9)
+
+    def test_dict_round_trip(self):
+        upd = EdgeUpdate("reweight", 4, 1, 2.5)
+        assert EdgeUpdate.from_dict(upd.as_dict()) == upd
+
+    def test_delete_dict_omits_weight(self):
+        assert "weight" not in EdgeUpdate("delete", 1, 2).as_dict()
+
+    def test_from_dict_rejects_junk(self):
+        with pytest.raises(UpdateError):
+            EdgeUpdate.from_dict(["insert", 1, 2])
+        with pytest.raises(UpdateError, match="malformed"):
+            EdgeUpdate.from_dict({"op": "insert", "u": 1})
+        with pytest.raises(UpdateError, match="weight"):
+            EdgeUpdate.from_dict({"op": "insert", "u": 1, "v": 2, "weight": "x"})
+
+
+class TestUpdateBatch:
+    def test_op_counts(self):
+        batch = UpdateBatch(
+            [
+                EdgeUpdate("insert", 0, 1),
+                EdgeUpdate("insert", 1, 2),
+                EdgeUpdate("delete", 0, 2),
+            ]
+        )
+        assert batch.op_counts() == {"insert": 2, "delete": 1, "reweight": 0}
+
+    def test_touched_vertices_unique_sorted(self):
+        batch = UpdateBatch(
+            [EdgeUpdate("insert", 5, 1), EdgeUpdate("delete", 1, 3)]
+        )
+        assert np.array_equal(batch.touched_vertices(), [1, 3, 5])
+
+    def test_empty_batch(self):
+        batch = UpdateBatch()
+        assert len(batch) == 0
+        assert batch.touched_vertices().size == 0
+        assert batch.max_vertex == -1
+
+    def test_max_vertex(self):
+        assert UpdateBatch([EdgeUpdate("insert", 2, 40)]).max_vertex == 40
+
+    def test_rejects_non_updates(self):
+        with pytest.raises(UpdateError, match="not an EdgeUpdate"):
+            UpdateBatch([("insert", 0, 1)])
+
+    def test_convenience_constructors(self):
+        ins = UpdateBatch.inserts([(0, 1), (1, 2)], weight=2.0)
+        assert all(u.op == "insert" and u.weight == 2.0 for u in ins)
+        dels = UpdateBatch.deletes([(0, 1)])
+        assert dels.op_counts()["delete"] == 1
+
+
+class TestUpdateLog:
+    def test_round_trip(self, tmp_path):
+        updates = [
+            EdgeUpdate("insert", 0, 1, 2.0),
+            EdgeUpdate("delete", 0, 1),
+            EdgeUpdate("reweight", 3, 4, 0.5),
+        ]
+        path = tmp_path / "log.jsonl"
+        write_update_log(path, updates)
+        assert read_update_log(path) == updates
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('# header\n\n{"op": "insert", "u": 0, "v": 1}\n')
+        assert read_update_log(path) == [EdgeUpdate("insert", 0, 1)]
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"op": "insert", "u": 0, "v": 1}\nnot json\n')
+        with pytest.raises(UpdateError, match=r"log\.jsonl:2"):
+            read_update_log(path)
+
+    def test_invalid_update_reports_line(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"op": "frobnicate", "u": 0, "v": 1}\n')
+        with pytest.raises(UpdateError, match=r"log\.jsonl:1"):
+            read_update_log(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(UpdateError, match="cannot read"):
+            read_update_log(tmp_path / "absent.jsonl")
+
+
+class TestBatched:
+    def test_chunks_in_order(self):
+        updates = [EdgeUpdate("insert", i, i + 1) for i in range(5)]
+        groups = batched(updates, 2)
+        assert [len(g) for g in groups] == [2, 2, 1]
+        assert groups[0].updates[0].u == 0
+        assert groups[2].updates[0].u == 4
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(UpdateError, match="batch_size"):
+            batched([], 0)

@@ -1,0 +1,111 @@
+"""Property: incremental objective deltas match full recomputation.
+
+Random update batches (inserts, deletes, reweights, and no-op reweights)
+applied through :class:`DynamicClusterer` on random, RMAT, and planted
+graphs, under every engine: after each batch the incrementally maintained
+``F`` must match :func:`lambdacc_objective` recomputed from scratch to
+1e-9, and the full :class:`StateAuditor` invariant check must stay clean.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import cluster
+from repro.core.config import ClusteringConfig
+from repro.core.engines import ENGINES
+from repro.core.objective import lambdacc_objective
+from repro.dynamic.clusterer import DriftGuard, DynamicClusterer
+from repro.dynamic.updates import EdgeUpdate, UpdateBatch
+from repro.generators.planted import planted_partition_graph
+from repro.generators.rmat import rmat_graph
+from repro.graphs.builders import graph_from_edges
+
+pytestmark = pytest.mark.dynamic
+
+RESOLUTION = 0.1
+NO_GUARD = DriftGuard(recompute_every=0, max_frontier_fraction=1.0)
+
+
+def random_graph(n, m, seed):
+    rng = np.random.default_rng(seed)
+    pairs = set()
+    while len(pairs) < m:
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u != v:
+            pairs.add((min(u, v), max(u, v)))
+    edges = np.asarray(sorted(pairs), dtype=np.int64)
+    return graph_from_edges(edges, num_vertices=n)
+
+
+GRAPHS = {
+    "random": lambda: random_graph(60, 180, seed=3),
+    "rmat": lambda: rmat_graph(6, 300, seed=3),
+    "planted": lambda: planted_partition_graph(80, seed=3).graph,
+}
+
+_WARM = {}
+
+
+def warm_clusterer(graph_name, engine):
+    """A DynamicClusterer on the named graph (bootstrap cached per graph)."""
+    if graph_name not in _WARM:
+        graph = GRAPHS[graph_name]()
+        config = ClusteringConfig(resolution=RESOLUTION, seed=5)
+        _WARM[graph_name] = (graph, cluster(graph, config).assignments)
+    graph, assignments = _WARM[graph_name]
+    config = ClusteringConfig(resolution=RESOLUTION, seed=5)
+    return DynamicClusterer(
+        graph, assignments.copy(), config, engine=engine, guard=NO_GUARD
+    )
+
+
+def random_batch(dc, rng, size=8):
+    """Mixed random batch valid against the clusterer's current graph."""
+    u, v, w = dc.graph.edge_list()
+    existing = list(zip(u.tolist(), v.tolist(), w.tolist()))
+    n = dc.graph.num_vertices
+    updates = []
+    used = set()
+    for _ in range(size):
+        op = rng.choice(["insert", "delete", "reweight", "noop"])
+        if op == "insert":
+            while True:
+                a, b = int(rng.integers(n)), int(rng.integers(n))
+                if a != b and (min(a, b), max(a, b)) not in used:
+                    break
+            updates.append(
+                EdgeUpdate("insert", a, b, float(rng.uniform(0.5, 2.0)))
+            )
+            used.add((min(a, b), max(a, b)))
+        else:
+            while True:
+                eu, ev, ew = existing[int(rng.integers(len(existing)))]
+                if (eu, ev) not in used:
+                    break
+            used.add((eu, ev))
+            if op == "delete":
+                updates.append(EdgeUpdate("delete", eu, ev))
+            elif op == "reweight":
+                updates.append(
+                    EdgeUpdate("reweight", eu, ev, float(rng.uniform(0.5, 2.0)))
+                )
+            else:  # no-op: reweight to the current weight
+                updates.append(EdgeUpdate("reweight", eu, ev, float(ew)))
+    return UpdateBatch(updates)
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("graph_name", sorted(GRAPHS))
+def test_incremental_matches_recompute(graph_name, engine):
+    dc = warm_clusterer(graph_name, engine)
+    rng = np.random.default_rng(11)
+    for _ in range(3):
+        batch = random_batch(dc, rng)
+        dc.apply(batch)
+        exact = lambdacc_objective(
+            dc.graph, dc.state.assignments, RESOLUTION
+        )
+        assert dc.f_objective == pytest.approx(exact, abs=1e-9), (
+            f"{graph_name}/{engine}: incremental F drifted"
+        )
+        assert dc.audit() == []
