@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: test test-fast test-dynamic smoke-obs baselines compare-baselines \
 	bench bench-snapshot bench-kernels compare-kernels chaos \
-	bench-supervisor bench-dynamic ci
+	bench-supervisor bench-dynamic doctor obs-report ci
 
 ## Full test suite (tier 1).
 test:
@@ -83,10 +83,46 @@ bench-supervisor:
 bench-dynamic:
 	$(PYTHON) -m pytest -x -q benchmarks/bench_dynamic.py
 
+## Run doctor over fresh instrumented runs: a batch clustering (health
+## rules over stats/trace/metrics + registry trend history) and a dynamic
+## update session (serving SLOs: commit/save latency, staleness).  Both
+## legs exit nonzero on any crit finding.
+doctor:
+	rm -rf /tmp/repro-doctor && mkdir -p /tmp/repro-doctor
+	$(PYTHON) -m repro.cli cluster --karate --resolution 0.05 --seed 3 \
+	    --trace /tmp/repro-doctor/trace.jsonl \
+	    --metrics /tmp/repro-doctor/metrics.jsonl \
+	    --register /tmp/repro-doctor/runs.jsonl --run-id doctor-check \
+	    --health-rules benchmarks/health_rules.json
+	$(PYTHON) -m repro.cli doctor doctor-check \
+	    --runs /tmp/repro-doctor/runs.jsonl \
+	    --trace /tmp/repro-doctor/trace.jsonl \
+	    --metrics /tmp/repro-doctor/metrics.jsonl --iteration-cap 10 \
+	    --rules benchmarks/health_rules.json
+	$(PYTHON) -m repro.cli update --karate \
+	    --updates benchmarks/updates_karate.jsonl --batch-size 4 --seed 3 \
+	    --metrics /tmp/repro-doctor/update-metrics.jsonl \
+	    --trace /tmp/repro-doctor/update-trace.jsonl \
+	    --snapshot-dir /tmp/repro-doctor/snaps --doctor
+
+## Self-contained HTML observability report (inline CSS/SVG, no scripts)
+## rendered from the doctor target's artifacts.
+obs-report: doctor
+	$(PYTHON) -m repro.cli obs report /tmp/repro-doctor/runs.jsonl \
+	    --html /tmp/repro-doctor/report.html \
+	    --trace /tmp/repro-doctor/trace.jsonl \
+	    --metrics /tmp/repro-doctor/metrics.jsonl --iteration-cap 10
+	$(PYTHON) -m repro.cli obs report \
+	    --html /tmp/repro-doctor/update-report.html \
+	    --trace /tmp/repro-doctor/update-trace.jsonl \
+	    --metrics /tmp/repro-doctor/update-metrics.jsonl
+
 ## The full gate a PR must pass: tier-1 tests, the observability smoke,
 ## the committed-baseline regression compare (including the kernel
-## snapshot), the supervised chaos matrix, and the <3% overhead benches
-## (disabled instrumentation, no-fault supervision).
-ci: test smoke-obs compare-baselines compare-kernels chaos bench-dynamic
+## snapshot), the supervised chaos matrix, the run doctor + HTML report,
+## and the <3% overhead benches (disabled instrumentation, no-fault
+## supervision).
+ci: test smoke-obs compare-baselines compare-kernels chaos bench-dynamic \
+	obs-report
 	$(PYTHON) -m pytest -x -q benchmarks/bench_obs_overhead.py \
 	    benchmarks/bench_supervisor.py

@@ -15,7 +15,17 @@ Subcommands:
 * ``consensus`` — cluster several seeds and write the consensus labels;
 * ``table1``   — print the surrogate dataset table;
 * ``chaos``    — run the supervised chaos matrix (fault kind x site x
-  engine x kernel) and assert the recovery invariants.
+  engine x kernel) and assert the recovery invariants;
+* ``doctor``   — health-check a finished run from its artifacts
+  (registry record, trace, metrics, stats) against declarative health
+  rules and serving SLOs; exit 1 on any crit finding;
+* ``update`` / ``serve-sim`` — dynamic clustering (DESIGN.md §11);
+* ``obs``      — timelines, the runs registry, and the self-contained
+  HTML observability report (``obs report --html``).
+
+Exit codes across the gate-like commands follow one convention:
+0 = pass, 1 = gate failure (crit finding, regression, audit issue),
+2 = usage or unreadable-input error.
 """
 
 from __future__ import annotations
@@ -318,6 +328,35 @@ def _cmd_cluster(args) -> int:
         )
         append_run(args.register, record)
         print(f"registered {run_id} in {args.register}")
+    if args.doctor or args.health_rules:
+        from repro.obs.doctor import DoctorInputs, cluster_decomposition
+
+        decomposition = None
+        if config.objective is Objective.CORRELATION:
+            # The per-cluster split is only exact for the λ-objective;
+            # modularity runs rescore a degree-reweighted graph.
+            decomposition = cluster_decomposition(
+                graph, result.assignments, float(result.resolution)
+            )
+        record = history = None
+        if args.register:
+            from repro.obs.registry import load_runs
+
+            records = load_runs(args.register)
+            if records:
+                record = records[-1]
+                history = _registry_history(records, record)
+        inputs = DoctorInputs(
+            stats=result.stats_dict(),
+            trace=list(instr.tracer.records) if instr is not None else None,
+            metric_samples=instr.metrics.collect() if instr is not None else None,
+            record=record,
+            history=history,
+            decomposition=decomposition,
+            iteration_cap=None if args.converge else args.num_iter,
+        )
+        args.doctor_source = _graph_name(args)
+        return _doctor_verdict(args, inputs, rules_path=args.health_rules)
     return 0
 
 
@@ -396,16 +435,25 @@ def _dynamic_graph_name(args) -> str:
 
 
 def _cmd_update(args) -> int:
-    from repro.dynamic import SnapshotStore, batched, read_update_log, save_snapshot
+    from repro.dynamic import (
+        ClusterServer,
+        SnapshotStore,
+        batched,
+        read_update_log,
+        save_snapshot,
+    )
 
     config = _dynamic_config(args)
     store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir else None
     clusterer = _load_dynamic(args, config, store)
+    # Batches route through the serving facade so instrumented sessions
+    # populate the per-op SLO latency histograms (commit/save).
+    server = ClusterServer(clusterer, store)
     updates = read_update_log(args.updates)
     batch_size = args.batch_size if args.batch_size else max(len(updates), 1)
     start = time.perf_counter()
     for batch in batched(updates, batch_size):
-        report = clusterer.apply(batch)
+        report = server.apply(batch)
         counts = " ".join(
             f"{op}={k}" for op, k in report.op_counts.items() if k
         )
@@ -439,7 +487,7 @@ def _cmd_update(args) -> int:
         write_labels(clusterer.state.assignments, args.output_labels)
         print(f"vertex/cluster labels written to {args.output_labels}")
     if store is not None:
-        slot = store.save(clusterer)
+        slot = server.save()
         print(f"snapshot rotated into {slot}")
     if args.save_snapshot:
         save_snapshot(args.save_snapshot, clusterer)
@@ -490,6 +538,30 @@ def _cmd_update(args) -> int:
         )
         append_run(args.register, record)
         print(f"registered {run_id} in {args.register}")
+    if args.doctor or args.slo:
+        from repro.obs.doctor import DoctorInputs
+        from repro.obs.health import load_slo
+
+        record = history = None
+        if args.register:
+            from repro.obs.registry import load_runs
+
+            records = load_runs(args.register)
+            if records:
+                record = records[-1]
+                history = _registry_history(records, record)
+        instr = clusterer.instr
+        inputs = DoctorInputs(
+            trace=list(instr.tracer.records) if instr.enabled else None,
+            metric_samples=instr.metrics.collect() if instr.enabled else None,
+            record=record,
+            history=history,
+            # Re-read: the post-save staleness reset must reach the facts.
+            dynamic_stats=clusterer.stats(),
+            slo=load_slo(args.slo) if args.slo else None,
+        )
+        args.doctor_source = _dynamic_graph_name(args)
+        return _doctor_verdict(args, inputs)
     return 0
 
 
@@ -713,6 +785,125 @@ def _cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def _load_metric_samples(path) -> List[dict]:
+    """Exported metric samples from a --metrics file (JSONL or Prometheus)."""
+    from repro.obs.metrics import MetricsRegistry, samples_from_prometheus
+
+    text = Path(path).read_text()
+    if str(path).endswith((".json", ".jsonl")):
+        return MetricsRegistry.parse_jsonl(text)
+    return samples_from_prometheus(text)
+
+
+def _load_stats_payload(path) -> dict:
+    """A stats dict from a JSON file (raw stats_dict or --profile-json)."""
+    import json
+
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ReproError(f"{path}: stats file must hold a JSON object")
+    if isinstance(payload.get("stats"), dict):
+        return payload["stats"]  # a --profile-json payload
+    return payload
+
+
+def _registry_history(records, record) -> List[dict]:
+    """Records before ``record`` with the same workload (trend baselines)."""
+    history = []
+    for other in records:
+        if other is record:
+            break
+        if other.get("workload") == record.get("workload"):
+            history.append(other)
+    return history
+
+
+def _doctor_verdict(args, inputs, rules_path=None, json_path=None) -> int:
+    """Shared tail of every doctor surface: diagnose, print, gate."""
+    from repro.obs.doctor import diagnose
+    from repro.obs.health import load_rules
+
+    rules = load_rules(rules_path) if rules_path else None
+    doctor = diagnose(inputs, rules=rules)
+    print(doctor.report.describe())
+    if doctor.slo_rows:
+        print("serving SLOs (p95 vs target):")
+        for row in doctor.slo_rows:
+            print(
+                f"  {row['op']:<8} ops={row['count']:<6} "
+                f"p50={row['p50']:.6g}s p95={row['p95']:.6g}s "
+                f"target={row['target']:g}s [{row['severity']}]"
+            )
+    if json_path:
+        import json
+
+        with open(json_path, "w") as handle:
+            json.dump(doctor.as_dict(), handle, indent=2, default=str)
+            handle.write("\n")
+        print(f"doctor verdict written to {json_path}")
+    html = getattr(args, "html", None)
+    if html:
+        from repro.obs.report import write_report
+
+        write_report(html, doctor, source=getattr(args, "doctor_source", ""))
+        print(f"report written to {html}")
+    return doctor.report.exit_code
+
+
+def _cmd_doctor(args) -> int:
+    from repro.obs.doctor import DoctorInputs, load_trace
+    from repro.obs.health import load_slo
+    from repro.obs.registry import RunRegistryError, find_run, load_runs
+
+    record = None
+    history: Optional[List[dict]] = None
+    try:
+        if args.run_id or args.last:
+            if not args.runs:
+                print(
+                    "error: a run id (or --last) needs --runs REGISTRY",
+                    file=sys.stderr,
+                )
+                return 2
+            records = load_runs(args.runs)
+            if args.last:
+                if not records:
+                    print(f"error: {args.runs} is empty", file=sys.stderr)
+                    return 2
+                record = records[-1]
+            else:
+                record = find_run(records, args.run_id)
+            history = _registry_history(records, record)
+        stats = _load_stats_payload(args.stats) if args.stats else None
+        trace = load_trace(args.trace) if args.trace else None
+        samples = _load_metric_samples(args.metrics) if args.metrics else None
+        slo = load_slo(args.slo) if args.slo else None
+    except (OSError, ValueError, RunRegistryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if record is None and stats is None and trace is None and samples is None:
+        print(
+            "error: nothing to diagnose — give a run id with --runs, or "
+            "--stats/--trace/--metrics artifact files",
+            file=sys.stderr,
+        )
+        return 2
+    inputs = DoctorInputs(
+        stats=stats,
+        trace=trace,
+        metric_samples=samples,
+        record=record,
+        history=history,
+        iteration_cap=args.iteration_cap,
+        slo=slo,
+    )
+    args.doctor_source = args.run_id or args.trace or args.metrics or args.stats or ""
+    return _doctor_verdict(
+        args, inputs, rules_path=args.rules, json_path=args.json
+    )
+
+
 def _cmd_obs_timeline(args) -> int:
     from repro.obs.schema import TraceSchemaError
     from repro.obs.timeline import write_chrome_trace
@@ -737,11 +928,54 @@ def _cmd_obs_timeline(args) -> int:
 def _cmd_obs_report(args) -> int:
     from repro.obs.registry import RunRegistryError, load_runs
 
+    if args.runs is None and not args.html:
+        print(
+            "error: give a runs.jsonl registry, or --html OUT with "
+            "--trace/--metrics/--stats artifacts",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        records = load_runs(args.runs)
+        records = load_runs(args.runs) if args.runs else []
     except (OSError, RunRegistryError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.html:
+        from repro.obs.doctor import DoctorInputs, diagnose, load_trace
+        from repro.obs.report import write_report
+
+        try:
+            stats = _load_stats_payload(args.stats) if args.stats else None
+            trace = load_trace(args.trace) if args.trace else None
+            samples = (
+                _load_metric_samples(args.metrics) if args.metrics else None
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not (records or stats or trace or samples):
+            print(
+                "error: nothing to report — give a registry and/or "
+                "--trace/--metrics/--stats artifacts",
+                file=sys.stderr,
+            )
+            return 2
+        record = records[-1] if records else None
+        history = _registry_history(records, record) if record else None
+        doctor = diagnose(
+            DoctorInputs(
+                stats=stats,
+                trace=trace,
+                metric_samples=samples,
+                record=record,
+                history=history,
+                iteration_cap=args.iteration_cap,
+            )
+        )
+        source = args.trace or args.metrics or args.stats or args.runs or ""
+        write_report(args.html, doctor, source=source, runs=records or None)
+        print(f"report written to {args.html}")
+        return 0
     if args.last is not None:
         records = records[-args.last:]
     print(
@@ -794,6 +1028,12 @@ def _cmd_obs_diff(args) -> int:
     )
     print(f"diff {args.baseline} -> {args.current}")
     print(report.describe())
+    if report.compared == 0:
+        # Nothing was actually gated — treat a vacuous diff as a failure
+        # rather than a silent pass (exit codes: 0 pass, 1 gate failure,
+        # 2 usage/data error).
+        print("error: no metrics were comparable", file=sys.stderr)
+        return 1
     return 0 if report.ok else 1
 
 
@@ -916,6 +1156,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "(see 'repro obs diff')")
     o.add_argument("--run-id", metavar="ID",
                    help="registry id for --register (default: run-<time>)")
+    o.add_argument("--doctor", action="store_true",
+                   help="run the health-rule doctor on this run's "
+                        "artifacts after clustering; exit 1 on any crit "
+                        "finding (see 'repro doctor')")
+    o.add_argument("--health-rules", metavar="FILE",
+                   help="health rules JSON for --doctor (default: the "
+                        "built-in ruleset; implies --doctor)")
     p.set_defaults(func=_cmd_cluster)
 
     p = sub.add_parser("generate", help="generate a synthetic graph")
@@ -1093,6 +1340,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "workload.update_batch tags")
     p.add_argument("--run-id", metavar="ID",
                    help="registry id for --register (default: update-<time>)")
+    p.add_argument("--doctor", action="store_true",
+                   help="run the doctor on the session: health rules plus "
+                        "serving SLOs when instrumented; exit 1 on crit")
+    p.add_argument("--slo", metavar="FILE",
+                   help="serving SLO spec JSON for --doctor (default: "
+                        "built-in targets; implies --doctor)")
     p.set_defaults(func=_cmd_update, profile=False, profile_json=None)
 
     p = sub.add_parser(
@@ -1108,6 +1361,41 @@ def build_parser() -> argparse.ArgumentParser:
                    trace=None, metrics=None)
 
     p = sub.add_parser(
+        "doctor",
+        help="health-check a run from its artifacts (registry record, "
+             "trace JSONL, metrics export, stats JSON); exit 1 on any "
+             "crit finding, 2 on unreadable inputs",
+    )
+    p.add_argument("run_id", nargs="?",
+                   help="registered run id to diagnose (needs --runs)")
+    p.add_argument("--runs", metavar="RUNS_JSONL",
+                   help="runs registry: the record itself plus its "
+                        "same-workload history for trend rules")
+    p.add_argument("--last", action="store_true",
+                   help="diagnose the most recent registered run")
+    p.add_argument("--trace", metavar="FILE",
+                   help="trace JSONL written by cluster/update --trace")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="metrics export (.json/.jsonl or Prometheus text)")
+    p.add_argument("--stats", metavar="FILE",
+                   help="stats JSON (a raw stats dict or a --profile-json "
+                        "payload)")
+    p.add_argument("--rules", metavar="FILE",
+                   help="health rules JSON (default: the built-in ruleset, "
+                        "mirrored in benchmarks/health_rules.json)")
+    p.add_argument("--slo", metavar="FILE",
+                   help="serving SLO spec JSON (forces SLO evaluation "
+                        "even without serving samples)")
+    p.add_argument("--iteration-cap", type=int, default=None, metavar="N",
+                   help="the run's --num-iter cap, enabling "
+                        "capped/stalled-level detection from stats")
+    p.add_argument("--json", metavar="FILE",
+                   help="write the full verdict (findings + facts) as JSON")
+    p.add_argument("--html", metavar="FILE",
+                   help="also render the self-contained HTML report")
+    p.set_defaults(func=_cmd_doctor)
+
+    p = sub.add_parser(
         "obs", help="observability: timelines and the runs registry"
     )
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
@@ -1121,10 +1409,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output path (default: <trace>.chrome.json)")
     q.set_defaults(func=_cmd_obs_timeline)
 
-    q = obs_sub.add_parser("report", help="print the registered runs")
-    q.add_argument("runs", help="runs.jsonl registry file")
+    q = obs_sub.add_parser(
+        "report",
+        help="print the registered runs, or render a self-contained "
+             "HTML observability report with --html",
+    )
+    q.add_argument("runs", nargs="?", default=None,
+                   help="runs.jsonl registry file (optional with --html)")
     q.add_argument("--last", type=int, default=None, metavar="N",
                    help="only the N most recent runs")
+    q.add_argument("--html", metavar="FILE",
+                   help="write a single-file HTML report (inline CSS/SVG, "
+                        "no scripts) instead of the table")
+    q.add_argument("--trace", metavar="FILE",
+                   help="trace JSONL feeding the span waterfall and "
+                        "convergence panels")
+    q.add_argument("--metrics", metavar="FILE",
+                   help="metrics export feeding metric facts and SLO rows")
+    q.add_argument("--stats", metavar="FILE",
+                   help="stats JSON (raw stats_dict or --profile-json)")
+    q.add_argument("--iteration-cap", type=int, default=None, metavar="N",
+                   help="the run's --num-iter cap for stall detection")
     q.set_defaults(func=_cmd_obs_report)
 
     q = obs_sub.add_parser(

@@ -11,8 +11,10 @@ Public surface (DESIGN.md §11):
   policy;
 * :class:`~repro.dynamic.snapshot.SnapshotStore` — two-slot rotating
   ``.npz`` persistence of live state (bit-identical resumption);
-* :func:`~repro.dynamic.serve.run_session` — the deterministic scripted
-  session runner behind ``repro serve-sim``.
+* :class:`~repro.dynamic.serve.ClusterServer` — the SLO-instrumented
+  query/stage/commit/save facade (per-op latency histograms, staleness
+  gauge) and :func:`~repro.dynamic.serve.run_session` — the
+  deterministic scripted session runner behind ``repro serve-sim``.
 """
 
 from repro.dynamic.clusterer import DriftGuard, DynamicClusterer, UpdateReport
@@ -22,7 +24,7 @@ from repro.dynamic.snapshot import (
     read_snapshot_meta,
     save_snapshot,
 )
-from repro.dynamic.serve import run_session
+from repro.dynamic.serve import ClusterServer, run_session
 from repro.dynamic.updates import (
     EdgeUpdate,
     UpdateBatch,
@@ -32,6 +34,7 @@ from repro.dynamic.updates import (
 )
 
 __all__ = [
+    "ClusterServer",
     "DriftGuard",
     "DynamicClusterer",
     "EdgeUpdate",

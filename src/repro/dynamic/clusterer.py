@@ -68,6 +68,7 @@ from repro.obs.instrument import (
     M_DYNAMIC_QUERIES,
     M_DYNAMIC_SEED,
     M_DYNAMIC_UPDATES,
+    M_SERVE_STALENESS,
     NULL_INSTRUMENTATION,
 )
 from repro.parallel.scheduler import SimulatedScheduler
@@ -191,6 +192,9 @@ class DynamicClusterer:
         self.queries_answered = 0
         self.last_drift: Optional[float] = None
         self.sim_seconds = 0.0
+        # Serving staleness: updates applied since the last snapshot
+        # save (not persisted — a just-restored state is fresh).
+        self.updates_since_save = 0
 
     # ------------------------------------------------------------------ #
     # Bootstrap
@@ -288,7 +292,14 @@ class DynamicClusterer:
             "last_drift": self.last_drift,
             "queries_answered": int(self.queries_answered),
             "sim_seconds": float(self.sim_seconds),
+            "updates_since_save": int(self.updates_since_save),
         }
+
+    def mark_saved(self) -> None:
+        """Reset serving staleness after a successful snapshot save."""
+        self.updates_since_save = 0
+        if self.instr.enabled:
+            self.instr.set_gauge(M_SERVE_STALENESS, 0.0)
 
     def exact_objective(self) -> float:
         """Full ``F`` recompute from the current graph + assignments."""
@@ -367,8 +378,12 @@ class DynamicClusterer:
         for op, k in counts.items():
             self.updates_applied[op] += k
         self.moves_applied += int(moves)
+        self.updates_since_save += len(batch)
         self.sim_seconds += sched.simulated_time()
         if self.instr.enabled:
+            self.instr.set_gauge(
+                M_SERVE_STALENESS, float(self.updates_since_save)
+            )
             self.instr.count(M_DYNAMIC_BATCHES, 1.0)
             for op, k in counts.items():
                 if k:

@@ -1,10 +1,20 @@
-"""Scripted query/update sessions against a :class:`DynamicClusterer`.
+"""Serving facade and scripted query/update sessions.
 
-``repro serve-sim`` is a *simulated* serving loop: a deterministic script
-drives the same facade a real service would call, producing one output
-line per command — which makes serving behavior testable with plain
-string comparison (no sockets, no timing).  Script grammar, one command
-per line (blank lines and ``#`` comments skipped)::
+:class:`ClusterServer` wraps a :class:`DynamicClusterer` (plus an
+optional :class:`SnapshotStore`) behind the op surface a real service
+exposes — query / stage / commit / save / audit — and, when the run is
+instrumented, times every op into the ``repro_serve_op_seconds``
+histogram (µs-resolution buckets) that the SLO spec in
+:mod:`repro.obs.health` gates on.  The staleness gauge
+(``repro_serve_staleness_updates``) is maintained by the clusterer
+itself on apply/save.  With instrumentation disabled there is no
+``perf_counter`` call on the op path at all.
+
+``repro serve-sim`` drives the same facade from a deterministic script:
+one output line per command, floats printed with ``%.9g`` and
+wall-clock numbers excluded, so a session's transcript is reproducible
+bit-for-bit across machines.  Script grammar, one command per line
+(blank lines and ``#`` comments skipped)::
 
     get U                # cluster_of(U)
     same U V             # are U and V co-clustered right now?
@@ -16,19 +26,24 @@ per line (blank lines and ``#`` comments skipped)::
     commit               # apply staged updates as one UpdateBatch
     save                 # rotate a snapshot into the session's SnapshotStore
     audit                # StateAuditor over the live state
-
-Floats are printed with ``%.9g`` and wall-clock numbers are excluded, so
-a session's transcript is reproducible bit-for-bit across machines.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+import time
+from typing import Iterable, List, Optional, Union
 
-from repro.dynamic.clusterer import DynamicClusterer
+import numpy as np
+
+from repro.dynamic.clusterer import DynamicClusterer, UpdateReport
 from repro.dynamic.snapshot import SnapshotStore
 from repro.dynamic.updates import EdgeUpdate, UpdateBatch
 from repro.errors import UpdateError
+from repro.obs.instrument import (
+    M_SERVE_LATENCY,
+    SERVE_LATENCY_BUCKETS,
+    _HELP,
+)
 
 #: Keys of :meth:`DynamicClusterer.stats` included in ``stats`` output —
 #: the deterministic subset (no wall/sim seconds).
@@ -49,14 +64,142 @@ def _fmt(value) -> str:
     return str(value)
 
 
+class ClusterServer:
+    """Query/stage/commit/save facade over a live clusterer.
+
+    Ops and their latency-histogram labels:
+
+    * ``query`` — :meth:`cluster_of`, :meth:`same`, :meth:`members`,
+      :meth:`stats`;
+    * ``stage`` — :meth:`stage` (validate + queue one update);
+    * ``commit`` — :meth:`commit` (staged) / :meth:`apply` (direct
+      batch, the ``repro update`` path);
+    * ``save`` — :meth:`save` snapshot rotation;
+    * ``audit`` — :meth:`audit` full-state invariant check.
+    """
+
+    def __init__(
+        self,
+        clusterer: DynamicClusterer,
+        store: Optional[SnapshotStore] = None,
+    ) -> None:
+        self.clusterer = clusterer
+        self.store = store
+        self.staged: List[EdgeUpdate] = []
+        instr = clusterer.instr
+        if instr.enabled:
+            # Pre-register with µs-scale buckets; later observe() calls
+            # reuse the instance (the registry is get-or-create).
+            instr.metrics.histogram(
+                M_SERVE_LATENCY,
+                _HELP.get(M_SERVE_LATENCY, ""),
+                buckets=SERVE_LATENCY_BUCKETS,
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def instr(self):
+        return self.clusterer.instr
+
+    def _begin(self) -> Optional[float]:
+        return time.perf_counter() if self.instr.enabled else None
+
+    def _end(self, op: str, start: Optional[float]) -> None:
+        if start is not None:
+            self.instr.observe(
+                M_SERVE_LATENCY, time.perf_counter() - start, op=op
+            )
+
+    # ------------------------------------------------------------------
+    # query ops
+    # ------------------------------------------------------------------
+    def cluster_of(self, u: int) -> int:
+        start = self._begin()
+        try:
+            return self.clusterer.cluster_of(u)
+        finally:
+            self._end("query", start)
+
+    def same(self, u: int, v: int) -> bool:
+        start = self._begin()
+        try:
+            return self.clusterer.cluster_of(u) == self.clusterer.cluster_of(v)
+        finally:
+            self._end("query", start)
+
+    def members(self, cluster: int) -> np.ndarray:
+        start = self._begin()
+        try:
+            return self.clusterer.members(cluster)
+        finally:
+            self._end("query", start)
+
+    def stats(self) -> dict:
+        start = self._begin()
+        try:
+            return self.clusterer.stats()
+        finally:
+            self._end("query", start)
+
+    # ------------------------------------------------------------------
+    # mutation ops
+    # ------------------------------------------------------------------
+    def stage(self, update: EdgeUpdate) -> int:
+        """Queue one update; returns the staged count."""
+        start = self._begin()
+        try:
+            self.staged.append(update)
+            return len(self.staged)
+        finally:
+            self._end("stage", start)
+
+    def commit(self) -> UpdateReport:
+        """Apply every staged update as one batch."""
+        batch = UpdateBatch(self.staged)
+        self.staged = []
+        return self.apply(batch)
+
+    def apply(
+        self, batch: Union[UpdateBatch, List[EdgeUpdate]]
+    ) -> UpdateReport:
+        """Apply a batch directly (the ``repro update`` path)."""
+        start = self._begin()
+        try:
+            return self.clusterer.apply(batch)
+        finally:
+            self._end("commit", start)
+
+    def save(self):
+        """Rotate a snapshot into the store; resets staleness."""
+        if self.store is None:
+            raise UpdateError("save requires a snapshot store (--snapshot-dir)")
+        start = self._begin()
+        try:
+            return self.store.save(self.clusterer)
+        finally:
+            self._end("save", start)
+
+    def audit(self) -> List[str]:
+        start = self._begin()
+        try:
+            return self.clusterer.audit()
+        finally:
+            self._end("audit", start)
+
+
 def run_session(
-    clusterer: DynamicClusterer,
+    clusterer: Union[DynamicClusterer, ClusterServer],
     script: Iterable[str],
     store: Optional[SnapshotStore] = None,
 ) -> List[str]:
     """Execute a serve-sim script; returns one output line per command."""
+    if isinstance(clusterer, ClusterServer):
+        server = clusterer
+        if store is not None and server.store is None:
+            server.store = store
+    else:
+        server = ClusterServer(clusterer, store)
     out: List[str] = []
-    staged: List[EdgeUpdate] = []
     for lineno, raw in enumerate(script, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
@@ -64,47 +207,38 @@ def run_session(
         parts = line.split()
         cmd, args = parts[0], parts[1:]
         try:
-            out.append(_dispatch(clusterer, store, staged, cmd, args))
+            out.append(_dispatch(server, cmd, args))
         except UpdateError as exc:
             raise UpdateError(f"serve script line {lineno} ({line!r}): {exc}") from exc
-    if staged:
-        out.append(f"warning: {len(staged)} staged updates never committed")
+    if server.staged:
+        out.append(f"warning: {len(server.staged)} staged updates never committed")
     return out
 
 
-def _dispatch(
-    clusterer: DynamicClusterer,
-    store: Optional[SnapshotStore],
-    staged: List[EdgeUpdate],
-    cmd: str,
-    args: List[str],
-) -> str:
+def _dispatch(server: ClusterServer, cmd: str, args: List[str]) -> str:
     if cmd == "get":
         (u,) = _ints(cmd, args, 1)
-        return f"cluster_of({u}) = {clusterer.cluster_of(u)}"
+        return f"cluster_of({u}) = {server.cluster_of(u)}"
     if cmd == "same":
         u, v = _ints(cmd, args, 2)
-        same = clusterer.cluster_of(u) == clusterer.cluster_of(v)
-        return f"same({u}, {v}) = {'true' if same else 'false'}"
+        return f"same({u}, {v}) = {'true' if server.same(u, v) else 'false'}"
     if cmd == "members":
         (c,) = _ints(cmd, args, 1)
-        ids = ",".join(str(x) for x in clusterer.members(c))
+        ids = ",".join(str(x) for x in server.members(c))
         return f"members({c}) = [{ids}]"
     if cmd == "stats":
-        stats = clusterer.stats()
+        stats = server.stats()
         body = " ".join(f"{key}={_fmt(stats[key])}" for key in STATS_KEYS)
         return f"stats: {body}"
     if cmd in ("insert", "delete", "reweight"):
         update = _parse_update(cmd, args)
-        staged.append(update)
+        server.stage(update)
         suffix = "" if cmd == "delete" else f" w={_fmt(update.weight)}"
         return f"staged {cmd} ({update.u}, {update.v}){suffix}"
     if cmd == "commit":
         if args:
             raise UpdateError("commit takes no arguments")
-        batch = UpdateBatch(staged)
-        staged.clear()
-        report = clusterer.apply(batch)
+        report = server.commit()
         line = (
             f"commit[{report.batch_index}]: updates={report.num_updates} "
             f"seed={report.seed_size} rounds={report.iterations} "
@@ -114,12 +248,10 @@ def _dispatch(
             line += f" escalated={report.escalated}"
         return line
     if cmd == "save":
-        if store is None:
-            raise UpdateError("save requires a snapshot store (--snapshot-dir)")
-        path = store.save(clusterer)
+        path = server.save()
         return f"saved {path.name}"
     if cmd == "audit":
-        issues = clusterer.audit()
+        issues = server.audit()
         if not issues:
             return "audit: clean"
         return f"audit: {len(issues)} issues: " + "; ".join(issues)

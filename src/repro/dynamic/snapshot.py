@@ -93,6 +93,7 @@ def save_snapshot(
         os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)
+    clusterer.mark_saved()
 
 
 def read_snapshot_meta(path: PathLike) -> dict:

@@ -8,6 +8,10 @@ Public surface (DESIGN.md §7):
   round`` spans) and a :class:`~repro.obs.metrics.MetricsRegistry`
   (moves, gains, frontier sizes, compression ratios, CAS retries);
 * :mod:`repro.obs.schema` — trace JSONL validation (the CI smoke gate);
+* :mod:`repro.obs.health` / :mod:`repro.obs.doctor` /
+  :mod:`repro.obs.report` — the run doctor (DESIGN.md §12): declarative
+  health rules + serving SLOs over the artifacts above, and the
+  self-contained HTML report;
 * :mod:`repro.obs.bench` — the unified bench harness with committed
   ``BENCH_*.json`` baselines and regression compare (imported explicitly,
   not re-exported here, because it reaches back into the core package).
@@ -35,13 +39,37 @@ from repro.obs.instrument import (
     Instrumentation,
     instr_of,
 )
+from repro.obs.doctor import (
+    DoctorInputs,
+    DoctorResult,
+    cluster_decomposition,
+    collect_facts,
+    diagnose,
+    trace_series,
+)
+from repro.obs.health import (
+    Finding,
+    HealthReport,
+    HealthRule,
+    HealthRuleError,
+    SLOSpec,
+    default_rules,
+    evaluate_rules,
+    evaluate_slos,
+    load_rules,
+    load_slo,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     parse_prometheus,
+    parse_prometheus_headers,
+    sample_quantile,
+    samples_from_prometheus,
 )
+from repro.obs.report import render_report, write_report
 from repro.obs.registry import (
     RUNS_SCHEMA,
     RunRegistryError,
@@ -57,10 +85,17 @@ from repro.obs.tracer import NULL_SPAN, Span, SpanNode, Tracer, span_tree
 
 __all__ = [
     "Counter",
+    "DoctorInputs",
+    "DoctorResult",
+    "Finding",
     "Gauge",
+    "HealthReport",
+    "HealthRule",
+    "HealthRuleError",
     "Histogram",
     "Instrumentation",
     "MetricsRegistry",
+    "SLOSpec",
     "M_ATOMIC_QUEUE",
     "M_CAS_ATTEMPTS",
     "M_CAS_INJECTED",
@@ -87,13 +122,26 @@ __all__ = [
     "Tracer",
     "append_run",
     "chrome_trace",
+    "cluster_decomposition",
+    "collect_facts",
+    "default_rules",
+    "diagnose",
     "diff_runs",
+    "evaluate_rules",
+    "evaluate_slos",
     "find_run",
     "instr_of",
+    "load_rules",
     "load_runs",
+    "load_slo",
     "make_run_record",
     "parse_prometheus",
+    "parse_prometheus_headers",
+    "render_report",
+    "sample_quantile",
+    "samples_from_prometheus",
     "span_tree",
+    "trace_series",
     "validate_run_record",
-    "write_chrome_trace",
+    "write_report",
 ]

@@ -95,6 +95,19 @@ M_DYNAMIC_DRIFT = "repro_dynamic_drift_abs"
 M_DYNAMIC_ESCALATIONS = "repro_dynamic_escalations_total"
 #: Serving-facade queries answered, labeled by kind (counter).
 M_DYNAMIC_QUERIES = "repro_dynamic_queries_total"
+#: Serving-facade op latency in seconds, labeled by op:
+#: query/stage/commit/save/audit (histogram).  Fed by ClusterServer.
+M_SERVE_LATENCY = "repro_serve_op_seconds"
+#: Edge updates applied to the live state since the last snapshot save
+#: (gauge) — the serving staleness the SLO spec bounds.
+M_SERVE_STALENESS = "repro_serve_staleness_updates"
+
+#: Latency buckets for M_SERVE_LATENCY: a 1-2.5-5 ladder from 1 µs to
+#: 50 s — the default registry ladder starts at 1 ms, far too coarse for
+#: sub-millisecond query ops.
+SERVE_LATENCY_BUCKETS = tuple(
+    m * 10.0**e for e in range(-6, 2) for m in (1.0, 2.5, 5.0)
+)
 
 _HELP = {
     M_MOVES: "Vertex moves applied by BEST-MOVES engines",
@@ -130,6 +143,8 @@ _HELP = {
     M_DYNAMIC_DRIFT: "Absolute objective drift at the last guard check",
     M_DYNAMIC_ESCALATIONS: "Drift-guard escalations to full re-clustering",
     M_DYNAMIC_QUERIES: "Serving-facade queries answered, by kind",
+    M_SERVE_LATENCY: "Serving-facade op latency in seconds, by op",
+    M_SERVE_STALENESS: "Updates applied since the last snapshot save",
 }
 
 

@@ -52,6 +52,15 @@ def _escape_label_value(value: str) -> str:
     )
 
 
+def _escape_help(text: str) -> str:
+    """Prometheus ``# HELP`` escaping: backslash and newline only.
+
+    Quotes stay literal in HELP lines (unlike label values) — a raw
+    newline, though, would split the comment and corrupt the exposition.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(key: LabelKey) -> str:
     if not key:
         return ""
@@ -185,35 +194,31 @@ class Histogram(Metric):
     def quantile(self, q: float, **labels) -> Optional[float]:
         """Bucket-interpolated quantile estimate (``None`` when empty).
 
-        Walks the non-cumulative bucket counts to the bucket containing
-        the ``q``-th rank and interpolates linearly within it, with the
-        bucket edges clamped to the observed ``[min, max]`` — so a
-        single-value series returns that value exactly and estimates
-        never leave the observed range.  Rank mass past the top finite
-        bound (the implicit ``+Inf`` bucket) resolves to ``max``.
+        Documented exact values: an empty series returns ``None``;
+        ``q=0`` returns the observed ``min``; ``q=1`` returns the
+        observed ``max`` — regardless of which buckets the mass landed
+        in (including everything in the implicit ``+Inf`` bucket).  In
+        between, walks the non-cumulative bucket counts to the bucket
+        containing the ``q``-th rank and interpolates linearly within
+        it, with the bucket edges clamped to the observed ``[min, max]``
+        — so a single-value series returns that value exactly and
+        estimates never leave the observed range.  Rank mass past the
+        top finite bound (the implicit ``+Inf`` bucket) resolves to
+        ``max``.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         series = self._series.get(_label_key(labels))
         if series is None or series.count == 0:
             return None
-        rank = q * series.count
-        cumulative = 0.0
-        prev_bound: Optional[float] = None
-        for bound, n in zip(self.buckets, series.bucket_counts):
-            if n:
-                lo = (
-                    series.min
-                    if prev_bound is None
-                    else max(prev_bound, series.min)
-                )
-                hi = max(min(bound, series.max), lo)
-                if cumulative + n >= rank:
-                    frac = max(0.0, min(1.0, (rank - cumulative) / n))
-                    return lo + frac * (hi - lo)
-                cumulative += n
-            prev_bound = bound
-        return series.max  # remaining mass sits in the +Inf bucket
+        return _interpolated_quantile(
+            self.buckets,
+            series.bucket_counts,
+            series.count,
+            series.min,
+            series.max,
+            q,
+        )
 
     def count(self, **labels) -> int:
         series = self._series.get(_label_key(labels))
@@ -250,6 +255,64 @@ class Histogram(Metric):
                 }
             )
         return out
+
+
+def _interpolated_quantile(
+    bounds: Sequence[float],
+    bucket_counts: Sequence[int],
+    count: int,
+    vmin: float,
+    vmax: float,
+    q: float,
+) -> float:
+    """Shared quantile walk over non-cumulative bucket counts.
+
+    ``q=0`` / ``q=1`` short-circuit to the exact observed extremes so
+    edge quantiles never depend on bucket placement.
+    """
+    if q <= 0.0:
+        return vmin
+    if q >= 1.0:
+        return vmax
+    rank = q * count
+    cumulative = 0.0
+    prev_bound: Optional[float] = None
+    for bound, n in zip(bounds, bucket_counts):
+        if n:
+            lo = vmin if prev_bound is None else max(prev_bound, vmin)
+            hi = max(min(bound, vmax), lo)
+            if cumulative + n >= rank:
+                frac = max(0.0, min(1.0, (rank - cumulative) / n))
+                return lo + frac * (hi - lo)
+            cumulative += n
+        prev_bound = bound
+    return vmax  # remaining mass sits in the +Inf bucket
+
+
+def sample_quantile(sample: dict, q: float) -> Optional[float]:
+    """Quantile estimate from one exported histogram *sample* dict.
+
+    Accepts the shape :meth:`Histogram.samples` emits (and
+    :meth:`MetricsRegistry.parse_jsonl` reads back): cumulative
+    ``buckets`` mapping plus ``count``/``min``/``max``.  Same semantics
+    as :meth:`Histogram.quantile`, so offline consumers (the run
+    doctor) agree with the in-process registry.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    count = int(sample.get("count") or 0)
+    if count == 0:
+        return None
+    bounds: List[float] = []
+    bucket_counts: List[int] = []
+    previous = 0
+    for bound_text, cumulative in sample.get("buckets", {}).items():
+        bounds.append(float(bound_text))
+        bucket_counts.append(int(cumulative) - previous)
+        previous = int(cumulative)
+    vmin = float(sample["min"])
+    vmax = float(sample["max"])
+    return _interpolated_quantile(bounds, bucket_counts, count, vmin, vmax, q)
 
 
 class MetricsRegistry:
@@ -318,7 +381,7 @@ class MetricsRegistry:
         for name in self.names():
             metric = self._metrics[name]
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} {metric.kind}")
             if isinstance(metric, Histogram):
                 for sample in metric.samples():
@@ -390,6 +453,122 @@ def _parse_label_body(line: str, start: int) -> Tuple[Dict[str, str], int]:
     if i >= len(line):
         raise ValueError(f"unterminated label set in {line!r}")
     return labels, i + 1  # past the closing brace
+
+
+def _unescape_help(text: str) -> str:
+    chars: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            chars.append({"\\": "\\", "n": "\n"}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            chars.append(ch)
+            i += 1
+    return "".join(chars)
+
+
+def parse_prometheus_headers(text: str) -> Dict[str, Dict[str, str]]:
+    """Parse ``# HELP`` / ``# TYPE`` comment lines back per metric name.
+
+    Returns ``{name: {"help": ..., "type": ...}}`` with HELP text
+    un-escaped — the comment-line half of the exposition round-trip
+    (:func:`parse_prometheus` handles the sample lines).
+    """
+    headers: Dict[str, Dict[str, str]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line.startswith("#"):
+            continue
+        parts = line.split(" ", 3)
+        if len(parts) < 4 or parts[1] not in ("HELP", "TYPE"):
+            continue
+        _, keyword, name, rest = parts
+        entry = headers.setdefault(name, {})
+        if keyword == "HELP":
+            entry["help"] = _unescape_help(rest)
+        else:
+            entry["type"] = rest
+    return headers
+
+
+def samples_from_prometheus(text: str) -> List[dict]:
+    """Reconstruct exporter-shaped samples from Prometheus text.
+
+    Inverse of :meth:`MetricsRegistry.to_prometheus` as far as the
+    format allows: counters and gauges come back as
+    ``{metric, type, labels, value}``; ``_bucket``/``_sum``/``_count``
+    series reassemble into one histogram sample per label set.  The
+    exact observed min/max are not part of the exposition format, so
+    they are approximated conservatively from the occupied buckets —
+    quantile estimates stay inside the reconstructed range but can be
+    coarser than from the JSONL export.
+    """
+    headers = parse_prometheus_headers(text)
+    flat = parse_prometheus(text)
+    out: List[dict] = []
+    histograms: Dict[Tuple[str, LabelKey], dict] = {}
+    for sample in flat:
+        name, labels, value = sample["name"], sample["labels"], sample["value"]
+        base = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            stem = name[: -len(suffix)] if name.endswith(suffix) else None
+            if stem and headers.get(stem, {}).get("type") == "histogram":
+                base = (stem, suffix)
+                break
+        if base is None:
+            out.append(
+                {
+                    "metric": name,
+                    "type": headers.get(name, {}).get("type", "untyped"),
+                    "labels": labels,
+                    "value": value,
+                }
+            )
+            continue
+        stem, suffix = base
+        key_labels = {k: v for k, v in labels.items() if k != "le"}
+        key = (stem, _label_key(key_labels))
+        agg = histograms.get(key)
+        if agg is None:
+            agg = histograms[key] = {
+                "metric": stem,
+                "type": "histogram",
+                "labels": key_labels,
+                "count": 0,
+                "sum": 0.0,
+                "buckets": {},
+            }
+            out.append(agg)
+        if suffix == "_sum":
+            agg["sum"] = value
+        elif suffix == "_count":
+            agg["count"] = int(value)
+        elif labels.get("le") not in (None, "+Inf"):
+            agg["buckets"][labels["le"]] = int(value)
+    for agg in histograms.values():
+        bounds = sorted(agg["buckets"], key=float)
+        agg["buckets"] = {b: agg["buckets"][b] for b in bounds}
+        previous = 0
+        occupied: List[int] = []
+        for i, bound in enumerate(bounds):
+            if agg["buckets"][bound] > previous:
+                occupied.append(i)
+            previous = agg["buckets"][bound]
+        if agg["count"] == 0:
+            agg["min"] = agg["max"] = None
+        elif occupied:
+            first, last = occupied[0], occupied[-1]
+            agg["min"] = float(bounds[first - 1]) if first else min(
+                float(bounds[0]), 0.0
+            )
+            overflow = agg["count"] > agg["buckets"][bounds[-1]]
+            agg["max"] = float(bounds[-1 if overflow else last])
+        else:  # all mass in the implicit +Inf bucket
+            agg["min"] = agg["max"] = float(bounds[-1]) if bounds else 0.0
+    return out
 
 
 def parse_prometheus(text: str) -> List[dict]:

@@ -1,0 +1,599 @@
+"""Self-contained HTML observability report (``repro obs report --html``).
+
+One file, zero external fetches: inline CSS, inline SVG charts, no
+JavaScript.  The artifact you attach to a regression ticket — it renders
+anywhere, including from a sandboxed attachment viewer.
+
+Sections (each skipped cleanly when its input is absent):
+
+* **Findings** — the doctor's health-rule verdicts, worst first, with
+  icon + label severity chips (never color alone).
+* **Serving SLOs** — per-op latency table (count, p50, p95, target).
+* **Span waterfall** — completion-ordered trace spans on the wall
+  clock, depth encoded as an ordinal single-hue ramp.
+* **Worker lanes** — per-lane busy/wait/utilization summary of the
+  simulated scheduler's timeline records.
+* **Quality panels** — round-gain, move-churn, and frontier-decay
+  curves; per-level objective deltas; per-cluster λ-objective
+  decomposition (size histogram, worst clusters).
+* **Registry** — recent ``runs.jsonl`` rows for context.
+
+Charts follow the repo's chart conventions: one axis, thin marks,
+recessive hairline grid, text in ink tokens (never series color), a
+light and dark theme from the same validated palette.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.doctor import DoctorResult
+
+#: Validated palette (see DESIGN.md §12): categorical slot 1 carries
+#: every single-series chart; the ordinal blue ramp encodes span depth;
+#: status colors are reserved for severities and always paired with an
+#: icon + label.
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --gridline: #e1e0d9;
+  --axis: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --series-1: #2a78d6;
+  --depth-0: #184f95;
+  --depth-1: #2a78d6;
+  --depth-2: #5598e7;
+  --depth-3: #86b6ef;
+  --status-good: #0ca30c;
+  --status-warning: #fab219;
+  --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --gridline: #2c2c2a;
+    --axis: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5;
+    --depth-0: #86b6ef;
+    --depth-1: #5598e7;
+    --depth-2: #3987e5;
+    --depth-3: #1c5cab;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page);
+  color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 1080px; margin: 0 auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 0 0 10px; }
+.meta { color: var(--text-secondary); margin: 0 0 20px; }
+section {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px 18px; margin-bottom: 16px;
+}
+table { border-collapse: collapse; width: 100%; }
+th, td {
+  text-align: left; padding: 5px 10px 5px 0;
+  border-bottom: 1px solid var(--gridline);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--text-secondary); font-weight: 600; }
+td.num, th.num { text-align: right; }
+.chip { font-weight: 600; white-space: nowrap; }
+.chip.ok { color: var(--status-good); }
+.chip.warn { color: var(--status-warning); }
+.chip.crit { color: var(--status-critical); }
+.skip { color: var(--text-muted); }
+.note { color: var(--text-muted); font-size: 12px; margin: 8px 0 0; }
+svg text { fill: var(--text-secondary); font-size: 10px; }
+svg .lbl { fill: var(--text-primary); font-size: 11px; }
+.grid { display: flex; flex-wrap: wrap; gap: 24px; }
+.panel h3 { font-size: 13px; margin: 0 0 6px; }
+footer { color: var(--text-muted); font-size: 12px; margin-top: 8px; }
+"""
+
+#: Severity chip: icon + label, never color alone.
+_CHIPS = {
+    "ok": ("✓", "ok", "ok"),
+    "warn": ("⚠", "warn", "warn"),
+    "crit": ("✗", "crit", "crit"),
+}
+
+MAX_WATERFALL_ROWS = 48
+MAX_WORKER_ROWS = 16
+MAX_REGISTRY_ROWS = 12
+
+
+def _esc(value) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _num(value, digits: int = 6) -> str:
+    if value is None:
+        return "–"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def _ms(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "–"
+    return f"{seconds * 1e3:.3g} ms"
+
+
+def _chip(severity: Optional[str]) -> str:
+    if severity is None:
+        return '<span class="skip">–</span>'
+    icon, label, cls = _CHIPS.get(severity, ("?", severity, "skip"))
+    return f'<span class="chip {cls}">{icon} {label}</span>'
+
+
+# ----------------------------------------------------------------------
+# SVG helpers
+# ----------------------------------------------------------------------
+
+def _svg_line(
+    values: Sequence[float],
+    width: int = 300,
+    height: int = 110,
+    x_label: str = "",
+) -> str:
+    """Single-series line: polyline in slot 1, hairline grid, one axis."""
+    if not values:
+        return '<p class="note">no data</p>'
+    pad_l, pad_r, pad_t, pad_b = 44, 8, 8, 18
+    plot_w, plot_h = width - pad_l - pad_r, height - pad_t - pad_b
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    n = len(values)
+    points = []
+    for i, v in enumerate(values):
+        x = pad_l + (plot_w * i / max(n - 1, 1))
+        y = pad_t + plot_h * (1.0 - (v - lo) / span)
+        points.append(f"{x:.1f},{y:.1f}")
+    grid = []
+    for frac, value in ((0.0, hi), (0.5, lo + span / 2), (1.0, lo)):
+        y = pad_t + plot_h * frac
+        grid.append(
+            f'<line x1="{pad_l}" y1="{y:.1f}" x2="{width - pad_r}" '
+            f'y2="{y:.1f}" stroke="var(--gridline)" stroke-width="1"/>'
+            f'<text x="{pad_l - 4}" y="{y + 3:.1f}" '
+            f'text-anchor="end">{_num(value, 3)}</text>'
+        )
+    x_text = (
+        f'<text x="{pad_l + plot_w / 2:.1f}" y="{height - 4}" '
+        f'text-anchor="middle">{_esc(x_label)}</text>'
+        if x_label else ""
+    )
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img">'
+        + "".join(grid)
+        + f'<polyline points="{" ".join(points)}" fill="none" '
+        f'stroke="var(--series-1)" stroke-width="2" '
+        f'stroke-linejoin="round"/>'
+        + x_text
+        + "</svg>"
+    )
+
+
+def _svg_bars(
+    rows: Sequence[dict],
+    width: int = 300,
+    height: int = 120,
+) -> str:
+    """Vertical bars from ``{label, value}`` rows, slot-1 fill."""
+    if not rows:
+        return '<p class="note">no data</p>'
+    pad_l, pad_r, pad_t, pad_b = 44, 8, 8, 20
+    plot_w, plot_h = width - pad_l - pad_r, height - pad_t - pad_b
+    hi = max(r["value"] for r in rows) or 1
+    n = len(rows)
+    slot = plot_w / n
+    bar_w = max(slot - 2.0, 1.0)  # 2px surface gap between fills
+    parts = [
+        f'<line x1="{pad_l}" y1="{pad_t + plot_h}" '
+        f'x2="{width - pad_r}" y2="{pad_t + plot_h}" '
+        f'stroke="var(--axis)" stroke-width="1"/>'
+        f'<text x="{pad_l - 4}" y="{pad_t + 3}" '
+        f'text-anchor="end">{_num(hi, 3)}</text>'
+    ]
+    for i, row in enumerate(rows):
+        h = plot_h * row["value"] / hi
+        x = pad_l + i * slot + 1.0
+        y = pad_t + plot_h - h
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+            f'height="{h:.1f}" rx="2" fill="var(--series-1)"/>'
+        )
+        parts.append(
+            f'<text x="{x + bar_w / 2:.1f}" y="{height - 6}" '
+            f'text-anchor="middle">{_esc(row["label"])}</text>'
+        )
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img">' + "".join(parts) + "</svg>"
+    )
+
+
+def _pick_waterfall(spans: Sequence[dict]) -> List[dict]:
+    """Keep the shallow structure plus the longest deep spans."""
+    if len(spans) <= MAX_WATERFALL_ROWS:
+        keep = list(spans)
+    else:
+        ordered = sorted(
+            spans,
+            key=lambda s: (s.get("depth", 0), -float(s.get("wall_seconds", 0))),
+        )
+        keep = ordered[:MAX_WATERFALL_ROWS]
+    keep.sort(key=lambda s: (float(s.get("start", 0.0)), s.get("id", 0)))
+    return keep
+
+
+def _span_label(span: dict) -> str:
+    attrs = span.get("attrs", {})
+    name = span.get("name", "span")
+    for key in ("phase", "level", "engine", "iteration", "batch"):
+        if key in attrs:
+            return f"{name} {key}={attrs[key]}"
+    return name
+
+
+def _svg_waterfall(spans: Sequence[dict], width: int = 1000) -> str:
+    rows = _pick_waterfall(spans)
+    if not rows:
+        return '<p class="note">no spans</p>'
+    row_h = 16
+    pad_t = 4
+    height = pad_t + row_h * len(rows) + 16
+    label_w = 240
+    plot_w = width - label_w - 60
+    total = max(
+        float(s.get("start", 0.0)) + float(s.get("wall_seconds", 0.0))
+        for s in rows
+    ) or 1.0
+    parts = []
+    for frac in (0.25, 0.5, 0.75, 1.0):
+        x = label_w + plot_w * frac
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{pad_t}" x2="{x:.1f}" '
+            f'y2="{pad_t + row_h * len(rows)}" '
+            f'stroke="var(--gridline)" stroke-width="1"/>'
+            f'<text x="{x:.1f}" y="{pad_t + row_h * len(rows) + 12}" '
+            f'text-anchor="middle">{_num(total * frac, 3)}s</text>'
+        )
+    for i, span in enumerate(rows):
+        y = pad_t + i * row_h
+        depth = min(int(span.get("depth", 0)), 3)
+        start = float(span.get("start", 0.0))
+        wall = float(span.get("wall_seconds", 0.0))
+        x = label_w + plot_w * start / total
+        w = max(plot_w * wall / total, 1.5)
+        indent = 8 * min(int(span.get("depth", 0)), 8)
+        parts.append(
+            f'<text class="lbl" x="{4 + indent}" y="{y + 12}">'
+            f"{_esc(_span_label(span))}</text>"
+            f'<rect x="{x:.1f}" y="{y + 3}" width="{w:.1f}" '
+            f'height="{row_h - 6}" rx="2" fill="var(--depth-{depth})"/>'
+        )
+    svg = (
+        f'<svg viewBox="0 0 {width} {height}" width="100%" '
+        f'height="{height}" role="img" '
+        f'preserveAspectRatio="xMinYMin meet">' + "".join(parts) + "</svg>"
+    )
+    note = ""
+    if len(spans) > len(rows):
+        note = (
+            f'<p class="note">showing {len(rows)} of {len(spans)} spans '
+            f"(shallowest structure + longest leaves).</p>"
+        )
+    return svg + note
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+
+def _findings_section(doctor: DoctorResult) -> str:
+    report = doctor.report
+    rank = {"crit": 0, "warn": 1, "ok": 2}
+    ordered = sorted(
+        report.findings, key=lambda f: (rank.get(f.severity, 3), f.rule)
+    )
+    rows = []
+    for finding in ordered:
+        rows.append(
+            "<tr>"
+            f"<td>{_chip(finding.severity)}</td>"
+            f"<td>{_esc(finding.rule)}</td>"
+            f"<td>{_esc(finding.message)}</td>"
+            "</tr>"
+        )
+    for note in report.skipped:
+        rows.append(
+            f'<tr class="skip"><td>skipped</td>'
+            f'<td colspan="2">{_esc(note)}</td></tr>'
+        )
+    if not rows:
+        rows.append('<tr><td colspan="3" class="skip">no rules ran</td></tr>')
+    summary = (
+        f"{report.count('ok')} ok · {report.count('warn')} warn · "
+        f"{report.count('crit')} crit · {len(report.skipped)} skipped"
+    )
+    return (
+        "<section><h2>Findings</h2>"
+        f'<p class="meta">{_chip(report.worst)} worst · {summary}</p>'
+        "<table><thead><tr><th>severity</th><th>rule</th>"
+        "<th>detail</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table></section>"
+    )
+
+
+def _slo_section(doctor: DoctorResult) -> str:
+    if not doctor.slo_rows:
+        return ""
+    rows = []
+    for row in doctor.slo_rows:
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(row['op'])}</td>"
+            f"<td class=\"num\">{row['count']}</td>"
+            f"<td class=\"num\">{_ms(row['p50'])}</td>"
+            f"<td class=\"num\">{_ms(row['p95'])}</td>"
+            f"<td class=\"num\">{_ms(row['target'])}</td>"
+            f"<td>{_chip(row['severity'])}</td>"
+            "</tr>"
+        )
+    staleness = doctor.facts.get("metric.repro_serve_staleness_updates")
+    note = ""
+    if staleness is not None:
+        note = (
+            f'<p class="note">staleness: {staleness:g} updates applied '
+            f"since the last snapshot save.</p>"
+        )
+    return (
+        "<section><h2>Serving SLOs</h2>"
+        "<table><thead><tr><th>op</th><th class=\"num\">ops</th>"
+        "<th class=\"num\">p50</th><th class=\"num\">p95</th>"
+        "<th class=\"num\">target p95</th><th>status</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>{note}</section>"
+    )
+
+
+def _waterfall_section(doctor: DoctorResult) -> str:
+    spans = doctor.series.get("spans") if doctor.series else None
+    if not spans:
+        return ""
+    return (
+        "<section><h2>Span waterfall</h2>"
+        '<p class="meta">wall-clock spans; bar hue darkens toward the '
+        "root (depth is ordinal).</p>"
+        f"{_svg_waterfall(spans)}</section>"
+    )
+
+
+def _workers_section(doctor: DoctorResult) -> str:
+    workers = doctor.series.get("workers") if doctor.series else None
+    if not workers:
+        return ""
+    shown = workers[:MAX_WORKER_ROWS]
+    rows = []
+    for lane in shown:
+        pct = lane["utilization"] * 100.0
+        bar_w = max(min(lane["utilization"], 1.0) * 120.0, 1.0)
+        rows.append(
+            "<tr>"
+            f"<td>w{_esc(lane['worker'])}</td>"
+            f"<td class=\"num\">{lane['chunks']}</td>"
+            f"<td class=\"num\">{_num(lane['busy'], 4)}</td>"
+            f"<td class=\"num\">{_num(lane['wait'], 4)}</td>"
+            f"<td class=\"num\">{pct:.1f}%</td>"
+            '<td><svg viewBox="0 0 124 10" width="124" height="10" '
+            'role="img"><rect x="0" y="0" width="124" height="10" rx="2" '
+            'fill="var(--gridline)"/>'
+            f'<rect x="0" y="0" width="{bar_w:.1f}" height="10" rx="2" '
+            'fill="var(--series-1)"/></svg></td>'
+            "</tr>"
+        )
+    note = ""
+    if len(workers) > len(shown):
+        note = (
+            f'<p class="note">showing {len(shown)} of {len(workers)} '
+            f"lanes.</p>"
+        )
+    return (
+        "<section><h2>Worker lanes</h2>"
+        '<p class="meta">simulated-clock utilization per scheduler '
+        "lane.</p>"
+        "<table><thead><tr><th>lane</th><th class=\"num\">chunks</th>"
+        "<th class=\"num\">busy (sim s)</th>"
+        "<th class=\"num\">wait (sim s)</th>"
+        "<th class=\"num\">util</th><th>utilization</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>{note}</section>"
+    )
+
+
+def _quality_section(doctor: DoctorResult) -> str:
+    rounds = (doctor.series or {}).get("rounds") or []
+    decomposition = doctor.decomposition
+    panels = []
+    if rounds:
+        gains = [r["gain"] for r in rounds]
+        moves = [r["moves"] for r in rounds]
+        frontier = [r["frontier"] for r in rounds]
+        panels.append(
+            '<div class="panel"><h3>Objective gain per round</h3>'
+            + _svg_line(gains, x_label="round") + "</div>"
+        )
+        panels.append(
+            '<div class="panel"><h3>Move churn per round</h3>'
+            + _svg_line(moves, x_label="round") + "</div>"
+        )
+        panels.append(
+            '<div class="panel"><h3>Frontier decay</h3>'
+            + _svg_line(frontier, x_label="round") + "</div>"
+        )
+    levels = (doctor.series or {}).get("levels") or []
+    level_table = ""
+    if levels:
+        level_rows = "".join(
+            f'<tr><td>level {_esc(lv)}</td>'
+            f'<td class="num">{_num(gain, 6)}</td></tr>'
+            for lv, gain in levels
+        )
+        level_table = (
+            '<div class="panel"><h3>Objective delta per level</h3>'
+            "<table><thead><tr><th>level</th>"
+            '<th class="num">ΔF</th></tr></thead>'
+            f"<tbody>{level_rows}</tbody></table></div>"
+        )
+    decomposition_panels = ""
+    if decomposition and decomposition.get("num_clusters"):
+        hist_rows = [
+            {
+                "label": (
+                    str(b["lo"]) if b["lo"] == b["hi"]
+                    else f"{b['lo']}–{b['hi']}"
+                ),
+                "value": b["count"],
+            }
+            for b in decomposition["size_histogram"]
+        ]
+        worst_rows = "".join(
+            "<tr>"
+            f"<td>{w['cluster']}</td>"
+            f"<td class=\"num\">{w['size']}</td>"
+            f"<td class=\"num\">{_num(w['intra'], 5)}</td>"
+            f"<td class=\"num\">{_num(w['penalty'], 5)}</td>"
+            f"<td class=\"num\">{_num(w['f'], 5)}</td>"
+            "</tr>"
+            for w in decomposition["worst"]
+        )
+        decomposition_panels = (
+            '<div class="panel"><h3>Cluster size histogram</h3>'
+            + _svg_bars(hist_rows)
+            + f'<p class="note">{decomposition["num_clusters"]} clusters · '
+            f'singleton fraction '
+            f'{decomposition["singleton_fraction"]:.3f}</p></div>'
+            '<div class="panel"><h3>Worst clusters by F_c</h3>'
+            "<table><thead><tr><th>cluster</th><th class=\"num\">size</th>"
+            '<th class="num">intra</th><th class="num">λ-penalty</th>'
+            '<th class="num">F_c</th></tr></thead>'
+            f"<tbody>{worst_rows}</tbody></table></div>"
+        )
+    body = "".join(panels) + level_table + decomposition_panels
+    if not body:
+        return ""
+    return (
+        "<section><h2>Quality panels</h2>"
+        f'<div class="grid">{body}</div></section>'
+    )
+
+
+def _registry_section(runs: Optional[Sequence[dict]]) -> str:
+    if not runs:
+        return ""
+    shown = list(runs)[-MAX_REGISTRY_ROWS:]
+    rows = []
+    for record in shown:
+        metrics = record.get("metrics", {})
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(record.get('run_id'))}</td>"
+            f"<td>{_esc(record.get('timestamp', ''))}</td>"
+            f"<td class=\"num\">{_num(metrics.get('f_objective'))}</td>"
+            f"<td class=\"num\">{_num(metrics.get('modularity'))}</td>"
+            f"<td class=\"num\">{_num(metrics.get('wall_seconds'), 4)}</td>"
+            "</tr>"
+        )
+    return (
+        "<section><h2>Registry</h2>"
+        f'<p class="meta">last {len(shown)} runs.jsonl rows.</p>'
+        "<table><thead><tr><th>run</th><th>timestamp</th>"
+        '<th class="num">F</th><th class="num">modularity</th>'
+        '<th class="num">wall s</th></tr></thead>'
+        f"<tbody>{''.join(rows)}</tbody></table></section>"
+    )
+
+
+def _facts_section(doctor: DoctorResult) -> str:
+    keep = [
+        ("run.f_objective", "F objective"),
+        ("run.modularity", "modularity"),
+        ("run.num_clusters", "clusters"),
+        ("run.rounds", "rounds"),
+        ("run.moves", "moves"),
+        ("run.levels", "levels"),
+        ("run.wall_seconds", "wall s"),
+        ("run.sim_time_seconds", "sim s"),
+        ("dynamic.batches", "update batches"),
+        ("dynamic.updates", "edge updates"),
+        ("dynamic.escalations", "escalations"),
+    ]
+    rows = [
+        f'<tr><td>{_esc(label)}</td>'
+        f'<td class="num">{_num(doctor.facts[key])}</td></tr>'
+        for key, label in keep
+        if key in doctor.facts
+    ]
+    if not rows:
+        return ""
+    return (
+        "<section><h2>Run summary</h2>"
+        f"<table><tbody>{''.join(rows)}</tbody></table></section>"
+    )
+
+
+def render_report(
+    doctor: DoctorResult,
+    title: str = "repro run report",
+    source: str = "",
+    runs: Optional[Sequence[dict]] = None,
+) -> str:
+    """Render the full report as one self-contained HTML string."""
+    meta = _esc(source) if source else "generated by repro obs report"
+    body = (
+        _findings_section(doctor)
+        + _facts_section(doctor)
+        + _slo_section(doctor)
+        + _waterfall_section(doctor)
+        + _workers_section(doctor)
+        + _quality_section(doctor)
+        + _registry_section(runs)
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_CSS}</style>\n"
+        "</head><body><main>\n"
+        f"<h1>{_esc(title)}</h1>\n"
+        f'<p class="meta">{meta}</p>\n'
+        f"{body}\n"
+        "<footer>self-contained report: inline CSS + SVG, no scripts, "
+        "no external fetches.</footer>\n"
+        "</main></body></html>\n"
+    )
+
+
+def write_report(path, doctor: DoctorResult, **kwargs) -> Path:
+    path = Path(path)
+    path.write_text(render_report(doctor, **kwargs))
+    return path

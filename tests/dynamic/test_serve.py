@@ -4,8 +4,9 @@ import pytest
 
 from repro.core.config import ClusteringConfig
 from repro.dynamic.clusterer import DriftGuard, DynamicClusterer
-from repro.dynamic.serve import run_session
+from repro.dynamic.serve import ClusterServer, run_session
 from repro.dynamic.snapshot import SnapshotStore
+from repro.dynamic.updates import EdgeUpdate, UpdateBatch
 from repro.errors import UpdateError
 from repro.graphs.karate import karate_club_graph
 
@@ -108,3 +109,93 @@ class TestErrors:
         # The stage fails at commit time, so the commit line is blamed.
         with pytest.raises(UpdateError, match="line 2.*absent"):
             run_session(make_clusterer(), ["delete 0 9", "commit"])
+
+
+class TestServingTelemetry:
+    """SLO instrumentation on the facade: per-op latency + staleness."""
+
+    def make_instrumented(self, seed=1):
+        from repro.obs.instrument import Instrumentation
+
+        instr = Instrumentation()
+        config = ClusteringConfig(resolution=0.1, seed=seed)
+        dc = DynamicClusterer.bootstrap(
+            karate_club_graph(), config, guard=NO_GUARD,
+            instrumentation=instr,
+        )
+        return dc, instr
+
+    def latency_counts(self, instr):
+        from repro.obs.instrument import M_SERVE_LATENCY
+
+        return {
+            s["labels"]["op"]: s["count"]
+            for s in instr.metrics.collect()
+            if s["metric"] == M_SERVE_LATENCY
+        }
+
+    def test_instrumented_ops_populate_per_op_histograms(self, tmp_path):
+        dc, instr = self.make_instrumented()
+        server = ClusterServer(dc, SnapshotStore(tmp_path))
+        server.cluster_of(0)
+        server.same(0, 1)
+        server.stage(EdgeUpdate("insert", 0, 9, 1.0))
+        server.commit()
+        server.save()
+        server.audit()
+        counts = self.latency_counts(instr)
+        assert counts["query"] == 2
+        assert counts["stage"] == 1
+        assert counts["commit"] == 1
+        assert counts["save"] == 1
+        assert counts["audit"] == 1
+
+    def test_disabled_instrumentation_registers_nothing(self):
+        from repro.obs.instrument import Instrumentation
+
+        dc = make_clusterer()
+        server = ClusterServer(dc)
+        server.cluster_of(0)
+        server.stage(EdgeUpdate("insert", 0, 9, 1.0))
+        server.commit()
+        # The no-op Instrumentation has an empty registry: the op path
+        # never touched perf_counter or a histogram.
+        assert isinstance(dc.instr, Instrumentation)
+        assert not dc.instr.enabled
+        assert dc.instr.metrics.collect() == []
+
+    def test_staleness_gauge_tracks_apply_and_save(self, tmp_path):
+        from repro.obs.instrument import M_SERVE_STALENESS
+
+        dc, instr = self.make_instrumented()
+        server = ClusterServer(dc, SnapshotStore(tmp_path))
+
+        def staleness():
+            for s in instr.metrics.collect():
+                if s["metric"] == M_SERVE_STALENESS:
+                    return s["value"]
+            return None
+
+        server.apply(UpdateBatch([EdgeUpdate("insert", 0, 9, 2.0)]))
+        assert staleness() == 1.0
+        server.apply(UpdateBatch([EdgeUpdate("delete", 0, 9)]))
+        assert staleness() == 2.0
+        server.save()
+        assert staleness() == 0.0
+        assert dc.stats()["updates_since_save"] == 0
+
+    def test_transcripts_identical_with_and_without_telemetry(self, tmp_path):
+        script = ["get 0", "insert 0 9", "commit", "save", "stats", "audit"]
+        plain = run_session(make_clusterer(), script,
+                            SnapshotStore(tmp_path / "a"))
+        dc, _ = self.make_instrumented()
+        timed = run_session(ClusterServer(dc, SnapshotStore(tmp_path / "b")),
+                            script)
+        assert plain == timed
+
+    def test_run_session_accepts_prebuilt_server(self, tmp_path):
+        dc = make_clusterer()
+        server = ClusterServer(dc)
+        out = run_session(server, ["save"], SnapshotStore(tmp_path))
+        assert out == ["saved snap-a.npz"]
+        assert server.store is not None

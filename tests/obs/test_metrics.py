@@ -194,3 +194,136 @@ def test_parse_prometheus_rejects_malformed_labels():
         parse_prometheus('bad{site="open 1')
     with pytest.raises(ValueError, match="unquoted"):
         parse_prometheus("bad{site=open} 1")
+
+
+# ----------------------------------------------------------------------
+# Quantile edge cases, offline sample quantiles, exposition round trips
+# ----------------------------------------------------------------------
+
+def test_quantile_edges_with_all_mass_in_overflow():
+    # Every observation above the top bound: only the implicit +Inf
+    # bucket holds mass, yet q=0/q=1 still return the exact extremes.
+    hist = Histogram("lat", buckets=[1.0, 10.0])
+    for value in (50.0, 75.0, 200.0):
+        hist.observe(value)
+    assert hist.quantile(0.0) == 50.0
+    assert hist.quantile(1.0) == 200.0
+    assert 50.0 <= hist.quantile(0.5) <= 200.0
+
+
+def test_quantile_single_bucket_histogram():
+    hist = Histogram("lat", buckets=[10.0])
+    for value in (2.0, 4.0, 6.0):
+        hist.observe(value)
+    assert hist.quantile(0.0) == 2.0
+    assert hist.quantile(1.0) == 6.0
+    assert 2.0 <= hist.quantile(0.5) <= 6.0
+
+
+def test_sample_quantile_matches_histogram_quantile():
+    from repro.obs.metrics import sample_quantile
+
+    hist = Histogram("lat", buckets=[1.0, 10.0, 100.0])
+    values = [0.5, 2.0, 3.0, 7.0, 20.0, 40.0, 90.0, 400.0]
+    for value in values:
+        hist.observe(value, op="query")
+    (sample,) = hist.samples()
+    for q in (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0):
+        assert sample_quantile(sample, q) == pytest.approx(
+            hist.quantile(q, op="query")
+        )
+
+
+def test_sample_quantile_empty_and_validation():
+    from repro.obs.metrics import sample_quantile
+
+    empty = {"count": 0, "sum": 0.0, "min": None, "max": None, "buckets": {}}
+    assert sample_quantile(empty, 0.5) is None
+    with pytest.raises(ValueError, match="quantile"):
+        sample_quantile(empty, -0.1)
+
+
+def test_sample_quantile_survives_jsonl_round_trip():
+    from repro.obs.metrics import sample_quantile
+
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=[0.001, 0.01, 0.1])
+    for value in (0.0005, 0.002, 0.004, 0.05):
+        hist.observe(value, op="commit")
+    (parsed,) = MetricsRegistry.parse_jsonl(registry.to_jsonl())
+    assert sample_quantile(parsed, 0.95) == pytest.approx(
+        hist.quantile(0.95, op="commit")
+    )
+
+
+def test_help_text_escaping_round_trip():
+    from repro.obs.metrics import parse_prometheus_headers
+
+    registry = MetricsRegistry()
+    weird = "line one\nline two \\ backslash"
+    registry.counter("c_total", weird).inc(1)
+    registry.gauge("g", "plain help").set(2.0)
+    text = registry.to_prometheus()
+    # The exposition stays single-line per comment.
+    for line in text.splitlines():
+        assert line.count("# HELP") <= 1
+    headers = parse_prometheus_headers(text)
+    assert headers["c_total"] == {"help": weird, "type": "counter"}
+    assert headers["g"] == {"help": "plain help", "type": "gauge"}
+
+
+def test_parse_headers_ignores_short_comment_lines():
+    from repro.obs.metrics import parse_prometheus_headers
+
+    headers = parse_prometheus_headers("# HELP incomplete\n# hello\nx 1\n")
+    assert headers == {}
+
+
+def test_samples_from_prometheus_round_trip():
+    from repro.obs.metrics import samples_from_prometheus
+
+    registry = MetricsRegistry()
+    registry.counter("moves_total", "moves").inc(7, engine="relaxed")
+    registry.gauge("objective", "F").set(54.4)
+    hist = registry.histogram("lat", "latency", buckets=[0.001, 0.01, 0.1])
+    for value in (0.0005, 0.002, 0.004, 0.05):
+        hist.observe(value, op="commit")
+    reconstructed = {
+        (s["metric"], tuple(sorted(s["labels"].items()))): s
+        for s in samples_from_prometheus(registry.to_prometheus())
+    }
+    counter = reconstructed[("moves_total", (("engine", "relaxed"),))]
+    assert counter["type"] == "counter" and counter["value"] == 7
+    gauge = reconstructed[("objective", ())]
+    assert gauge["type"] == "gauge" and gauge["value"] == pytest.approx(54.4)
+    histo = reconstructed[("lat", (("op", "commit"),))]
+    assert histo["type"] == "histogram"
+    assert histo["count"] == 4
+    assert histo["sum"] == pytest.approx(0.0565)
+    assert histo["buckets"] == {"0.001": 1, "0.01": 3, "0.1": 4}
+    # min/max are approximations (the format drops them), but they must
+    # bracket the occupied buckets so sample_quantile stays in range.
+    from repro.obs.metrics import sample_quantile
+
+    assert histo["min"] <= 0.001
+    assert histo["max"] == pytest.approx(0.1)
+    assert 0.0 <= sample_quantile(histo, 0.5) <= 0.1
+
+
+def test_prometheus_fuzzish_label_round_trip():
+    """Property-style sweep: nasty label values survive the exposition."""
+    import itertools
+
+    fragments = ['"', "\\", "\n", ",", "{", "}", "=", " ", "a", "é"]
+    cases = ["".join(combo) for combo in itertools.permutations(fragments, 3)]
+    # Keep runtime sane: a deterministic striding sample of permutations.
+    for i, value in enumerate(cases[::17]):
+        registry = MetricsRegistry()
+        registry.counter("fuzz_total").inc(i + 1, site=value, idx=str(i))
+        parsed = [
+            s for s in parse_prometheus(registry.to_prometheus())
+            if s["name"] == "fuzz_total"
+        ]
+        (sample,) = parsed
+        assert sample["labels"]["site"] == value, repr(value)
+        assert sample["value"] == i + 1

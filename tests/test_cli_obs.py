@@ -176,3 +176,74 @@ def test_obs_diff_unknown_run_id(tmp_path, capsys):
     capsys.readouterr()
     assert main(["obs", "diff", str(runs), "base", "nope"]) == 2
     assert "not in registry" in capsys.readouterr().err
+
+
+def test_obs_diff_vacuous_compare_fails(tmp_path, capsys):
+    """A diff that compared zero metrics is a failure, not a silent pass."""
+    runs = tmp_path / "runs.jsonl"
+    assert _run(["--register", str(runs), "--run-id", "base"]) == 0
+    record = json.loads(runs.read_text().splitlines()[0])
+    record["run_id"] = "hollow"
+    # Metrics present (schema requires them) but non-numeric after a
+    # hand edit: every comparison row is skipped.
+    for name in list(record["metrics"]):
+        record["metrics"][name] = float("nan")
+    with open(runs, "a") as handle:
+        handle.write(json.dumps(record).replace("NaN", '"x"') + "\n")
+    capsys.readouterr()
+    # The corrupt record is rejected at load time -> data error (2) ...
+    assert main(["obs", "diff", str(runs), "base", "hollow"]) == 2
+
+
+def test_obs_diff_compared_zero_exit(monkeypatch, tmp_path, capsys):
+    """compared == 0 on an otherwise-ok report exits 1."""
+    import repro.obs.registry as registry_mod
+    from repro.obs.bench import CompareReport
+
+    runs = tmp_path / "runs.jsonl"
+    assert _run(["--register", str(runs), "--run-id", "base"]) == 0
+    record = json.loads(runs.read_text().splitlines()[0])
+    record["run_id"] = "same"
+    with open(runs, "a") as handle:
+        handle.write(json.dumps(record) + "\n")
+    monkeypatch.setattr(
+        registry_mod, "diff_runs",
+        lambda *a, **k: CompareReport(suite="runs"),
+    )
+    capsys.readouterr()
+    assert main(["obs", "diff", str(runs), "base", "same"]) == 1
+    assert "no metrics were comparable" in capsys.readouterr().err
+
+
+def test_obs_report_html_from_cluster_artifacts(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    metrics = tmp_path / "m.jsonl"
+    runs = tmp_path / "runs.jsonl"
+    html = tmp_path / "report.html"
+    assert _run(["--trace", str(trace), "--metrics", str(metrics),
+                 "--register", str(runs), "--run-id", "base"]) == 0
+    capsys.readouterr()
+    assert main(["obs", "report", str(runs), "--html", str(html),
+                 "--trace", str(trace), "--metrics", str(metrics),
+                 "--iteration-cap", "10"]) == 0
+    assert f"report written to {html}" in capsys.readouterr().out
+    text = html.read_text()
+    assert "<script" not in text.lower()
+    assert "Span waterfall" in text
+    assert "Registry" in text
+
+
+def test_obs_report_html_without_registry(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    html = tmp_path / "report.html"
+    assert _run(["--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["obs", "report", "--html", str(html),
+                 "--trace", str(trace)]) == 0
+    assert html.exists()
+
+
+def test_obs_report_requires_registry_or_html_inputs(capsys):
+    assert main(["obs", "report"]) == 2
+    assert "error" in capsys.readouterr().err
+    assert main(["obs", "report", "--html", "/tmp/x.html"]) == 2
