@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-dynamic smoke-obs baselines compare-baselines \
-	bench bench-snapshot bench-kernels compare-kernels chaos \
-	bench-supervisor bench-dynamic doctor obs-report ci
+.PHONY: test test-fast test-dynamic test-backend smoke-obs baselines \
+	compare-baselines bench bench-snapshot bench-kernels compare-kernels \
+	chaos bench-supervisor bench-dynamic bench-backend doctor obs-report ci
 
 ## Full test suite (tier 1).
 test:
@@ -16,6 +16,12 @@ test-fast:
 ## Dynamic-clustering subsystem: incremental updates, snapshots, serving.
 test-dynamic:
 	$(PYTHON) -m pytest -x -q -m dynamic
+
+## Process execution backend: bit-identical parity across all engines,
+## worker sizing/fallback, shared-memory leak hygiene (normal exit and
+## chaos-killed worker), dynamic pool reuse, chaos backend axis.
+test-backend:
+	$(PYTHON) -m pytest -x -q -m parallel_backend
 
 ## Observability smoke: one traced clustering, schema-validated trace,
 ## parse-back metrics (the `obs` marker), then the CLI gate on a fresh run.
@@ -83,6 +89,15 @@ bench-supervisor:
 bench-dynamic:
 	$(PYTHON) -m pytest -x -q benchmarks/bench_dynamic.py
 
+## Execution-backend sweep: 1/2/4-worker wall clock vs the simulated
+## baseline on scale-12 RMAT + LFR.  Parity (bit-identical results) is
+## asserted unconditionally; the >=2x move-eval speedup gate applies only
+## on hosts with >=4 CPUs (the committed BENCH_PR9.json records
+## host_cpu_count; refresh with `python -m repro.parallel.backend.bench
+## --out .`).
+bench-backend:
+	$(PYTHON) -m pytest -x -q benchmarks/bench_backend.py
+
 ## Run doctor over fresh instrumented runs: a batch clustering (health
 ## rules over stats/trace/metrics + registry trend history) and a dynamic
 ## update session (serving SLOs: commit/save latency, staleness).  Both
@@ -117,12 +132,13 @@ obs-report: doctor
 	    --trace /tmp/repro-doctor/update-trace.jsonl \
 	    --metrics /tmp/repro-doctor/update-metrics.jsonl
 
-## The full gate a PR must pass: tier-1 tests, the observability smoke,
-## the committed-baseline regression compare (including the kernel
-## snapshot), the supervised chaos matrix, the run doctor + HTML report,
-## and the <3% overhead benches (disabled instrumentation, no-fault
-## supervision).
+## The full gate a PR must pass: tier-1 tests (which include the
+## parallel_backend parity/leak suite), the observability smoke, the
+## committed-baseline regression compare (including the kernel snapshot),
+## the supervised chaos matrix, the run doctor + HTML report, the
+## execution-backend parity/speedup bench, and the <3% overhead benches
+## (disabled instrumentation, no-fault supervision).
 ci: test smoke-obs compare-baselines compare-kernels chaos bench-dynamic \
-	obs-report
+	bench-backend obs-report
 	$(PYTHON) -m pytest -x -q benchmarks/bench_obs_overhead.py \
 	    benchmarks/bench_supervisor.py

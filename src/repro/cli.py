@@ -266,6 +266,7 @@ def _cmd_cluster(args) -> int:
         num_iter=None if args.converge else args.num_iter,
         num_workers=args.workers,
         kernel=args.kernel,
+        backend=args.backend,
         seed=args.seed,
     )
     policy = _resilience_policy(args)
@@ -377,6 +378,7 @@ def _dynamic_config(args) -> ClusteringConfig:
         num_iter=None if args.converge else args.num_iter,
         num_workers=args.workers,
         kernel=args.kernel,
+        backend=getattr(args, "backend", "simulated"),
         seed=args.seed,
     )
 
@@ -481,6 +483,7 @@ def _cmd_update(args) -> int:
         if issues:
             for issue in issues:
                 print(f"  ! audit: {issue}", file=sys.stderr)
+            server.close()
             return 1
         print("audit: clean")
     if args.output_labels:
@@ -492,6 +495,9 @@ def _cmd_update(args) -> int:
     if args.save_snapshot:
         save_snapshot(args.save_snapshot, clusterer)
         print(f"snapshot written to {args.save_snapshot}")
+    # All batches are applied: release the warm worker pool (no-op for
+    # the simulated backend) before reporting/registration.
+    server.close()
     if clusterer.instr.enabled:
         if args.trace:
             clusterer.instr.write_trace(args.trace)
@@ -516,7 +522,7 @@ def _cmd_update(args) -> int:
                 "objective": "correlation",
                 "resolution": float(clusterer.resolution),
                 "seed": config.seed,
-                "workers": int(config.num_workers),
+                "workers": int(config.resolved_workers),
                 "kernel": config.kernel,
                 "update_batch": {
                     "batches": stats["batches_applied"],
@@ -571,10 +577,13 @@ def _cmd_serve_sim(args) -> int:
     config = _dynamic_config(args)
     store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir else None
     clusterer = _load_dynamic(args, config, store)
-    with open(args.script) as handle:
-        script = handle.readlines()
-    for line in run_session(clusterer, script, store=store):
-        print(line)
+    try:
+        with open(args.script) as handle:
+            script = handle.readlines()
+        for line in run_session(clusterer, script, store=store):
+            print(line)
+    finally:
+        clusterer.close()
     return 0
 
 
@@ -764,11 +773,13 @@ def _cmd_chaos(args) -> int:
                 ) from None
     engines = args.engines.split(",") if args.engines else None
     kernels = args.kernels.split(",") if args.kernels else None
+    backends = args.backends.split(",") if args.backends else None
     report = chaos_matrix(
         graph,
         config,
         engines=engines,
         kernels=kernels,
+        backends=backends,
         kinds=kinds,
         rate=args.rate,
         max_injections=args.max_injections,
@@ -1070,11 +1081,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--num-iter", type=int, default=10)
     p.add_argument("--converge", action="store_true",
                    help="run to convergence (the ^CON variants)")
-    p.add_argument("--workers", type=int, default=60)
+    p.add_argument("--workers", type=int, default=60,
+                   help="simulated worker lanes / process-pool size "
+                        "(0 = auto: one per host core, capped by the "
+                        "machine model)")
     p.add_argument("--kernel", choices=["vectorized", "reference"],
                    default="vectorized",
                    help="move-evaluation kernel (bit-identical results; "
                         "reference is the dict-loop oracle)")
+    p.add_argument("--backend", choices=["simulated", "process"],
+                   default="simulated",
+                   help="execution backend (bit-identical results; "
+                        "'process' fans batch work out to a shared-memory "
+                        "worker pool on real cores, falling back to "
+                        "simulated when the host cannot support it)")
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--output", help="write labels (one per line)")
     p.add_argument("--output-labels", metavar="PATH",
@@ -1244,6 +1264,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated engine names (default: all five)")
     p.add_argument("--kernels", metavar="LIST",
                    help="comma-separated kernel names (default: both)")
+    p.add_argument("--backends", metavar="LIST",
+                   help="comma-separated execution backends, e.g. "
+                        "'simulated,process' (default: simulated only)")
     p.add_argument("--kinds", metavar="LIST",
                    help="comma-separated fault kinds (default: transient,"
                         "dup-move,cas-fail,delay-frontier)")
@@ -1290,9 +1313,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-refine", action="store_true")
         p.add_argument("--num-iter", type=int, default=10)
         p.add_argument("--converge", action="store_true")
-        p.add_argument("--workers", type=int, default=60)
+        p.add_argument("--workers", type=int, default=60,
+                       help="simulated worker lanes / process-pool size "
+                            "(0 = auto)")
         p.add_argument("--kernel", choices=["vectorized", "reference"],
                        default="vectorized")
+        p.add_argument("--backend", choices=["simulated", "process"],
+                       default="simulated",
+                       help="execution backend; 'process' keeps one warm "
+                            "shared-memory pool across update batches "
+                            "(bit-identical results)")
         p.add_argument("--seed", type=int, default=None)
         p.add_argument("--engine", choices=["relaxed", "prefix", "colored",
                                             "event", "sequential"],

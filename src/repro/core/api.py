@@ -45,6 +45,7 @@ def cluster(
     instrumentation: Optional[Instrumentation] = None,
     engine: Optional[str] = None,
     supervisor=None,
+    backend=None,
 ) -> ClusterResult:
     """Cluster ``graph`` according to ``config``; see :class:`ClusterResult`.
 
@@ -71,6 +72,13 @@ def cluster(
     retry-with-resume, watchdog deadlines, and the fallback ladder
     (DESIGN.md §10), with every recovery decision in the result's
     ``failure_log`` and ``extras["supervisor"]``.
+
+    ``backend`` optionally passes an already-open
+    :class:`~repro.parallel.backend.ExecutionBackend` (the dynamic
+    subsystem reuses one warm process pool across update batches); when
+    omitted, ``config.backend`` selects one, created and closed inside
+    this call.  Backends never change results — the process backend is
+    bit-identical to the inline path (DESIGN.md §13).
     """
     if supervisor is not None:
         return supervisor.run(
@@ -95,10 +103,23 @@ def cluster(
         total_weight = graph.total_edge_weight
 
     sched = SimulatedScheduler(
-        num_workers=config.num_workers if config.parallel else 1,
+        num_workers=config.resolved_workers if config.parallel else 1,
         machine=config.machine,
         instr=instr,
     )
+    owns_backend = False
+    exec_backend = backend
+    if exec_backend is None and config.backend != "simulated":
+        from repro.parallel.backend import create_backend
+
+        exec_backend = create_backend(
+            config.backend,
+            workers=config.resolved_workers,
+            machine=config.machine,
+        )
+        owns_backend = True
+    if exec_backend is not None and not exec_backend.inline:
+        sched.backend = exec_backend
     memory = MemoryTracker()
     rng = make_rng(config.seed)
     ctx = ResilienceContext(resilience, sched=sched) if resilience else None
@@ -110,75 +131,120 @@ def cluster(
         driver = partial(multilevel_with_engine, engine=engine)
     else:
         driver = parallel_cc if config.parallel else sequential_cc
-    with instr.span(
-        "run",
-        algorithm=config.describe(),
-        engine=engine,
-        objective=config.objective.name.lower(),
-        vertices=graph.num_vertices,
-        edges=graph.num_edges,
-        resolution=config.resolution,
-    ) as run_span:
-        with WallTimer() as timer:
-            assignments, stats = driver(
-                working,
-                effective_lambda,
-                config,
-                sched=sched,
-                rng=rng,
-                memory=memory,
-                resilience=ctx,
-            )
-        _, dense = np.unique(assignments, return_inverse=True)
-        dense = dense.astype(np.int64)
-
-        f_value = lambdacc_objective(working, dense, effective_lambda)
-        if config.objective is Objective.MODULARITY:
-            mod_value = f_value / total_weight
-        elif total_weight > 0 and (
-            graph.weights.size == 0 or graph.weights.min() >= 0
-        ):
-            mod_graph = modularity_graph(graph)
-            mod_f = lambdacc_objective(
-                mod_graph, dense, modularity_lambda(graph, 1.0)
-            )
-            mod_value = mod_f / total_weight
-        else:
-            # Signed or empty graphs: modularity undefined; report 0.
-            mod_value = 0.0
-
-        extras: dict = {}
-        if getattr(graph, "repairs", None):
-            extras["input_repairs"] = dict(graph.repairs)
-        degraded = False
-        failure_log: list = []
-        if ctx is not None:
-            if ctx.auditor is not None:
-                issues = ctx.auditor.verify_result(
-                    working, dense, effective_lambda, f_value
+    try:
+        with instr.span(
+            "run",
+            algorithm=config.describe(),
+            engine=engine,
+            objective=config.objective.name.lower(),
+            vertices=graph.num_vertices,
+            edges=graph.num_edges,
+            resolution=config.resolution,
+        ) as run_span:
+            with WallTimer() as timer:
+                assignments, stats = driver(
+                    working,
+                    effective_lambda,
+                    config,
+                    sched=sched,
+                    rng=rng,
+                    memory=memory,
+                    resilience=ctx,
                 )
-                if issues:
-                    message = "final result audit failed: " + "; ".join(issues)
-                    if resilience.strict:
-                        raise InvariantViolation(message)
-                    ctx.degrade(message, kind="audit-failed")
-            degraded = ctx.degraded
-            failure_log = list(ctx.failure_log)
-            if resilience.faults is not None:
-                extras["fault_injections"] = dict(resilience.faults.counts)
+            _, dense = np.unique(assignments, return_inverse=True)
+            dense = dense.astype(np.int64)
+            return _finish_run(
+                graph,
+                working,
+                config,
+                resilience,
+                instr,
+                run_span,
+                sched,
+                memory,
+                timer,
+                ctx,
+                dense,
+                stats,
+                effective_lambda,
+                total_weight,
+                exec_backend,
+            )
+    finally:
+        # Backends created by this call are torn down here even on error
+        # paths: the process pool exits and every shared segment is
+        # unlinked (the leak test's normal-exit contract).
+        if owns_backend and exec_backend is not None:
+            exec_backend.close()
 
-        num_clusters = int(dense.max()) + 1 if dense.size else 0
-        run_span.set(
-            clusters=num_clusters,
-            levels=stats.num_levels,
-            rounds=stats.total_iterations,
-            moves=stats.total_moves,
-            objective=2.0 * f_value,
-            modularity=mod_value,
-            degraded=degraded,
+
+def _finish_run(
+    graph,
+    working,
+    config,
+    resilience,
+    instr,
+    run_span,
+    sched,
+    memory,
+    timer,
+    ctx,
+    dense,
+    stats,
+    effective_lambda,
+    total_weight,
+    exec_backend,
+) -> ClusterResult:
+    """Score, audit, and package one finished clustering run."""
+    f_value = lambdacc_objective(working, dense, effective_lambda)
+    if config.objective is Objective.MODULARITY:
+        mod_value = f_value / total_weight
+    elif total_weight > 0 and (
+        graph.weights.size == 0 or graph.weights.min() >= 0
+    ):
+        mod_graph = modularity_graph(graph)
+        mod_f = lambdacc_objective(
+            mod_graph, dense, modularity_lambda(graph, 1.0)
         )
-        instr.set_gauge(M_OBJECTIVE, f_value)
-        instr.set_gauge(M_MODULARITY, mod_value)
+        mod_value = mod_f / total_weight
+    else:
+        # Signed or empty graphs: modularity undefined; report 0.
+        mod_value = 0.0
+
+    extras: dict = {}
+    if getattr(graph, "repairs", None):
+        extras["input_repairs"] = dict(graph.repairs)
+    if exec_backend is not None and not exec_backend.inline:
+        extras["backend"] = exec_backend.stats()
+    degraded = False
+    failure_log: list = []
+    if ctx is not None:
+        if ctx.auditor is not None:
+            issues = ctx.auditor.verify_result(
+                working, dense, effective_lambda, f_value
+            )
+            if issues:
+                message = "final result audit failed: " + "; ".join(issues)
+                if resilience.strict:
+                    raise InvariantViolation(message)
+                ctx.degrade(message, kind="audit-failed")
+        degraded = ctx.degraded
+        failure_log = list(ctx.failure_log)
+        if resilience.faults is not None:
+            extras["fault_injections"] = dict(resilience.faults.counts)
+
+    num_clusters = int(dense.max()) + 1 if dense.size else 0
+    run_span.set(
+        clusters=num_clusters,
+        levels=stats.num_levels,
+        rounds=stats.total_iterations,
+        moves=stats.total_moves,
+        objective=2.0 * f_value,
+        modularity=mod_value,
+        degraded=degraded,
+    )
+    instr.set_gauge(M_OBJECTIVE, f_value)
+    instr.set_gauge(M_MODULARITY, mod_value)
 
     return ClusterResult(
         assignments=dense,

@@ -65,7 +65,10 @@ class ClusteringConfig:
         Bound on best-move iterations per level (paper default 10).
         ``None`` means run to convergence (the ^CON superscript variants).
     num_workers, machine:
-        Simulated-parallelism parameters (see DESIGN.md).
+        Simulated-parallelism parameters (see DESIGN.md).  ``num_workers=0``
+        means *auto*: resolve via ``os.cpu_count()`` capped by the machine
+        profile's ``max_workers`` (the natural choice when running the
+        process backend on real cores).
     async_windows:
         Number of concurrency windows an asynchronous iteration is split
         into; the window size is ``max(num_workers, ceil(|V'| / async_windows))``.
@@ -79,6 +82,13 @@ class ClusteringConfig:
         (segment-reduction fast path, the default) or ``"reference"``
         (dict-loop oracle).  Bit-identical outputs; only wall-clock
         differs (DESIGN.md §8).
+    backend:
+        Execution backend (:mod:`repro.parallel.backend`): ``"simulated"``
+        (inline, the default) or ``"process"`` (persistent shared-memory
+        worker pool on real cores).  Bit-identical results; only wall
+        clock differs (DESIGN.md §13).  Deliberately excluded from
+        :meth:`describe`/:meth:`config_tag` so checkpoints cross backends
+        exactly as they cross kernels and engines.
     escape_moves:
         Allow a vertex whose every option has negative gain to escape to
         its (empty) home cluster slot.  Needed for correctness under
@@ -102,6 +112,7 @@ class ClusteringConfig:
     async_windows: int = 32
     kernel_threshold: int = 512
     kernel: str = "vectorized"
+    backend: str = "simulated"
     escape_moves: bool = True
     seed: Optional[int] = None
     max_levels: int = 50
@@ -119,8 +130,10 @@ class ClusteringConfig:
                 )
         if self.num_iter is not None and self.num_iter < 1:
             raise ConfigError(f"num_iter must be >= 1 or None, got {self.num_iter}")
-        if self.num_workers < 1:
-            raise ConfigError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.num_workers < 0:
+            raise ConfigError(
+                f"num_workers must be >= 1, or 0 for auto, got {self.num_workers}"
+            )
         if self.async_windows < 1:
             raise ConfigError(f"async_windows must be >= 1, got {self.async_windows}")
         if self.max_levels < 1:
@@ -136,6 +149,21 @@ class ClusteringConfig:
             raise ConfigError(
                 f"kernel must be one of {sorted(KERNELS)}, got {self.kernel!r}"
             )
+        from repro.parallel.backend.base import BACKEND_NAMES
+
+        if self.backend not in BACKEND_NAMES:
+            raise ConfigError(
+                f"backend must be one of {list(BACKEND_NAMES)}, got {self.backend!r}"
+            )
+
+    @property
+    def resolved_workers(self) -> int:
+        """``num_workers`` with 0 resolved to the host's usable core count."""
+        if self.num_workers >= 1:
+            return self.num_workers
+        from repro.parallel.backend.base import resolve_workers
+
+        return resolve_workers(0, self.machine)
 
     @property
     def iteration_bound(self) -> int:

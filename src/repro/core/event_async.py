@@ -155,7 +155,7 @@ def run_event_driven_best_moves(
         ) as round_span:
             order = rng.permutation(active) if rng is not None else active
             movers, origins, targets, gain = _event_iteration(
-                graph, state, order, resolution, config.num_workers,
+                graph, state, order, resolution, config.resolved_workers,
                 config.escape_moves, kernel=config.kernel,
             )
             if sched is not None:

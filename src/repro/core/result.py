@@ -109,9 +109,14 @@ class ClusterResult:
         return summary
 
     def sim_time(self, num_workers: Optional[int] = None) -> float:
-        """Simulated seconds at ``num_workers`` (default: as configured)."""
+        """Simulated seconds at ``num_workers`` (default: as scheduled).
+
+        ``resolved_workers`` rather than the raw ``num_workers`` so that
+        auto-sized runs (``num_workers=0``) report the worker count the
+        scheduler actually ran with.
+        """
         workers = num_workers if num_workers is not None else (
-            self.config.num_workers if self.config.parallel else 1
+            self.config.resolved_workers if self.config.parallel else 1
         )
         return self.ledger.simulated_time(workers, machine=self.machine)
 

@@ -186,6 +186,19 @@ class ClusterServer:
         finally:
             self._end("audit", start)
 
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the clusterer's execution backend (DESIGN.md §13)."""
+        self.clusterer.close()
+
+    def __enter__(self) -> "ClusterServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
 
 def run_session(
     clusterer: Union[DynamicClusterer, ClusterServer],

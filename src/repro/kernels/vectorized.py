@@ -43,12 +43,113 @@ from repro.kernels.base import GAIN_EPS, MoveKernel
 from repro.kernels.reference import reference_batch_moves, reference_single_move
 from repro.kernels.sweep import speculative_sweep
 from repro.obs.instrument import M_KERNEL_FALLBACK, M_KERNEL_SEGMENTS
-from repro.parallel.primitives import ragged_gather_indices
 
 #: Below this many scanned entries (batch edges + vertices) the dict loop
 #: beats the ~40 fixed NumPy calls of the segment path (measured on the
 #: PR3 RMAT workload, where async windows are ~8 vertices of degree ~11).
 SMALL_BATCH_WORK = 192
+
+
+class _KernelScratch:
+    """Per-process pool of flat work arrays, grown to the largest batch.
+
+    The segment path's O(deg_sum) intermediates (gather indices, packed
+    keys, sorted copies) used to be reallocated on every call; across a
+    run that is thousands of multi-megabyte allocations for buffers whose
+    size only ever tracks the current batch.  Buffers here grow to the
+    next power of two past the largest request and are then reused for
+    the life of the process — which makes them shard-local for free under
+    the process execution backend (each OS worker holds its own pool,
+    sized to its shard).  Views handed out are valid only until the next
+    request under the same name; nothing returned by the kernel may alias
+    the pool.
+    """
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self) -> None:
+        self._bufs = {}
+
+    def get(self, name: str, size: int, dtype) -> np.ndarray:
+        """An uninitialised length-``size`` view of the named buffer."""
+        dtype = np.dtype(dtype)
+        buf = self._bufs.get(name)
+        if buf is None or buf.size < size or buf.dtype != dtype:
+            cap = 1 << max(int(max(size, 1) - 1).bit_length(), 6)
+            buf = np.empty(cap, dtype=dtype)
+            self._bufs[name] = buf
+        return buf[:size]
+
+    def iota(self, size: int) -> np.ndarray:
+        """``arange(size)`` served from the pool (values never change)."""
+        buf = self._bufs.get("iota")
+        if buf is None or buf.size < size:
+            cap = 1 << max(int(max(size, 1) - 1).bit_length(), 6)
+            buf = np.arange(cap, dtype=np.int64)
+            self._bufs["iota"] = buf
+        return buf[:size]
+
+    def stats(self) -> dict:
+        return {name: int(buf.size) for name, buf in sorted(self._bufs.items())}
+
+    def clear(self) -> None:
+        self._bufs.clear()
+
+
+#: The process-wide pool (one per OS process; no threads share it).
+_SCRATCH = _KernelScratch()
+
+
+def kernel_scratch_stats() -> dict:
+    """Current scratch capacities by buffer name (tests, diagnostics)."""
+    return _SCRATCH.stats()
+
+
+def reset_kernel_scratch() -> None:
+    """Drop all pooled buffers (tests that measure allocation behavior)."""
+    _SCRATCH.clear()
+
+
+def _flat_gather(offsets: np.ndarray, ids: np.ndarray):
+    """(edge_idx, row) like ``ragged_gather_indices``, on pooled buffers.
+
+    Identical values to :func:`repro.parallel.primitives.
+    ragged_gather_indices`; both outputs are scratch views.
+    """
+    starts = _SCRATCH.get("row_starts", ids.size, np.int64)
+    np.take(offsets, ids, out=starts)
+    tmp_ids = _SCRATCH.get("row_tmp", ids.size, np.int64)
+    np.add(ids, 1, out=tmp_ids)
+    lens = _SCRATCH.get("row_lens", ids.size, np.int64)
+    np.take(offsets, tmp_ids, out=lens)
+    np.subtract(lens, starts, out=lens)
+    total = int(lens.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    first = _SCRATCH.get("row_first", ids.size, np.int64)
+    first[0] = 0
+    np.cumsum(lens[:-1], out=first[1:])
+    # row-of-edge: mark each row boundary, inclusive-scan.  Boundary
+    # positions repeat when zero-degree rows sit between marks, so the
+    # marks must accumulate (add.at) rather than overwrite; marks at
+    # ``total`` come from trailing zero-degree rows and are dropped.
+    row = _SCRATCH.get("row", total, np.int64)
+    row[:] = 0
+    if ids.size > 1:
+        if bool(lens.min() > 0):
+            row[first[1:]] = 1
+        else:
+            marks = first[1:]
+            np.add.at(row, marks[marks < total], 1)
+    np.cumsum(row, out=row)
+    # ragged arange: iota - first[row] + starts[row]
+    edge_idx = _SCRATCH.get("edge_idx", total, np.int64)
+    tmp = _SCRATCH.get("gather_tmp", total, np.int64)
+    np.take(first, row, out=tmp)
+    np.subtract(_SCRATCH.iota(total), tmp, out=edge_idx)
+    np.take(starts, row, out=tmp)
+    np.add(edge_idx, tmp, out=edge_idx)
+    return edge_idx, row
 
 
 def vectorized_batch_moves(
@@ -81,21 +182,31 @@ def vectorized_batch_moves(
             instr=instr,
         )
 
-    edge_idx, row = ragged_gather_indices(graph.offsets, batch)
+    edge_idx, row = _flat_gather(graph.offsets, batch)
     k_batch = graph.node_weights[batch]
     current = assignments[batch]
     stay_gain = -resolution * k_batch * (cluster_weights[current] - k_batch)
     targets = current.copy()
 
     if edge_idx.size:
-        nbr_clusters = assignments[graph.neighbors[edge_idx]]
-        edge_w = graph.weights[edge_idx]
+        total = edge_idx.size
+        nbrs = _SCRATCH.get("nbrs", total, graph.neighbors.dtype)
+        np.take(graph.neighbors, edge_idx, out=nbrs)
+        nbr_clusters = _SCRATCH.get("clusters", total, assignments.dtype)
+        np.take(assignments, nbrs, out=nbr_clusters)
+        edge_w = _SCRATCH.get("weights", total, graph.weights.dtype)
+        np.take(graph.weights, edge_idx, out=edge_w)
         # One stable sort groups the flat (vertex, cluster) pairs; reduceat
         # then emits every S(v, c') segment sum in CSR order.
-        key = row * np.int64(n) + nbr_clusters
+        key = _SCRATCH.get("key", total, np.int64)
+        np.multiply(row, np.int64(n), out=key)
+        np.add(key, nbr_clusters, out=key)
         order = np.argsort(key, kind="stable")
-        sorted_key = key[order]
-        boundary = np.empty(sorted_key.size, dtype=bool)
+        sorted_key = _SCRATCH.get("sorted_key", total, np.int64)
+        np.take(key, order, out=sorted_key)
+        sorted_w = _SCRATCH.get("sorted_weights", total, edge_w.dtype)
+        np.take(edge_w, order, out=sorted_w)
+        boundary = _SCRATCH.get("boundary", total, bool)
         boundary[0] = True
         np.not_equal(sorted_key[1:], sorted_key[:-1], out=boundary[1:])
         seg_start = np.flatnonzero(boundary)
@@ -107,11 +218,13 @@ def vectorized_batch_moves(
         # scatter-add, accumulating each segment strictly left-to-right
         # in CSR adjacency order, the dict oracle's exact addition order.
         if graph.has_integer_weights:
-            sums = np.add.reduceat(edge_w[order], seg_start)
+            sums = np.add.reduceat(sorted_w, seg_start)
         else:
-            seg_id = np.cumsum(boundary) - 1
+            seg_id = _SCRATCH.get("seg_id", total, np.int64)
+            np.cumsum(boundary, out=seg_id)
+            np.subtract(seg_id, 1, out=seg_id)
             sums = np.bincount(
-                seg_id, weights=edge_w[order], minlength=seg_start.size
+                seg_id, weights=sorted_w, minlength=seg_start.size
             )
         seg_key = sorted_key[seg_start]
         cand_row = seg_key // np.int64(n)

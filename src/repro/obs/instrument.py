@@ -101,6 +101,12 @@ M_SERVE_LATENCY = "repro_serve_op_seconds"
 #: Edge updates applied to the live state since the last snapshot save
 #: (gauge) — the serving staleness the SLO spec bounds.
 M_SERVE_STALENESS = "repro_serve_staleness_updates"
+#: Wall seconds per execution-backend dispatch, labeled by phase:
+#: moves/frontier/compress (histogram).  Fed by the process backend.
+M_BACKEND_DISPATCH = "repro_backend_dispatch_seconds"
+#: Bytes copied into shared-memory segments by the process backend
+#: (counter) — graph epochs, state slabs, and scratch slabs.
+M_BACKEND_BYTES = "repro_backend_bytes_shared"
 
 #: Latency buckets for M_SERVE_LATENCY: a 1-2.5-5 ladder from 1 µs to
 #: 50 s — the default registry ladder starts at 1 ms, far too coarse for
@@ -145,6 +151,8 @@ _HELP = {
     M_DYNAMIC_QUERIES: "Serving-facade queries answered, by kind",
     M_SERVE_LATENCY: "Serving-facade op latency in seconds, by op",
     M_SERVE_STALENESS: "Updates applied since the last snapshot save",
+    M_BACKEND_DISPATCH: "Wall seconds per execution-backend dispatch, by phase",
+    M_BACKEND_BYTES: "Bytes copied into shared segments by the process backend",
 }
 
 
@@ -190,10 +198,17 @@ class Instrumentation:
         label: str,
         items: int = 0,
         wait: float = 0.0,
+        clock: str = "sim",
     ) -> None:
-        """Record a simulated worker's chunk interval (no-op when disabled)."""
+        """Record a worker's chunk interval (no-op when disabled).
+
+        ``clock="sim"`` (default) is a simulated-machine lane;
+        ``clock="wall"`` is a real process-backend worker measured on the
+        wall clock — rendered as its own process group (pid 2) by the
+        Chrome-trace exporter.
+        """
         if self.enabled:
-            self.tracer.worker_chunk(worker, start, end, label, items, wait)
+            self.tracer.worker_chunk(worker, start, end, label, items, wait, clock)
 
     # ------------------------------------------------------------------
     # metric hooks

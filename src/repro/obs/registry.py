@@ -120,7 +120,7 @@ def make_run_record(
         "objective": config.objective.value,
         "resolution": float(result.resolution),
         "seed": config.seed,
-        "workers": int(config.num_workers),
+        "workers": int(config.resolved_workers),
         "kernel": config.kernel,
     }
     if workload_extra:

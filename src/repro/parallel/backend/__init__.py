@@ -1,0 +1,62 @@
+"""Execution backends: who runs the parallel phases (DESIGN.md §13).
+
+``create_backend`` resolves a :class:`ClusteringConfig`'s ``backend``
+field to a live :class:`ExecutionBackend`.  An unavailable process
+backend (no ``/dev/shm``, restricted start methods, pool start failure)
+degrades to the simulated backend with a single ``RuntimeWarning``
+instead of raising — selection is a performance choice, never a
+correctness one, because every backend is bit-identical.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.parallel.backend.base import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    resolve_workers,
+)
+from repro.parallel.backend.process import BackendUnavailable, ProcessBackend
+from repro.parallel.backend.simulated import SimulatedBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendUnavailable",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SimulatedBackend",
+    "create_backend",
+    "resolve_workers",
+]
+
+
+def create_backend(
+    name: str,
+    workers: int = 0,
+    machine=None,
+    **process_options,
+) -> ExecutionBackend:
+    """Instantiate the named backend, falling back to ``simulated``.
+
+    ``workers`` follows :func:`resolve_workers` semantics (0 = auto via
+    ``os.cpu_count()`` capped by the machine profile).  Extra keyword
+    options are forwarded to the process backend (e.g. ``start_method``,
+    ``min_dispatch``, the chaos hooks).
+    """
+    if name not in BACKEND_NAMES:
+        raise ConfigError(
+            f"backend must be one of {list(BACKEND_NAMES)}, got {name!r}"
+        )
+    if name == "process":
+        try:
+            return ProcessBackend(workers=workers, machine=machine, **process_options)
+        except BackendUnavailable as exc:
+            warnings.warn(
+                f"process backend unavailable, using simulated: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return SimulatedBackend()

@@ -1,0 +1,114 @@
+"""Execution-backend interface: who actually runs the parallel phases.
+
+The simulated scheduler (:mod:`repro.parallel.scheduler`) decides what the
+parallel phases *cost*; an :class:`ExecutionBackend` decides what actually
+*executes* them.  The two are deliberately orthogonal: every backend must
+produce bit-identical results (targets, gains, assignments, and therefore
+``f_objective``) and the cost model is charged identically regardless of
+backend, so ``sim_time_seconds`` never depends on the executor.
+
+Two backends are registered (DESIGN.md §13):
+
+* ``simulated`` — the default: phases run inline in the parent process,
+  exactly as every PR before this one ran them;
+* ``process``   — a persistent ``multiprocessing`` worker pool over
+  ``multiprocessing.shared_memory``: CSR arrays and cluster state are
+  attached zero-copy as numpy views and the embarrassingly-parallel
+  phases (batch-window move evaluation, frontier gathers, compression
+  key construction) fan out over contiguous shards.
+
+Backends ride the scheduler (``sched.backend``) through the same conduit
+``sched.faults`` and ``sched.instr`` use, so the five BEST-MOVES engines
+need no signature changes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Registered backend names, importable without pulling in multiprocessing.
+BACKEND_NAMES = ("simulated", "process")
+
+
+def resolve_workers(requested: Optional[int], machine=None) -> int:
+    """Resolve a worker count request to a concrete pool size.
+
+    ``requested`` of ``None`` or ``0`` means *auto*: use ``os.cpu_count()``
+    capped by the machine profile's ``max_workers`` (a pool wider than the
+    modeled machine would make the wall clock disagree with the cost model
+    in the wrong direction).  Explicit positive requests are honoured
+    as-is — oversubscription is the caller's informed choice.
+    """
+    if requested is not None and requested > 0:
+        return int(requested)
+    auto = os.cpu_count() or 1
+    if machine is not None:
+        auto = min(auto, machine.max_workers)
+    return max(1, int(auto))
+
+
+class ExecutionBackend:
+    """Executor for the embarrassingly-parallel phases of one run.
+
+    Contract: every method is *bit-identical* to the inline numpy path —
+    same dtypes, same values, same ordering.  The process backend meets
+    this by sharding work into contiguous ranges whose per-element results
+    depend only on shared read-only snapshots, then concatenating shard
+    outputs in range order (DESIGN.md §13).
+    """
+
+    #: Registry name ("simulated" / "process").
+    name: str = "base"
+    #: True when phases run inline in the parent; the dispatch sites skip
+    #: the backend entirely for inline backends, keeping the default path
+    #: free of new work (the <3% disabled-overhead gate).
+    inline: bool = True
+    #: Real OS workers executing phases (1 for inline backends).
+    workers: int = 1
+
+    # ------------------------------------------------------------------
+    # phase entry points
+    # ------------------------------------------------------------------
+    def batch_moves(
+        self,
+        graph,
+        state,
+        batch: np.ndarray,
+        resolution: float,
+        *,
+        allow_escape: bool = True,
+        swap_avoidance: bool = False,
+        kernel: str = "vectorized",
+        instr=None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(targets, gains)`` for ``batch`` — see ``MoveKernel.batch_moves``."""
+        raise NotImplementedError
+
+    def gather_neighbors(self, graph, ids: np.ndarray) -> np.ndarray:
+        """``graph.neighbors[ragged_gather(ids)]`` — the sparse EDGEMAP gather."""
+        raise NotImplementedError
+
+    def map_to_super(
+        self, graph, vertex_to_super: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(csrc, cdst)`` per directed edge — compression key construction."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release pool processes and shared segments (idempotent)."""
+
+    def stats(self) -> dict:
+        """Summary for ``result.extras['backend']`` (JSON-safe)."""
+        return {"name": self.name, "workers": self.workers}
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,175 @@
+"""Execution-backend bench: real cores vs the simulated baseline (PR9).
+
+Two measurements per workload (scale-12 RMAT and an LFR graph):
+
+* **end-to-end**: ``cluster()`` wall clock under the simulated backend
+  and under warm process pools of 1/2/4 workers (pool start-up excluded
+  — the pool is created once per run and reused, which is how the
+  dynamic subsystem and the serving path hold it);
+* **move-eval**: the batch move-evaluation phase alone — one full-graph
+  batch dispatched through the pool — the phase the ISSUE 9 speedup gate
+  targets.
+
+Every process row is checked bit-identical against its simulated
+baseline (same assignments, same objective) before any timing is
+trusted; a backend that broke parity would be measuring a different
+algorithm.
+
+**Honesty over aspiration:** the committed ``BENCH_PR9.json`` records
+``host_cpu_count`` in its meta.  Real-core speedup is physically bounded
+by the cores the host exposes — on a 1-CPU container 4 workers time-slice
+one core and the "speedup" is IPC overhead, not parallelism.  The >= 2x
+gate in ``benchmarks/bench_backend.py`` therefore applies only when the
+measuring host has >= 4 CPUs; below that the numbers are still recorded
+(so a multi-core host regenerating the snapshot picks up the gate
+automatically) but the assertion is explicitly skipped.
+
+Regenerate the snapshot with ``python -m repro.parallel.backend.bench
+--out .``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.api import cluster
+from repro.core.config import ClusteringConfig, Frontier, Mode
+from repro.generators.lfr import lfr_like_graph
+from repro.generators.rmat import rmat_graph
+from repro.obs.bench import BenchSuite, time_callable
+from repro.parallel.backend.process import ProcessBackend
+
+#: Worker counts swept by the suite (1 is the IPC-overhead control).
+WORKER_SWEEP = (1, 2, 4)
+
+#: The acceptance gate: >= 2x move-eval speedup at 4 workers vs 1 —
+#: applicable only when the host actually has >= 4 CPUs.
+TARGET_SPEEDUP = 2.0
+GATE_MIN_CPUS = 4
+
+#: Resolution shared by both workloads.
+BACKEND_RESOLUTION = 0.05
+
+
+def _workloads(seed: int):
+    return {
+        "rmat12": rmat_graph(12, 8 * 2**12, seed=seed),
+        "lfr": lfr_like_graph(3000, mixing=0.2, seed=seed).graph,
+    }
+
+
+def _config(seed: int) -> ClusteringConfig:
+    # Synchronous mode with the ALL frontier keeps batch windows at full
+    # frontier width — the dispatch-heavy shape the backend accelerates.
+    return ClusteringConfig(
+        resolution=BACKEND_RESOLUTION,
+        mode=Mode.SYNC,
+        frontier=Frontier.ALL,
+        seed=seed,
+    )
+
+
+def backend_suite(repeats: int = 3, seed: int = 3) -> BenchSuite:
+    """Run the backend sweep; returns the suite behind ``BENCH_PR9.json``."""
+    cpu_count = os.cpu_count() or 1
+    suite = BenchSuite(
+        "PR9",
+        meta={
+            "host_cpu_count": cpu_count,
+            "speedup_gate_applicable": cpu_count >= GATE_MIN_CPUS,
+            "target_speedup": TARGET_SPEEDUP,
+            "worker_sweep": list(WORKER_SWEEP),
+            "repeats": repeats,
+            "resolution": BACKEND_RESOLUTION,
+            "seed": seed,
+        },
+    )
+    config = _config(seed)
+    for name, graph in _workloads(seed).items():
+        baseline, base_timing = time_callable(
+            lambda: cluster(graph, config), repeats=repeats, warmup=1
+        )
+        suite.add_row(
+            f"{name}-simulated",
+            metrics={
+                "wall_seconds": base_timing.best,
+                "f_objective": baseline.objective,
+            },
+            vertices=graph.num_vertices,
+            edges=graph.num_edges,
+        )
+
+        from repro.core.state import ClusterState
+
+        full_batch = np.arange(graph.num_vertices, dtype=np.int64)
+        eval_walls = {}
+        for workers in WORKER_SWEEP:
+            with ProcessBackend(workers=workers, min_dispatch=64) as backend:
+                result, timing = time_callable(
+                    lambda: cluster(graph, config, backend=backend),
+                    repeats=repeats,
+                    warmup=1,
+                )
+                stats = backend.stats()
+                identical = bool(
+                    np.array_equal(baseline.assignments, result.assignments)
+                    and baseline.objective == result.objective
+                )
+
+                # Move-eval phase alone: one full-graph batch per call.
+                state = ClusterState.singletons(graph)
+                _, eval_timing = time_callable(
+                    lambda: backend.batch_moves(
+                        graph,
+                        state,
+                        full_batch,
+                        BACKEND_RESOLUTION,
+                        allow_escape=True,
+                        swap_avoidance=False,
+                        kernel="vectorized",
+                    ),
+                    repeats=repeats,
+                    warmup=1,
+                )
+            eval_walls[workers] = eval_timing.best
+            suite.add_row(
+                f"{name}-process-w{workers}",
+                metrics={
+                    "wall_seconds": timing.best,
+                    "moveeval_wall_seconds": eval_timing.best,
+                    "f_objective": result.objective,
+                    "speedup": base_timing.best / timing.best,
+                    "moveeval_speedup": (
+                        eval_walls[WORKER_SWEEP[0]] / eval_timing.best
+                    ),
+                },
+                identical=identical,
+                faulted=bool(stats["faulted"]),
+                dispatches=int(stats["dispatches"]),
+                bytes_shared=int(stats["bytes_shared"]),
+            )
+    return suite
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="regenerate BENCH_PR9.json (execution-backend sweep)"
+    )
+    parser.add_argument("--out", default=".", help="output directory")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+    suite = backend_suite(repeats=args.repeats)
+    path = suite.write(args.out)
+    print(f"wrote {path}")
+    for row in suite.rows:
+        metrics = " ".join(f"{k}={v:.4g}" for k, v in row.metrics.items())
+        print(f"  {row.key}: {metrics} {row.info}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""The inline (simulated-machine) execution backend — the default.
+
+Everything runs in the parent process exactly as before the backend layer
+existed; the class exists so selection, stats reporting, and the
+supervisor's fallback rung have a uniform object to hold.  Dispatch sites
+check :attr:`ExecutionBackend.inline` and skip the backend entirely, so
+the default path pays nothing for the abstraction (the <3% overhead gate
+in ``benchmarks/bench_backend.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kernels import get_kernel
+from repro.parallel.backend.base import ExecutionBackend
+from repro.parallel.primitives import ragged_gather_indices
+
+
+class SimulatedBackend(ExecutionBackend):
+    """Inline execution on the simulated machine (bit-identical baseline)."""
+
+    name = "simulated"
+    inline = True
+    workers = 1
+
+    def batch_moves(
+        self,
+        graph,
+        state,
+        batch: np.ndarray,
+        resolution: float,
+        *,
+        allow_escape: bool = True,
+        swap_avoidance: bool = False,
+        kernel: str = "vectorized",
+        instr=None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        return get_kernel(kernel).batch_moves(
+            graph,
+            state,
+            batch,
+            resolution,
+            allow_escape=allow_escape,
+            swap_avoidance=swap_avoidance,
+            instr=instr,
+        )
+
+    def gather_neighbors(self, graph, ids: np.ndarray) -> np.ndarray:
+        edge_idx, _ = ragged_gather_indices(graph.offsets, ids)
+        return graph.neighbors[edge_idx]
+
+    def map_to_super(self, graph, vertex_to_super: np.ndarray):
+        n = graph.num_vertices
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.offsets))
+        return vertex_to_super[src], vertex_to_super[graph.neighbors]

@@ -55,9 +55,17 @@ def edge_map(graph, frontier: VertexSubset, sched=None, label: str = "edge-map")
         if sched is not None:
             sched.charge(work=float(n + m), depth=_log2(n), label=label + "-dense")
         return VertexSubset(n, mask=out_mask)
-    # Sparse direction: gather adjacency slices of the frontier.
-    edge_idx, _ = ragged_gather_indices(graph.offsets, ids)
-    nbrs = graph.neighbors[edge_idx]
+    # Sparse direction: gather adjacency slices of the frontier.  A
+    # non-inline execution backend (DESIGN.md §13) shards the gather over
+    # real cores; the result is the same concatenated-in-CSR-order array.
+    backend = getattr(sched, "backend", None)
+    if backend is not None and not backend.inline:
+        nbrs = backend.gather_neighbors(
+            graph, ids, instr=getattr(sched, "instr", None)
+        )
+    else:
+        edge_idx, _ = ragged_gather_indices(graph.offsets, ids)
+        nbrs = graph.neighbors[edge_idx]
     if sched is not None:
         sched.charge(
             work=float(ids.size + deg_sum), depth=_log2(max(deg_sum, 2)), label=label + "-sparse"

@@ -341,6 +341,7 @@ class SimulatedScheduler:
         tau: float = DEFAULT_TAU,
         faults=None,
         instr=None,
+        backend=None,
     ) -> None:
         self.machine = machine or Machine.c2_standard_60()
         if num_workers < 1:
@@ -355,6 +356,11 @@ class SimulatedScheduler:
         #: scheduler for the same reason ``faults`` does — everything that
         #: can charge costs can also trace/record (see ``instr_of``).
         self.instr = instr
+        #: Optional non-inline :class:`repro.parallel.backend.ExecutionBackend`
+        #: executing the parallel phases on real cores; rides the scheduler
+        #: through the same conduit as ``faults``/``instr``.  ``None`` (the
+        #: default, and the ``simulated`` backend) keeps every phase inline.
+        self.backend = backend
         #: Per-worker lane recorder; only materialized for an *enabled*
         #: instrumentation so uninstrumented runs pay one ``is None`` check.
         self._timeline = (
@@ -444,7 +450,11 @@ class SimulatedScheduler:
         at zero, so their chunks would overlap the root's lane intervals.
         """
         child = SimulatedScheduler(
-            self.num_workers, self.machine, self.tau, instr=self.instr
+            self.num_workers,
+            self.machine,
+            self.tau,
+            instr=self.instr,
+            backend=self.backend,
         )
         child._timeline = None
         return child

@@ -387,10 +387,12 @@ class RunSupervisor:
     def _rung_setup(
         self, rung: Rung, config, base, engine, resume, slot, elapsed
     ):
-        run_config = (
-            config if rung.kernel is None
-            else config.with_options(kernel=rung.kernel)
-        )
+        overrides = {}
+        if rung.kernel is not None:
+            overrides["kernel"] = rung.kernel
+        if rung.backend is not None:
+            overrides["backend"] = rung.backend
+        run_config = config.with_options(**overrides) if overrides else config
         run_engine = rung.engine if rung.engine is not None else engine
         budget = merge_budgets(base.budget, self.watchdog.budget(elapsed))
         policy = replace(

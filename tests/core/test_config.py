@@ -28,7 +28,7 @@ class TestValidation:
         "field,value",
         [
             ("num_iter", 0),
-            ("num_workers", 0),
+            ("num_workers", -1),
             ("async_windows", 0),
             ("max_levels", 0),
             ("kernel_threshold", 0),
@@ -37,6 +37,11 @@ class TestValidation:
     def test_positive_int_fields(self, field, value):
         with pytest.raises(ConfigError):
             ClusteringConfig(**{field: value})
+
+    def test_zero_workers_means_auto(self):
+        # 0 is not invalid — it asks for host-sized worker resolution.
+        config = ClusteringConfig(num_workers=0)
+        assert config.resolved_workers >= 1
 
 
 class TestConvergenceMode:
