@@ -1,9 +1,11 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-dynamic test-backend smoke-obs baselines \
+.PHONY: test test-fast test-dynamic test-backend test-serving api-check \
+	smoke-obs baselines \
 	compare-baselines bench bench-snapshot bench-kernels compare-kernels \
-	chaos bench-supervisor bench-dynamic bench-backend doctor obs-report ci
+	chaos bench-supervisor bench-dynamic bench-backend bench-serving \
+	doctor obs-report ci
 
 ## Full test suite (tier 1).
 test:
@@ -22,6 +24,18 @@ test-dynamic:
 ## chaos-killed worker), dynamic pool reuse, chaos backend axis.
 test-backend:
 	$(PYTHON) -m pytest -x -q -m parallel_backend
+
+## Serving gateway: snapshot-isolated reads, write coalescing, admission
+## control, the cross-engine x cross-family replay equivalence gate, and
+## the `repro serve` CLI.
+test-serving:
+	$(PYTHON) -m pytest -x -q -m serving
+
+## Fail when the live public surface (repro.api) drifted from the
+## committed benchmarks/api_surface.json snapshot.  Intentional surface
+## growth: `python -m repro.api --write` and commit the diff.
+api-check:
+	$(PYTHON) -m repro.api --check
 
 ## Observability smoke: one traced clustering, schema-validated trace,
 ## parse-back metrics (the `obs` marker), then the CLI gate on a fresh run.
@@ -98,6 +112,13 @@ bench-dynamic:
 bench-backend:
 	$(PYTHON) -m pytest -x -q benchmarks/bench_backend.py
 
+## Serving gateway vs the serial read discipline on the virtual clock:
+## >=1.5x read throughput with bit-identical committed label sequence
+## and full shed/retry accounting; the suite behind the committed
+## BENCH_PR10.json (refresh with `python -m repro.serving.bench --out .`).
+bench-serving:
+	$(PYTHON) -m pytest -x -q benchmarks/bench_serving.py
+
 ## Run doctor over fresh instrumented runs: a batch clustering (health
 ## rules over stats/trace/metrics + registry trend history) and a dynamic
 ## update session (serving SLOs: commit/save latency, staleness).  Both
@@ -133,12 +154,14 @@ obs-report: doctor
 	    --metrics /tmp/repro-doctor/update-metrics.jsonl
 
 ## The full gate a PR must pass: tier-1 tests (which include the
-## parallel_backend parity/leak suite), the observability smoke, the
+## parallel_backend parity/leak suite and the serving suite), the
+## API-surface drift check, the observability smoke, the
 ## committed-baseline regression compare (including the kernel snapshot),
 ## the supervised chaos matrix, the run doctor + HTML report, the
-## execution-backend parity/speedup bench, and the <3% overhead benches
-## (disabled instrumentation, no-fault supervision).
-ci: test smoke-obs compare-baselines compare-kernels chaos bench-dynamic \
-	bench-backend obs-report
+## execution-backend parity/speedup bench, the serving-gateway
+## equivalence/speedup bench, and the <3% overhead benches (disabled
+## instrumentation, no-fault supervision).
+ci: test api-check smoke-obs compare-baselines compare-kernels chaos \
+	bench-dynamic bench-backend bench-serving obs-report
 	$(PYTHON) -m pytest -x -q benchmarks/bench_obs_overhead.py \
 	    benchmarks/bench_supervisor.py

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.bench.harness import ExperimentTable
 from repro.core.api import cluster
+from repro.core.options import RunOptions
 from repro.core.config import ClusteringConfig
 from repro.generators.planted import planted_partition_graph
 from repro.graphs.karate import karate_club_graph
@@ -40,7 +41,8 @@ def _graphs():
 
 def _time_run(graph, config, policy):
     result, timing = time_callable(
-        lambda: cluster(graph, config, resilience=policy), repeats=REPEATS
+        lambda: cluster(graph, config, RunOptions(resilience=policy)),
+        repeats=REPEATS
     )
     return timing.best, result
 

@@ -27,11 +27,13 @@ from repro.core.api import (
     modularity_clustering,
 )
 from repro.core.config import ClusteringConfig, Frontier, Mode, Objective
+from repro.core.options import RunOptions
 from repro.core.result import ClusterResult
 from repro.graphs.builders import graph_from_edges
 from repro.graphs.csr import CSRGraph
 from repro.graphs.karate import karate_club_graph
 from repro.parallel.scheduler import CostLedger, Machine, SimulatedScheduler
+from repro.serving import GatewayPolicy, ServingGateway
 from repro.supervisor import (
     FallbackLadder,
     RetryPolicy,
@@ -42,6 +44,10 @@ from repro.supervisor import (
 
 __version__ = "1.0.0"
 
+#: The frozen top-level surface.  ``repro.api`` snapshots the signature
+#: of every name here (plus its own additions) into
+#: ``benchmarks/api_surface.json``; ``make api-check`` fails CI when the
+#: surface drifts without the snapshot being regenerated deliberately.
 __all__ = [
     "CSRGraph",
     "ClusterResult",
@@ -49,11 +55,14 @@ __all__ = [
     "CostLedger",
     "FallbackLadder",
     "Frontier",
+    "GatewayPolicy",
     "Machine",
     "Mode",
     "Objective",
     "RetryPolicy",
+    "RunOptions",
     "RunSupervisor",
+    "ServingGateway",
     "SimulatedScheduler",
     "Watchdog",
     "cluster",

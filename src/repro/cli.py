@@ -39,6 +39,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.api import cluster
+from repro.core.options import RunOptions
 from repro.errors import ConfigError, ReproError
 from repro.core.config import ClusteringConfig, Frontier, Mode, Objective
 from repro.eval.ari import adjusted_rand_index
@@ -256,25 +257,17 @@ def _print_profile(result, instr, top: int = 8) -> None:
 
 def _cmd_cluster(args) -> int:
     graph = _load_graph(args)
-    config = ClusteringConfig(
-        objective=Objective(args.objective),
-        resolution=args.resolution,
-        parallel=not args.sequential,
-        mode=Mode(args.mode),
-        frontier=Frontier(args.frontier),
-        refine=not args.no_refine,
-        num_iter=None if args.converge else args.num_iter,
-        num_workers=args.workers,
-        kernel=args.kernel,
-        backend=args.backend,
-        seed=args.seed,
-    )
-    policy = _resilience_policy(args)
+    config = ClusteringConfig.from_args(args)
     instr = _instrumentation(args)
-    supervisor = _supervisor(args)
     result = cluster(
-        graph, config, resilience=policy, instrumentation=instr,
-        engine=args.engine, supervisor=supervisor,
+        graph,
+        config,
+        RunOptions(
+            resilience=_resilience_policy(args),
+            instrumentation=instr,
+            engine=args.engine,
+            supervisor=_supervisor(args),
+        ),
     )
     print(result.summary())
     for line in result.failure_log:
@@ -366,21 +359,11 @@ def _dynamic_config(args) -> ClusteringConfig:
 
     Must be flag-compatible with the ``cluster`` subcommand so a snapshot
     written after ``repro cluster --output-labels`` + ``repro update``
-    restores under the same ``config_tag``.
+    restores under the same ``config_tag``.  Both directions now ride the
+    :meth:`ClusteringConfig.add_args`/:meth:`~ClusteringConfig.from_args`
+    round-trip, so compatibility is structural.
     """
-    return ClusteringConfig(
-        objective=Objective.CORRELATION,
-        resolution=args.resolution,
-        parallel=not args.sequential,
-        mode=Mode(args.mode),
-        frontier=Frontier(args.frontier),
-        refine=not args.no_refine,
-        num_iter=None if args.converge else args.num_iter,
-        num_workers=args.workers,
-        kernel=args.kernel,
-        backend=getattr(args, "backend", "simulated"),
-        seed=args.seed,
-    )
+    return ClusteringConfig.from_args(args, objective=Objective.CORRELATION)
 
 
 def _dynamic_guard(args):
@@ -585,6 +568,125 @@ def _cmd_serve_sim(args) -> int:
     finally:
         clusterer.close()
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Drive the concurrent serving gateway with a generated workload."""
+    from repro.dynamic import SnapshotStore
+    from repro.serving import (
+        GatewayPolicy,
+        ServingGateway,
+        SimulatedDriver,
+        ThreadedDriver,
+        WorkloadSpec,
+        replay_digests,
+    )
+
+    config = _dynamic_config(args)
+    store = SnapshotStore(args.snapshot_dir) if args.snapshot_dir else None
+    clusterer = _load_dynamic(args, config, store)
+    # Bootstrap state, captured before any commit: the serial-replay
+    # equivalence check re-applies the committed batches from here.
+    graph0 = clusterer.graph
+    labels0 = clusterer.state.assignments.copy()
+    policy = GatewayPolicy(
+        read_queue_limit=args.read_queue_limit,
+        write_queue_limit=args.write_queue_limit,
+        max_batch_updates=args.max_batch_updates,
+        retry_after_seconds=args.retry_after,
+        commit_interval_seconds=args.commit_interval,
+        read_concurrency=args.read_concurrency,
+    )
+    workload = WorkloadSpec(
+        num_requests=args.requests,
+        read_fraction=args.read_fraction,
+        arrival=args.arrival,
+        rate=args.rate,
+        clients=args.clients,
+        think_seconds=args.think,
+        read_deadline_seconds=args.read_deadline,
+        seed=args.workload_seed,
+    )
+    requests = workload.generate(graph0.num_vertices)
+    instr = clusterer.instr if clusterer.instr.enabled else None
+    gateway = ServingGateway(clusterer, policy, instrumentation=instr)
+    try:
+        if args.driver == "sim":
+            driver = SimulatedDriver(serial_baseline=args.serial_baseline)
+        else:
+            driver = ThreadedDriver(
+                num_threads=args.threads, time_scale=args.time_scale
+            )
+        result = driver.run(gateway, requests)
+    finally:
+        clusterer.close()
+    summary = result.summary()
+    counts = summary["counts"]
+    print(
+        f"driver={summary['driver']} requests={summary['num_requests']} "
+        f"makespan={summary['makespan_seconds']:.4f}s "
+        f"epochs={gateway.epoch.index} commits={len(gateway.committed)}"
+    )
+    for klass in ("read", "write"):
+        row = counts[klass]
+        print(
+            f"  {klass:<5} ok={row['ok']} shed={row['shed']} "
+            f"expired={row['expired']} rejected={row['rejected']}"
+        )
+    if summary["read_p95_seconds"] is not None:
+        print(
+            f"  read p50={summary['read_p50_seconds']:.6f}s "
+            f"p95={summary['read_p95_seconds']:.6f}s "
+            f"throughput={summary['read_throughput_rps']:.1f} req/s"
+        )
+    exit_code = 0
+    issues = result.check_accounting(gateway)
+    if issues:
+        for issue in issues:
+            print(f"  ! accounting: {issue}", file=sys.stderr)
+        exit_code = 1
+    else:
+        print("accounting: every request resolved (no silent drops)")
+    if args.verify_replay:
+        replayed = replay_digests(
+            graph0,
+            labels0,
+            config,
+            gateway.committed_batches(),
+            engine=clusterer.engine_name,
+            guard=_dynamic_guard(args),
+        )
+        if replayed == gateway.epoch_log:
+            print(
+                f"replay: {len(gateway.epoch_log)} epoch digests "
+                "bit-identical to serial re-application"
+            )
+        else:
+            print("  ! replay: committed epochs DIVERGE from serial replay",
+                  file=sys.stderr)
+            exit_code = 1
+    if instr is not None:
+        if args.trace:
+            clusterer.instr.write_trace(args.trace)
+            print(f"trace written to {args.trace}")
+        if args.metrics:
+            clusterer.instr.write_metrics(args.metrics)
+            print(f"metrics written to {args.metrics}")
+    if args.doctor or args.slo:
+        from repro.obs.doctor import DoctorInputs
+        from repro.obs.health import load_slo
+
+        inputs = DoctorInputs(
+            trace=list(clusterer.instr.tracer.records) if instr else None,
+            metric_samples=clusterer.instr.metrics.collect() if instr else None,
+            dynamic_stats=clusterer.stats(),
+            gateway_stats=gateway.stats(),
+            slo=load_slo(args.slo) if args.slo else None,
+        )
+        args.doctor_source = _dynamic_graph_name(args)
+        doctor_code = _doctor_verdict(args, inputs)
+        exit_code = max(exit_code, doctor_code)
+    return exit_code
 
 
 def _cmd_generate(args) -> int:
@@ -1067,35 +1169,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--surrogate", choices=sorted(SNAP_SURROGATES), help="named surrogate graph"
     )
     p.add_argument("--karate", action="store_true", help="use the karate club graph")
-    p.add_argument(
-        "--objective", choices=[o.value for o in Objective], default="correlation"
-    )
-    p.add_argument("--resolution", type=float, default=0.01,
-                   help="lambda (CC) or gamma (modularity)")
-    p.add_argument("--sequential", action="store_true", help="run SEQ instead of PAR")
-    p.add_argument("--mode", choices=[m.value for m in Mode], default="async")
-    p.add_argument(
-        "--frontier", choices=[f.value for f in Frontier], default="vertex-neighbors"
-    )
-    p.add_argument("--no-refine", action="store_true")
-    p.add_argument("--num-iter", type=int, default=10)
-    p.add_argument("--converge", action="store_true",
-                   help="run to convergence (the ^CON variants)")
-    p.add_argument("--workers", type=int, default=60,
-                   help="simulated worker lanes / process-pool size "
-                        "(0 = auto: one per host core, capped by the "
-                        "machine model)")
-    p.add_argument("--kernel", choices=["vectorized", "reference"],
-                   default="vectorized",
-                   help="move-evaluation kernel (bit-identical results; "
-                        "reference is the dict-loop oracle)")
-    p.add_argument("--backend", choices=["simulated", "process"],
-                   default="simulated",
-                   help="execution backend (bit-identical results; "
-                        "'process' fans batch work out to a shared-memory "
-                        "worker pool on real cores, falling back to "
-                        "simulated when the host cannot support it)")
-    p.add_argument("--seed", type=int, default=None)
+    ClusteringConfig.add_args(p)
     p.add_argument("--output", help="write labels (one per line)")
     p.add_argument("--output-labels", metavar="PATH",
                    help="write 'vertex<TAB>cluster' lines (round-trips "
@@ -1303,27 +1377,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "instead of re-clustering the graph source")
         p.add_argument("--on-malformed", choices=["strict", "repair"],
                        default="strict")
-        p.add_argument("--resolution", type=float, default=0.01,
-                       help="lambda (correlation objective only)")
-        p.add_argument("--sequential", action="store_true")
-        p.add_argument("--mode", choices=[m.value for m in Mode],
-                       default="async")
-        p.add_argument("--frontier", choices=[f.value for f in Frontier],
-                       default="vertex-neighbors")
-        p.add_argument("--no-refine", action="store_true")
-        p.add_argument("--num-iter", type=int, default=10)
-        p.add_argument("--converge", action="store_true")
-        p.add_argument("--workers", type=int, default=60,
-                       help="simulated worker lanes / process-pool size "
-                            "(0 = auto)")
-        p.add_argument("--kernel", choices=["vectorized", "reference"],
-                       default="vectorized")
-        p.add_argument("--backend", choices=["simulated", "process"],
-                       default="simulated",
-                       help="execution backend; 'process' keeps one warm "
-                            "shared-memory pool across update batches "
-                            "(bit-identical results)")
-        p.add_argument("--seed", type=int, default=None)
+        ClusteringConfig.add_args(p, include_objective=False)
         p.add_argument("--engine", choices=["relaxed", "prefix", "colored",
                                             "event", "sequential"],
                        help="override the refinement engine (snapshots "
@@ -1389,6 +1443,83 @@ def build_parser() -> argparse.ArgumentParser:
                    help="session script, one command per line")
     p.set_defaults(func=_cmd_serve_sim, profile=False, profile_json=None,
                    trace=None, metrics=None)
+
+    p = sub.add_parser(
+        "serve",
+        help="drive the concurrent serving gateway: snapshot-isolated "
+             "reads multiplexed against coalesced update commits, with "
+             "admission control and load shedding (DESIGN.md §14)",
+    )
+    add_dynamic_flags(p)
+    w = p.add_argument_group("workload")
+    w.add_argument("--requests", type=int, default=500, metavar="N",
+                   help="total requests to generate (default 500)")
+    w.add_argument("--read-fraction", type=float, default=0.9,
+                   metavar="FRAC",
+                   help="fraction of requests that are reads (default 0.9)")
+    w.add_argument("--arrival", choices=["open", "closed"], default="open",
+                   help="open-loop Poisson arrivals at --rate, or "
+                        "closed-loop clients pacing themselves")
+    w.add_argument("--rate", type=float, default=2000.0, metavar="RPS",
+                   help="open-loop offered load in requests/second")
+    w.add_argument("--clients", type=int, default=8,
+                   help="logical clients (closed-loop pacing + naming)")
+    w.add_argument("--think", type=float, default=0.002, metavar="SECONDS",
+                   help="closed-loop per-client think time")
+    w.add_argument("--read-deadline", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="per-read deadline; queued reads past it are "
+                        "dropped as expired (0 = none)")
+    w.add_argument("--workload-seed", type=int, default=0,
+                   help="workload generator seed (deterministic streams)")
+    g = p.add_argument_group("gateway policy")
+    g.add_argument("--read-queue-limit", type=int, default=256, metavar="N",
+                   help="waiting reads beyond this are shed (default 256)")
+    g.add_argument("--write-queue-limit", type=int, default=1024,
+                   metavar="N",
+                   help="staged writes beyond this are shed (default 1024)")
+    g.add_argument("--max-batch-updates", type=int, default=0, metavar="N",
+                   help="coalesced updates per commit; excess waits for "
+                        "the next cycle (0 = unbounded)")
+    g.add_argument("--commit-interval", type=float, default=0.1,
+                   metavar="SECONDS",
+                   help="seconds between commit cycles (default 0.1)")
+    g.add_argument("--read-concurrency", type=int, default=4, metavar="N",
+                   help="concurrent read servers in the simulated driver")
+    g.add_argument("--retry-after", type=float, default=0.05,
+                   metavar="SECONDS",
+                   help="back-off hint attached to shed responses")
+    d = p.add_argument_group("driver")
+    d.add_argument("--driver", choices=["sim", "threads"], default="sim",
+                   help="deterministic simulated clock (sim) or real "
+                        "client threads (threads)")
+    d.add_argument("--serial-baseline", action="store_true",
+                   help="sim only: one lane shared by reads and commits "
+                        "(the old ClusterServer discipline, for "
+                        "comparison)")
+    d.add_argument("--threads", type=int, default=4, metavar="N",
+                   help="client threads for --driver threads")
+    d.add_argument("--time-scale", type=float, default=0.0,
+                   metavar="FACTOR",
+                   help="threads: stretch the workload's virtual arrival "
+                        "schedule by this factor (0 = submit at full "
+                        "speed)")
+    p.add_argument("--verify-replay", action="store_true",
+                   help="re-apply the committed batches serially from the "
+                        "bootstrap state and assert per-epoch label "
+                        "digests are bit-identical (exit 1 on divergence)")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write the session's span trace as JSONL")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="write gateway + dynamic metrics; .json/.jsonl "
+                        "gets JSONL, anything else Prometheus text")
+    p.add_argument("--doctor", action="store_true",
+                   help="run the doctor over the session: gateway facts, "
+                        "health rules, serving SLOs; exit 1 on crit")
+    p.add_argument("--slo", metavar="FILE",
+                   help="serving SLO spec JSON for --doctor (implies "
+                        "--doctor)")
+    p.set_defaults(func=_cmd_serve, profile=False, profile_json=None)
 
     p = sub.add_parser(
         "doctor",

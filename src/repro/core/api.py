@@ -10,11 +10,13 @@ convenience wrappers mirror the paper's implementation names:
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
 
 from repro.core.config import ClusteringConfig, Frontier, Mode, Objective
+from repro.core.options import RunOptions
 from repro.core.louvain_par import parallel_cc
 from repro.core.louvain_seq import sequential_cc
 from repro.core.objective import (
@@ -23,7 +25,7 @@ from repro.core.objective import (
     modularity_lambda,
 )
 from repro.core.result import ClusterResult
-from repro.errors import InvariantViolation
+from repro.errors import ConfigError, InvariantViolation
 from repro.graphs.csr import CSRGraph
 from repro.graphs.stats import MemoryTracker
 from repro.obs.instrument import (
@@ -38,50 +40,126 @@ from repro.utils.rng import make_rng
 from repro.utils.timing import WallTimer
 
 
+class _Unset:
+    """Sentinel distinguishing "kwarg not passed" from an explicit ``None``
+    on the deprecated ``cluster`` keywords.  The stable repr keeps
+    ``inspect.signature(cluster)`` machine-independent — the API-surface
+    snapshot (``repro.api``) hashes signatures, and the default
+    ``<object object at 0x...>`` repr would embed a memory address."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+
+def _resolve_options(options, legacy: dict) -> RunOptions:
+    """Merge the deprecated per-subsystem kwargs into a RunOptions.
+
+    A positional :class:`~repro.resilience.context.ResiliencePolicy` in
+    the ``options`` slot (the pre-RunOptions third positional argument)
+    is accepted as a deprecated spelling of ``resilience=``.
+    """
+    from repro.resilience.context import ResiliencePolicy
+
+    if isinstance(options, ResiliencePolicy):
+        warnings.warn(
+            "passing a ResiliencePolicy positionally to cluster() is "
+            "deprecated; use cluster(graph, config, "
+            "options=RunOptions(resilience=policy))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        legacy = dict(legacy)
+        legacy.setdefault("resilience", options)
+        options = None
+    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if not passed:
+        return options if options is not None else RunOptions()
+    names = ", ".join(sorted(passed))
+    if options is not None:
+        overlap = sorted(
+            k for k in passed if getattr(options, k) is not None
+        )
+        if overlap:
+            raise ConfigError(
+                "cluster() received both options= and the deprecated "
+                f"keyword(s) {', '.join(overlap)}; set them on RunOptions "
+                "only"
+            )
+    warnings.warn(
+        f"cluster() keyword(s) {names} are deprecated; pass "
+        f"options=RunOptions({names}=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    base = options if options is not None else RunOptions()
+    return base.merged_with(**passed)
+
+
 def cluster(
     graph: CSRGraph,
     config: ClusteringConfig,
-    resilience: Optional[ResiliencePolicy] = None,
-    instrumentation: Optional[Instrumentation] = None,
-    engine: Optional[str] = None,
-    supervisor=None,
-    backend=None,
+    options: Optional[RunOptions] = None,
+    *,
+    resilience=_UNSET,
+    instrumentation=_UNSET,
+    engine=_UNSET,
+    supervisor=_UNSET,
+    backend=_UNSET,
 ) -> ClusterResult:
     """Cluster ``graph`` according to ``config``; see :class:`ClusterResult`.
 
-    ``resilience`` optionally attaches a
-    :class:`~repro.resilience.context.ResiliencePolicy`: fault injection,
-    invariant auditing, run budgets with graceful degradation, and
-    checkpoint/resume.  A degraded run returns its best-so-far clustering
-    with ``result.degraded`` set and the reasons in ``result.failure_log``
-    instead of raising.
+    ``options`` bundles the execution context as a
+    :class:`~repro.core.options.RunOptions` (DESIGN.md §14):
 
-    ``instrumentation`` optionally attaches an
-    :class:`~repro.obs.instrument.Instrumentation`: a structured trace of
-    nested ``run → level → phase → round`` spans plus a metrics registry
-    (moves, gains, frontier sizes, compression ratios, CAS retries),
-    exportable afterwards via ``instrumentation.write_trace()`` /
-    ``write_metrics()``.  Absent or disabled, every hook is a no-op.
+    * ``options.resilience`` attaches a
+      :class:`~repro.resilience.context.ResiliencePolicy`: fault injection,
+      invariant auditing, run budgets with graceful degradation, and
+      checkpoint/resume.  A degraded run returns its best-so-far clustering
+      with ``result.degraded`` set and the reasons in ``result.failure_log``
+      instead of raising.
+    * ``options.instrumentation`` attaches an
+      :class:`~repro.obs.instrument.Instrumentation`: a structured trace of
+      nested ``run → level → phase → round`` spans plus a metrics registry,
+      exportable afterwards via ``instrumentation.write_trace()`` /
+      ``write_metrics()``.  Absent or disabled, every hook is a no-op.
+    * ``options.engine`` overrides the BEST-MOVES engine by registry name
+      (see :data:`repro.core.engines.ENGINES`); by default
+      ``config.parallel`` selects the paper's relaxed engine or the
+      sequential baseline.
+    * ``options.supervisor`` attaches a
+      :class:`~repro.supervisor.RunSupervisor`: retry-with-resume, watchdog
+      deadlines, and the fallback ladder (DESIGN.md §10), with every
+      recovery decision in ``failure_log`` and ``extras["supervisor"]``.
+    * ``options.backend`` passes an already-open
+      :class:`~repro.parallel.backend.ExecutionBackend` (the dynamic
+      subsystem reuses one warm process pool across update batches); when
+      omitted, ``config.backend`` selects one, created and closed inside
+      this call.  Backends never change results (DESIGN.md §13).
 
-    ``engine`` optionally overrides the BEST-MOVES engine by registry name
-    (see :data:`repro.core.engines.ENGINES`); by default ``config.parallel``
-    selects the paper's relaxed engine or the sequential baseline.
-
-    ``supervisor`` optionally attaches a
-    :class:`~repro.supervisor.RunSupervisor`: the run then executes under
-    retry-with-resume, watchdog deadlines, and the fallback ladder
-    (DESIGN.md §10), with every recovery decision in the result's
-    ``failure_log`` and ``extras["supervisor"]``.
-
-    ``backend`` optionally passes an already-open
-    :class:`~repro.parallel.backend.ExecutionBackend` (the dynamic
-    subsystem reuses one warm process pool across update batches); when
-    omitted, ``config.backend`` selects one, created and closed inside
-    this call.  Backends never change results — the process backend is
-    bit-identical to the inline path (DESIGN.md §13).
+    The pre-``RunOptions`` keywords (``resilience=``, ``instrumentation=``,
+    ``engine=``, ``supervisor=``, ``backend=``) still work as deprecated
+    shims: they emit :class:`DeprecationWarning` and forward, producing
+    bit-identical results.
     """
-    if supervisor is not None:
-        return supervisor.run(
+    opts = _resolve_options(
+        options,
+        {
+            "resilience": resilience,
+            "instrumentation": instrumentation,
+            "engine": engine,
+            "supervisor": supervisor,
+            "backend": backend,
+        },
+    )
+    resilience = opts.resilience
+    instrumentation = opts.instrumentation
+    engine = opts.engine
+    backend = opts.backend
+    if opts.supervisor is not None:
+        return opts.supervisor.run(
             graph,
             config,
             resilience=resilience,

@@ -178,6 +178,95 @@ class ClusteringConfig:
         """A modified copy (thin wrapper over :func:`dataclasses.replace`)."""
         return replace(self, **changes)
 
+    # ------------------------------------------------------------------ #
+    # argparse round-trip
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def add_args(cls, parser, *, include_objective: bool = True) -> None:
+        """Register the standard config flags on ``parser``.
+
+        One canonical flag block shared by every CLI subcommand that
+        builds a :class:`ClusteringConfig` (``cluster`` / ``update`` /
+        ``serve-sim`` / ``serve``), paired with :meth:`from_args` for the
+        reverse direction.  ``include_objective=False`` omits the
+        ``--objective`` flag for correlation-only subcommands (the
+        dynamic subsystem).
+        """
+        if include_objective:
+            parser.add_argument(
+                "--objective",
+                choices=[o.value for o in Objective],
+                default="correlation",
+            )
+        parser.add_argument(
+            "--resolution", type=float, default=0.01,
+            help="lambda (correlation) or gamma (modularity)",
+        )
+        parser.add_argument(
+            "--sequential", action="store_true",
+            help="run SEQ instead of PAR",
+        )
+        parser.add_argument(
+            "--mode", choices=[m.value for m in Mode], default="async"
+        )
+        parser.add_argument(
+            "--frontier",
+            choices=[f.value for f in Frontier],
+            default="vertex-neighbors",
+        )
+        parser.add_argument("--no-refine", action="store_true")
+        parser.add_argument("--num-iter", type=int, default=10)
+        parser.add_argument(
+            "--converge", action="store_true",
+            help="run to convergence (the ^CON variants)",
+        )
+        parser.add_argument(
+            "--workers", type=int, default=60,
+            help="simulated worker lanes / process-pool size (0 = auto: "
+                 "one per host core, capped by the machine model)",
+        )
+        parser.add_argument(
+            "--kernel", choices=["vectorized", "reference"],
+            default="vectorized",
+            help="move-evaluation kernel (bit-identical results; "
+                 "reference is the dict-loop oracle)",
+        )
+        parser.add_argument(
+            "--backend", choices=["simulated", "process"],
+            default="simulated",
+            help="execution backend (bit-identical results; 'process' "
+                 "fans batch work out to a warm shared-memory worker "
+                 "pool on real cores, falling back to simulated when "
+                 "the host cannot support it)",
+        )
+        parser.add_argument("--seed", type=int, default=None)
+
+    @classmethod
+    def from_args(
+        cls, args, *, objective: Optional["Objective"] = None
+    ) -> "ClusteringConfig":
+        """Build a config from an :meth:`add_args` namespace.
+
+        ``objective`` pins the objective for correlation-only
+        subcommands whose parser omitted ``--objective``.
+        """
+        if objective is None:
+            objective = Objective(getattr(args, "objective", "correlation"))
+        return cls(
+            objective=objective,
+            resolution=args.resolution,
+            parallel=not args.sequential,
+            mode=Mode(args.mode),
+            frontier=Frontier(args.frontier),
+            refine=not args.no_refine,
+            num_iter=None if args.converge else args.num_iter,
+            num_workers=args.workers,
+            kernel=args.kernel,
+            backend=getattr(args, "backend", "simulated"),
+            seed=args.seed,
+        )
+
     def describe(self) -> str:
         """Short human-readable tag, e.g. ``PAR-CC[async,vertex-nbrs,refine]``."""
         base = "PAR" if self.parallel else "SEQ"

@@ -1,0 +1,74 @@
+"""RunOptions: the consolidated execution-context bundle for ``cluster``.
+
+Over nine PRs :func:`repro.core.api.cluster` accreted one keyword per
+subsystem — ``resilience=``, ``instrumentation=``, ``engine=``,
+``supervisor=``, ``backend=`` — none of which changes *what* is
+computed, only *how* the run executes (fault handling, telemetry,
+engine override, retry ladder, worker pool).  :class:`RunOptions`
+bundles them into one typed, frozen value so the public signature stays
+``cluster(graph, config, options=)`` no matter how many execution
+subsystems grow underneath, and so option bundles can be built once and
+reused across runs (the serving gateway and the supervisor both do).
+
+The legacy keywords remain as deprecated shims on ``cluster`` itself:
+they emit :class:`DeprecationWarning` and forward here, bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+__all__ = ["RunOptions"]
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Execution options for one clustering run (DESIGN.md §14).
+
+    Every field defaults to ``None`` — the plain, uninstrumented,
+    unsupervised inline run.  None of these fields can change the
+    clustering result except ``engine`` (which selects a different
+    BEST-MOVES schedule) and a degrading ``resilience`` policy; the
+    backend and instrumentation are bit-identity-preserving by contract
+    (DESIGN.md §7/§13).
+
+    Attributes
+    ----------
+    resilience:
+        A :class:`~repro.resilience.context.ResiliencePolicy` — fault
+        injection, auditing, budgets, checkpoint/resume.
+    instrumentation:
+        An :class:`~repro.obs.instrument.Instrumentation` — span trace
+        plus metrics registry.
+    engine:
+        BEST-MOVES engine override by registry name (see
+        :data:`repro.core.engines.ENGINES`).
+    supervisor:
+        A :class:`~repro.supervisor.RunSupervisor` — retry-with-resume,
+        watchdog deadlines, fallback ladder.
+    backend:
+        An already-open :class:`~repro.parallel.backend.ExecutionBackend`
+        to reuse (e.g. a warm process pool); when ``None``,
+        ``config.backend`` selects one per run.
+    """
+
+    resilience: Optional[object] = None
+    instrumentation: Optional[object] = None
+    engine: Optional[str] = None
+    supervisor: Optional[object] = None
+    backend: Optional[object] = None
+
+    def with_options(self, **changes) -> "RunOptions":
+        """A modified copy (thin wrapper over :func:`dataclasses.replace`)."""
+        return replace(self, **changes)
+
+    def merged_with(self, **overrides) -> "RunOptions":
+        """A copy where non-``None`` overrides win over current fields."""
+        changes = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **changes) if changes else self
+
+    @classmethod
+    def field_names(cls) -> tuple:
+        """The option field names, in declaration order."""
+        return tuple(f.name for f in fields(cls))

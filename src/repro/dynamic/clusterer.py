@@ -49,6 +49,7 @@ from typing import List, Optional, Union
 import numpy as np
 
 from repro.core.config import ClusteringConfig, Objective
+from repro.core.options import RunOptions
 from repro.core.engines import run_engine_restricted
 from repro.core.frontier import seed_frontier
 from repro.core.objective import (
@@ -259,9 +260,11 @@ class DynamicClusterer:
         result = cluster(
             graph,
             config,
-            instrumentation=instrumentation,
-            engine=engine,
-            supervisor=supervisor,
+            RunOptions(
+                instrumentation=instrumentation,
+                engine=engine,
+                supervisor=supervisor,
+            ),
         )
         return cls(
             graph,
@@ -620,9 +623,11 @@ class DynamicClusterer:
         result = cluster(
             self.graph,
             self.config,
-            instrumentation=(self.instr if self.instr.enabled else None),
-            engine=self.engine_name,
-            supervisor=supervisor,
+            RunOptions(
+                instrumentation=(self.instr if self.instr.enabled else None),
+                engine=self.engine_name,
+                supervisor=supervisor,
+            ),
         )
         self.state = ClusterState.from_assignments(self.graph, result.assignments)
         self.overlay = DeltaOverlayGraph(self.graph)

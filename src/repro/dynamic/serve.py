@@ -38,7 +38,7 @@ import numpy as np
 from repro.dynamic.clusterer import DynamicClusterer, UpdateReport
 from repro.dynamic.snapshot import SnapshotStore
 from repro.dynamic.updates import EdgeUpdate, UpdateBatch
-from repro.errors import UpdateError
+from repro.errors import ServerClosedError, UpdateError
 from repro.obs.instrument import (
     M_SERVE_LATENCY,
     SERVE_LATENCY_BUCKETS,
@@ -86,6 +86,7 @@ class ClusterServer:
         self.clusterer = clusterer
         self.store = store
         self.staged: List[EdgeUpdate] = []
+        self._closed = False
         instr = clusterer.instr
         if instr.enabled:
             # Pre-register with µs-scale buckets; later observe() calls
@@ -101,7 +102,18 @@ class ClusterServer:
     def instr(self):
         return self.clusterer.instr
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServerClosedError(
+                "ClusterServer is closed; ops after close() are invalid"
+            )
+
     def _begin(self) -> Optional[float]:
+        self._ensure_open()
         return time.perf_counter() if self.instr.enabled else None
 
     def _end(self, op: str, start: Optional[float]) -> None:
@@ -155,6 +167,7 @@ class ClusterServer:
 
     def commit(self) -> UpdateReport:
         """Apply every staged update as one batch."""
+        self._ensure_open()
         batch = UpdateBatch(self.staged)
         self.staged = []
         return self.apply(batch)
@@ -171,6 +184,7 @@ class ClusterServer:
 
     def save(self):
         """Rotate a snapshot into the store; resets staleness."""
+        self._ensure_open()
         if self.store is None:
             raise UpdateError("save requires a snapshot store (--snapshot-dir)")
         start = self._begin()
@@ -190,7 +204,15 @@ class ClusterServer:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the clusterer's execution backend (DESIGN.md §13)."""
+        """Release the clusterer's execution backend (DESIGN.md §13).
+
+        Idempotent: a second ``close()`` (or a ``with`` block exiting
+        after an explicit close) is a no-op.  Subsequent ops raise
+        :class:`~repro.errors.ServerClosedError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self.clusterer.close()
 
     def __enter__(self) -> "ClusterServer":

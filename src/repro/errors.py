@@ -64,6 +64,14 @@ class UpdateError(ReproError):
     not exist, or a malformed update-log line."""
 
 
+class ServerClosedError(ReproError):
+    """Raised when an op is invoked on a :class:`~repro.dynamic.serve.ClusterServer`
+    (or serving gateway) after ``close()``.  Closing is idempotent —
+    double-close and re-``__exit__`` are no-ops — but query/stage/commit/
+    save/audit on a closed server raise this instead of surfacing an
+    obscure backend failure from the released clusterer."""
+
+
 class SnapshotError(CheckpointError):
     """Raised when a dynamic-clusterer snapshot is missing, corrupt, or
     incompatible with the restoring configuration.  Subclasses

@@ -410,8 +410,11 @@ def overhead_suite(repeats: int = 5) -> BenchSuite:
     config = ClusteringConfig(resolution=BASELINE_RESOLUTION, seed=7)
 
     def run(instrumentation_factory):
+        from repro.core.options import RunOptions
+
         return cluster(
-            graph, config, instrumentation=instrumentation_factory()
+            graph, config,
+            RunOptions(instrumentation=instrumentation_factory()),
         )
 
     base_result, base_timing = time_callable(
@@ -481,7 +484,9 @@ def snapshot_suite(repeats: int = 3) -> BenchSuite:
 
     def run():
         instr = Instrumentation()
-        return cluster(graph, config, instrumentation=instr), instr
+        from repro.core.options import RunOptions
+
+        return cluster(graph, config, RunOptions(instrumentation=instr)), instr
 
     (result, instr), timing = time_callable(run, repeats=repeats, warmup=1)
     workers = instr.tracer.worker_records()

@@ -61,6 +61,7 @@ class DoctorInputs:
     record: Optional[dict] = None
     history: Optional[List[dict]] = None
     dynamic_stats: Optional[dict] = None
+    gateway_stats: Optional[dict] = None
     decomposition: Optional[dict] = None
     iteration_cap: Optional[int] = None
     slo: Optional[SLOSpec] = None
@@ -221,6 +222,44 @@ def dynamic_facts(stats: dict) -> Dict[str, float]:
     updates = stats.get("updates_applied")
     if isinstance(updates, dict):
         facts["dynamic.updates"] = float(sum(updates.values()))
+    return facts
+
+
+def gateway_facts(stats: dict) -> Dict[str, float]:
+    """Facts from :meth:`ServingGateway.stats` (gateway runs).
+
+    Per request class the raw terminal-status counts become
+    ``gateway.<class>.<status>`` facts plus derived ``shed_rate`` /
+    ``expired_rate`` / ``rejected_rate`` fractions of submissions, so
+    admission-control health rules can threshold on load-independent
+    ratios.
+    """
+    facts: Dict[str, float] = {}
+    for src, dst in (
+        ("epoch", "gateway.epoch"),
+        ("commits", "gateway.commits"),
+        ("staged", "gateway.staged"),
+    ):
+        if stats.get(src) is not None:
+            _put(facts, dst, stats[src])
+    requests = stats.get("requests")
+    if isinstance(requests, dict):
+        for klass, row in requests.items():
+            if not isinstance(row, dict):
+                continue
+            for status, count in row.items():
+                if isinstance(count, (int, float)):
+                    facts[f"gateway.{klass}.{status}"] = float(count)
+            submitted = float(row.get("submitted") or 0.0)
+            if submitted > 0:
+                for status in ("shed", "expired", "rejected"):
+                    facts[f"gateway.{klass}.{status}_rate"] = (
+                        float(row.get(status) or 0.0) / submitted
+                    )
+    nested = stats.get("clusterer")
+    if isinstance(nested, dict):
+        for key, value in dynamic_facts(nested).items():
+            facts.setdefault(key, value)
     return facts
 
 
@@ -468,6 +507,8 @@ def collect_facts(inputs: DoctorInputs) -> Dict[str, float]:
         facts.update(metric_facts(inputs.metric_samples))
     if inputs.dynamic_stats is not None:
         facts.update(dynamic_facts(inputs.dynamic_stats))
+    if inputs.gateway_stats is not None:
+        facts.update(gateway_facts(inputs.gateway_stats))
     if inputs.trace is not None:
         series = trace_series(inputs.trace)
         stats_stall = facts.get("convergence.stall_levels")

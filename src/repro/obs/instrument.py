@@ -101,6 +101,17 @@ M_SERVE_LATENCY = "repro_serve_op_seconds"
 #: Edge updates applied to the live state since the last snapshot save
 #: (gauge) — the serving staleness the SLO spec bounds.
 M_SERVE_STALENESS = "repro_serve_staleness_updates"
+#: Serving-gateway requests resolved, labeled by kind: read/write and
+#: status: ok/shed/expired/rejected (counter).  Every submitted request
+#: lands here exactly once — the no-silent-drops accounting invariant.
+M_GATEWAY_REQUESTS = "repro_gateway_requests_total"
+#: Queue depth observed at each admission decision, labeled by kind:
+#: read/write (histogram).
+M_GATEWAY_QUEUE = "repro_gateway_queue_depth"
+#: Coalesced updates per committed gateway batch (histogram).
+M_GATEWAY_BATCH = "repro_gateway_batch_updates"
+#: Latest published label epoch index (gauge).
+M_GATEWAY_EPOCH = "repro_gateway_epoch"
 #: Wall seconds per execution-backend dispatch, labeled by phase:
 #: moves/frontier/compress (histogram).  Fed by the process backend.
 M_BACKEND_DISPATCH = "repro_backend_dispatch_seconds"
@@ -151,6 +162,10 @@ _HELP = {
     M_DYNAMIC_QUERIES: "Serving-facade queries answered, by kind",
     M_SERVE_LATENCY: "Serving-facade op latency in seconds, by op",
     M_SERVE_STALENESS: "Updates applied since the last snapshot save",
+    M_GATEWAY_REQUESTS: "Serving-gateway requests resolved, by kind and status",
+    M_GATEWAY_QUEUE: "Queue depth observed at each gateway admission decision",
+    M_GATEWAY_BATCH: "Coalesced updates per committed gateway batch",
+    M_GATEWAY_EPOCH: "Latest published label epoch index",
     M_BACKEND_DISPATCH: "Wall seconds per execution-backend dispatch, by phase",
     M_BACKEND_BYTES: "Bytes copied into shared segments by the process backend",
 }

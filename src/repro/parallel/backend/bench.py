@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.core.api import cluster
 from repro.core.config import ClusteringConfig, Frontier, Mode
+from repro.core.options import RunOptions
 from repro.generators.lfr import lfr_like_graph
 from repro.generators.rmat import rmat_graph
 from repro.obs.bench import BenchSuite, time_callable
@@ -108,7 +109,7 @@ def backend_suite(repeats: int = 3, seed: int = 3) -> BenchSuite:
         for workers in WORKER_SWEEP:
             with ProcessBackend(workers=workers, min_dispatch=64) as backend:
                 result, timing = time_callable(
-                    lambda: cluster(graph, config, backend=backend),
+                    lambda: cluster(graph, config, RunOptions(backend=backend)),
                     repeats=repeats,
                     warmup=1,
                 )

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.api import cluster
+from repro.core.options import RunOptions
 from repro.core.config import ClusteringConfig
 from repro.core.engines import ENGINES
 from repro.errors import SupervisorExhausted
@@ -205,15 +206,19 @@ def replay_check(graph, config: ClusteringConfig, engine: Optional[str]) -> Opti
         path = os.path.join(tmp, "replay.npz")
         full = cluster(
             graph, config,
-            resilience=ResiliencePolicy(checkpoint_path=path),
-            engine=engine,
+            RunOptions(
+                resilience=ResiliencePolicy(checkpoint_path=path),
+                engine=engine,
+            ),
         )
         if not os.path.exists(path):
             return None
         resumed = cluster(
             graph, config,
-            resilience=ResiliencePolicy(resume_from=path),
-            engine=engine,
+            RunOptions(
+                resilience=ResiliencePolicy(resume_from=path),
+                engine=engine,
+            ),
         )
     tag = f"{engine or 'default'}/{config.kernel}"
     if not np.array_equal(full.assignments, resumed.assignments):
@@ -273,8 +278,10 @@ def chaos_matrix(
             )
             baseline = cluster(
                 graph, base_config,
-                resilience=ResiliencePolicy(audit=audit),
-                engine=engine,
+                RunOptions(
+                    resilience=ResiliencePolicy(audit=audit),
+                    engine=engine,
+                ),
             )
             baselines[(engine, kernel)] = baseline.objective
             if check_replay:

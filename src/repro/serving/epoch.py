@@ -1,0 +1,123 @@
+"""Immutable label epochs: the snapshot-isolation layer (DESIGN.md §14).
+
+At every commit the gateway copies the clusterer's assignment array into
+a fresh read-only :class:`LabelEpoch` and publishes it with one atomic
+reference assignment.  Reads resolve the current epoch once at service
+time and then work entirely against that immutable object — they can
+never observe a half-applied batch, and a commit never waits for an
+in-flight read.  This is copy-on-write at batch granularity: one array
+copy per commit, zero copies per read.
+
+Each epoch carries a sha1 digest of the raw label bytes; the sequence of
+per-epoch digests is what the serving equivalence gate compares against
+a serial replay of the same coalesced batches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import UpdateError
+
+__all__ = ["LabelEpoch", "label_digest"]
+
+
+def label_digest(assignments: np.ndarray) -> str:
+    """sha1 hex digest of the raw int64 label bytes (bit-identity key)."""
+    arr = np.ascontiguousarray(assignments, dtype=np.int64)
+    return hashlib.sha1(arr.tobytes()).hexdigest()
+
+
+class LabelEpoch:
+    """One published, immutable snapshot of the partition.
+
+    The assignment array is copied on construction and marked read-only;
+    any attempt to mutate it through the epoch raises at the numpy layer.
+    Epoch 0 is the bootstrap partition; epoch ``k`` is the state after
+    the gateway's ``k``-th committed batch.
+    """
+
+    __slots__ = (
+        "index",
+        "_assignments",
+        "num_clusters",
+        "f_objective",
+        "digest",
+        "published_at",
+        "batch_updates",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        assignments: np.ndarray,
+        *,
+        f_objective: float = 0.0,
+        published_at: float = 0.0,
+        batch_updates: int = 0,
+    ) -> None:
+        arr = np.array(assignments, dtype=np.int64, copy=True)
+        arr.setflags(write=False)
+        self.index = int(index)
+        self._assignments = arr
+        self.num_clusters = int(np.unique(arr).size) if arr.size else 0
+        self.f_objective = float(f_objective)
+        self.digest = label_digest(arr)
+        self.published_at = float(published_at)
+        self.batch_updates = int(batch_updates)
+
+    # -- read operations (the gateway's read kinds resolve here) ------- #
+
+    @property
+    def assignments(self) -> np.ndarray:
+        """The read-only label array (no copy — it cannot be mutated)."""
+        return self._assignments
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self._assignments.size)
+
+    def cluster_of(self, u: int) -> int:
+        if u < 0 or u >= self._assignments.size:
+            raise UpdateError(
+                f"vertex {u} out of range [0, {self._assignments.size})"
+            )
+        return int(self._assignments[u])
+
+    def same(self, u: int, v: int) -> bool:
+        """Do ``u`` and ``v`` share a cluster in this epoch?"""
+        return self.cluster_of(u) == self.cluster_of(v)
+
+    def members(self, cluster: int) -> np.ndarray:
+        return np.flatnonzero(self._assignments == int(cluster)).astype(np.int64)
+
+    def stats(self) -> dict:
+        return {
+            "epoch": self.index,
+            "num_vertices": self.num_vertices,
+            "num_clusters": self.num_clusters,
+            "f_objective": self.f_objective,
+            "digest": self.digest,
+            "batch_updates": self.batch_updates,
+        }
+
+    def serve(self, kind: str, args: tuple) -> object:
+        """Dispatch one read kind against this snapshot."""
+        if kind == "cluster_of":
+            return self.cluster_of(*args)
+        if kind == "same":
+            return self.same(*args)
+        if kind == "members":
+            return self.members(*args)
+        if kind == "stats":
+            return self.stats()
+        raise UpdateError(f"unknown read kind {kind!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"LabelEpoch(index={self.index}, n={self.num_vertices}, "
+            f"clusters={self.num_clusters}, digest={self.digest[:10]})"
+        )

@@ -1,0 +1,429 @@
+"""ServingGateway: snapshot reads + coalesced writes + admission control.
+
+The gateway owns one :class:`~repro.dynamic.clusterer.DynamicClusterer`
+and multiplexes many clients over it (DESIGN.md §14):
+
+* **Snapshot isolation** — every commit publishes an immutable
+  :class:`~repro.serving.epoch.LabelEpoch`; reads resolve the epoch
+  reference once and never touch mutable state, so a read can neither
+  block a commit nor observe a half-applied batch.
+* **Write coalescing** — staged writes from all clients merge, in FIFO
+  submission order, into one :class:`~repro.dynamic.updates.UpdateBatch`
+  per commit cycle; one localized refinement (and one warm backend
+  dispatch) amortizes over the whole batch.
+* **Admission control** — per-class bounded queues: writes beyond
+  ``write_queue_limit`` and reads beyond ``read_queue_limit`` are shed
+  with a ``retry_after`` hint; reads still queued past their deadline
+  are dropped as ``expired``.  Every submitted request resolves to
+  exactly one terminal status, counted in
+  :data:`~repro.obs.instrument.M_GATEWAY_REQUESTS` — no silent drops.
+
+Commit-time validation walks the coalesced updates against a lazy
+edge-weight cache mirroring ``DynamicClusterer._stage`` semantics:
+deletes/reweights of an absent edge are ``rejected`` and *excluded* from
+the batch, so ``apply()`` never raises mid-batch and the committed batch
+log replays cleanly.  That filtered-batch log is the equivalence
+artifact: replaying it serially through a fresh clusterer
+(:func:`replay_digests`) must reproduce the gateway's per-epoch label
+digests bit-identically, under any interleaving and any shedding.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import ClusteringConfig
+from repro.dynamic.clusterer import DriftGuard, DynamicClusterer
+from repro.dynamic.updates import EdgeUpdate, UpdateBatch
+from repro.errors import UpdateError
+from repro.graphs.csr import CSRGraph
+from repro.obs.instrument import (
+    M_GATEWAY_BATCH,
+    M_GATEWAY_EPOCH,
+    M_GATEWAY_QUEUE,
+    M_GATEWAY_REQUESTS,
+    M_SERVE_LATENCY,
+    NULL_INSTRUMENTATION,
+    SERVE_LATENCY_BUCKETS,
+)
+from repro.serving.epoch import LabelEpoch, label_digest
+from repro.serving.requests import CLASSES, Request, Response, STATUSES
+
+__all__ = ["GatewayPolicy", "ServingGateway", "replay_digests"]
+
+
+@dataclass(frozen=True)
+class GatewayPolicy:
+    """Admission-control limits and the simulated-clock cost model.
+
+    The queue limits and deadlines govern both drivers; the
+    ``*_seconds`` cost-model fields matter only to the simulated-clock
+    driver (the threaded driver measures real time).
+    """
+
+    #: Reads allowed to wait for a server before shedding starts.
+    read_queue_limit: int = 256
+    #: Staged-but-uncommitted writes allowed before shedding starts.
+    write_queue_limit: int = 1024
+    #: Coalesced updates per commit; excess stays staged for the next
+    #: cycle (0 = unbounded).
+    max_batch_updates: int = 0
+    #: Back-off hint attached to shed responses.
+    retry_after_seconds: float = 0.05
+    #: Default read deadline when the request carries none (0 = none).
+    read_deadline_seconds: float = 0.0
+    #: Virtual seconds between commit ticks (simulated driver) or real
+    #: seconds between commit-thread cycles (threaded driver).
+    commit_interval_seconds: float = 0.1
+    #: Simulated service time of one read.
+    read_service_seconds: float = 0.001
+    #: Simulated fixed cost of one commit ...
+    commit_base_seconds: float = 0.02
+    #: ... plus this much per coalesced update.
+    commit_per_update_seconds: float = 0.0005
+    #: Concurrent read servers in the simulated driver.
+    read_concurrency: int = 4
+
+    def __post_init__(self) -> None:
+        if self.read_queue_limit < 1 or self.write_queue_limit < 1:
+            raise UpdateError("gateway queue limits must be >= 1")
+        if self.read_concurrency < 1:
+            raise UpdateError("read_concurrency must be >= 1")
+        if self.commit_interval_seconds <= 0:
+            raise UpdateError("commit_interval_seconds must be positive")
+
+    def commit_cost(self, num_updates: int) -> float:
+        """Modeled virtual-clock cost of committing ``num_updates``."""
+        return self.commit_base_seconds + self.commit_per_update_seconds * max(
+            0, num_updates
+        )
+
+
+class ServingGateway:
+    """Multi-client serving front for one :class:`DynamicClusterer`.
+
+    The gateway is the synchronous core shared by both drivers: drivers
+    own *time* (virtual or real) and call in with explicit ``now``
+    stamps; the gateway owns state transitions, accounting, and the
+    committed-batch log.  All mutating entry points take ``_lock`` so
+    the threaded driver's client threads and commit thread compose; the
+    simulated driver is single-threaded and pays one uncontended
+    acquire.
+    """
+
+    def __init__(
+        self,
+        clusterer: DynamicClusterer,
+        policy: Optional[GatewayPolicy] = None,
+        instrumentation=None,
+    ) -> None:
+        self.clusterer = clusterer
+        self.policy = policy if policy is not None else GatewayPolicy()
+        self.instr = (
+            instrumentation
+            if instrumentation is not None
+            else NULL_INSTRUMENTATION
+        )
+        # Re-entrant: commit() holds it while the terminal-accounting
+        # helpers (also called bare from client threads) re-acquire.
+        self._lock = threading.RLock()
+        #: FIFO of staged write requests awaiting the next commit cycle.
+        self._staged: List[Request] = []
+        #: Committed batches: {"epoch", "updates", "digest", "num_rejected"}.
+        self.committed: List[dict] = []
+        #: Per-(class, status) terminal accounting.
+        self.counts: Dict[Tuple[str, str], int] = {
+            (k, s): 0 for k in CLASSES for s in STATUSES
+        }
+        self.submitted: Dict[str, int] = {k: 0 for k in CLASSES}
+        #: Epoch 0: the bootstrap partition, before any gateway commit.
+        self._epoch = LabelEpoch(
+            0,
+            clusterer.state.assignments,
+            f_objective=clusterer.f_objective,
+        )
+        self.epoch_log: List[str] = [self._epoch.digest]
+        if self.instr.enabled:
+            self.instr.set_gauge(M_GATEWAY_EPOCH, 0.0)
+
+    # -- snapshot access ------------------------------------------------ #
+
+    @property
+    def epoch(self) -> LabelEpoch:
+        """The current published epoch (atomic reference read)."""
+        return self._epoch
+
+    @property
+    def staged_count(self) -> int:
+        return len(self._staged)
+
+    # -- accounting helpers --------------------------------------------- #
+
+    def _account(self, klass: str, status: str) -> None:
+        with self._lock:
+            self.counts[(klass, status)] += 1
+        if self.instr.enabled:
+            self.instr.count(M_GATEWAY_REQUESTS, 1.0, kind=klass, status=status)
+
+    def _observe_latency(self, klass: str, latency: float) -> None:
+        if self.instr.enabled:
+            self.instr.metrics.histogram(
+                M_SERVE_LATENCY,
+                "Serving-facade op latency in seconds, by op",
+                buckets=SERVE_LATENCY_BUCKETS,
+            ).observe(max(0.0, latency), op=klass)
+
+    def observe_queue_depth(self, klass: str, depth: int) -> None:
+        """Record the queue depth seen at one admission decision."""
+        if self.instr.enabled:
+            self.instr.observe(M_GATEWAY_QUEUE, float(depth), kind=klass)
+
+    def note_submit(self, request: Request) -> None:
+        """Count one arrival (drivers call this before any admission)."""
+        with self._lock:
+            self.submitted[request.klass] += 1
+
+    # -- terminal transitions ------------------------------------------- #
+
+    def shed(self, request: Request, now: float) -> Response:
+        """Load-shed ``request`` at admission (class queue full)."""
+        self._account(request.klass, "shed")
+        return Response(
+            request_id=request.request_id,
+            klass=request.klass,
+            status="shed",
+            latency=max(0.0, now - request.submitted_at),
+            retry_after=self.policy.retry_after_seconds,
+        )
+
+    def expire(self, request: Request, now: float) -> Response:
+        """Drop a read whose deadline passed while it was queued."""
+        self._account(request.klass, "expired")
+        return Response(
+            request_id=request.request_id,
+            klass=request.klass,
+            status="expired",
+            latency=max(0.0, now - request.submitted_at),
+        )
+
+    def serve_read(self, request: Request, now: float) -> Response:
+        """Answer a read against the current epoch (never blocks writes)."""
+        epoch = self._epoch  # one atomic reference read = the snapshot
+        value = epoch.serve(request.kind, request.args)
+        latency = max(0.0, now - request.submitted_at)
+        self._account("read", "ok")
+        self._observe_latency("read", latency)
+        return Response(
+            request_id=request.request_id,
+            klass="read",
+            status="ok",
+            value=value,
+            epoch=epoch.index,
+            latency=latency,
+        )
+
+    def stage_write(self, request: Request, now: float) -> Optional[Response]:
+        """Stage a write for the next commit; shed if the queue is full.
+
+        Returns the shed :class:`Response`, or ``None`` when staged (the
+        terminal response arrives from :meth:`commit`).
+        """
+        if request.update is None:
+            raise UpdateError("stage_write needs a write request")
+        with self._lock:
+            self.observe_queue_depth("write", len(self._staged))
+            if len(self._staged) >= self.policy.write_queue_limit:
+                return self.shed(request, now)
+            self._staged.append(request)
+        return None
+
+    # -- commit cycle ---------------------------------------------------- #
+
+    def _validate(
+        self, staged: Sequence[Request]
+    ) -> Tuple[List[Request], List[Tuple[Request, str]]]:
+        """Split staged writes into (appliable, rejected-with-reason).
+
+        Walks the coalesced updates in FIFO order against a lazy weight
+        cache seeded from the live overlay — exactly the state
+        ``DynamicClusterer._stage`` would see — so the filtered batch is
+        guaranteed to apply without raising, and a serial replay of the
+        filtered batch makes the identical staging decisions.
+        """
+        overlay = self.clusterer.overlay
+        cache: Dict[Tuple[int, int], float] = {}
+        accepted: List[Request] = []
+        rejected: List[Tuple[Request, str]] = []
+        for req in staged:
+            upd = req.update
+            key = upd.key
+            if key not in cache:
+                cache[key] = overlay.edge_weight(upd.u, upd.v)
+            current = cache[key]
+            if upd.op == "insert":
+                cache[key] = current + upd.weight
+                accepted.append(req)
+            elif upd.op == "delete":
+                if current == 0.0:
+                    rejected.append(
+                        (req, f"cannot delete absent edge ({upd.u}, {upd.v})")
+                    )
+                else:
+                    cache[key] = 0.0
+                    accepted.append(req)
+            else:  # reweight
+                if current == 0.0:
+                    rejected.append(
+                        (
+                            req,
+                            f"cannot reweight absent edge ({upd.u}, {upd.v});"
+                            " use an insert",
+                        )
+                    )
+                else:
+                    cache[key] = upd.weight
+                    accepted.append(req)
+        return accepted, rejected
+
+    def commit(self, now: float) -> List[Response]:
+        """Coalesce staged writes into one batch, apply, publish an epoch.
+
+        Returns one terminal :class:`Response` per consumed staged write
+        (``ok`` with the new epoch index, or ``rejected``).  An
+        all-rejected or empty cycle publishes no epoch.  Only the commit
+        caller mutates the clusterer — the threaded driver funnels every
+        commit through its single commit thread.
+        """
+        with self._lock:
+            take = len(self._staged)
+            if self.policy.max_batch_updates > 0:
+                take = min(take, self.policy.max_batch_updates)
+            staged = self._staged[:take]
+            del self._staged[:take]
+            if not staged:
+                return []
+            accepted, rejected = self._validate(staged)
+            responses: List[Response] = []
+            for req, reason in rejected:
+                self._account("write", "rejected")
+                responses.append(
+                    Response(
+                        request_id=req.request_id,
+                        klass="write",
+                        status="rejected",
+                        latency=max(0.0, now - req.submitted_at),
+                        error=reason,
+                    )
+                )
+            if not accepted:
+                return responses
+            batch = UpdateBatch([req.update for req in accepted])
+            report = self.clusterer.apply(batch)
+            epoch = LabelEpoch(
+                self._epoch.index + 1,
+                self.clusterer.state.assignments,
+                f_objective=self.clusterer.f_objective,
+                published_at=now,
+                batch_updates=len(batch),
+            )
+            self.committed.append(
+                {
+                    "epoch": epoch.index,
+                    "updates": [u.as_dict() for u in batch],
+                    "digest": epoch.digest,
+                    "num_rejected": len(rejected),
+                    "moves": report.moves,
+                    "escalated": report.escalated,
+                }
+            )
+            self.epoch_log.append(epoch.digest)
+            self._epoch = epoch  # atomic publish
+            if self.instr.enabled:
+                self.instr.set_gauge(M_GATEWAY_EPOCH, float(epoch.index))
+                self.instr.observe(M_GATEWAY_BATCH, float(len(batch)))
+            for req in accepted:
+                latency = max(0.0, now - req.submitted_at)
+                self._account("write", "ok")
+                self._observe_latency("write", latency)
+                responses.append(
+                    Response(
+                        request_id=req.request_id,
+                        klass="write",
+                        status="ok",
+                        epoch=epoch.index,
+                        latency=latency,
+                        extras={"moves": report.moves},
+                    )
+                )
+            return responses
+
+    # -- equivalence + reporting ----------------------------------------- #
+
+    def committed_batches(self) -> List[UpdateBatch]:
+        """The filtered batches actually applied, in commit order."""
+        return [
+            UpdateBatch(
+                EdgeUpdate.from_dict(u) for u in entry["updates"]
+            )
+            for entry in self.committed
+        ]
+
+    def stats(self) -> dict:
+        """Gateway accounting (feeds DoctorInputs.gateway_stats).
+
+        Invariant: per class, ``submitted == ok + shed + expired +
+        rejected + pending`` where pending is staged writes not yet
+        committed — the no-silent-drops audit the tests assert.
+        """
+        by_class = {}
+        for klass in CLASSES:
+            row = {s: self.counts[(klass, s)] for s in STATUSES}
+            row["submitted"] = self.submitted[klass]
+            by_class[klass] = row
+        return {
+            "epoch": self._epoch.index,
+            "commits": len(self.committed),
+            "staged": len(self._staged),
+            "requests": by_class,
+            "epoch_digest": self._epoch.digest,
+            "clusterer": self.clusterer.stats(),
+        }
+
+
+def replay_digests(
+    graph: CSRGraph,
+    assignments: np.ndarray,
+    config: ClusteringConfig,
+    batches: Sequence[UpdateBatch],
+    engine: Optional[str] = None,
+    guard: Optional[DriftGuard] = None,
+) -> List[str]:
+    """Serially replay committed batches; per-epoch label digests.
+
+    Constructs a fresh :class:`DynamicClusterer` from the *bootstrap*
+    graph + labels (fresh ``make_rng(config.seed)`` — the same initial
+    rng state the gateway's clusterer started from) and applies each
+    batch through the plain ``repro update`` path.  Element ``0`` is the
+    bootstrap digest; element ``k`` is the digest after batch ``k``.
+    The serving equivalence gate asserts this list equals the gateway's
+    ``epoch_log`` bit-for-bit.
+    """
+    clusterer = DynamicClusterer(
+        graph,
+        np.array(assignments, dtype=np.int64, copy=True),
+        config,
+        engine=engine,
+        guard=guard,
+    )
+    digests = [label_digest(clusterer.state.assignments)]
+    try:
+        for batch in batches:
+            clusterer.apply(batch)
+            digests.append(label_digest(clusterer.state.assignments))
+    finally:
+        clusterer.close()
+    return digests

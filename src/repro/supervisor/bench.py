@@ -29,6 +29,7 @@ def overhead_suite(repeats: int = 5) -> BenchSuite:
 
     from repro.core.api import cluster
     from repro.core.config import ClusteringConfig
+    from repro.core.options import RunOptions
     from repro.generators.planted import planted_partition_graph
     from repro.supervisor import RunSupervisor
 
@@ -41,7 +42,9 @@ def overhead_suite(repeats: int = 5) -> BenchSuite:
         lambda: cluster(graph, config), repeats=repeats, warmup=1
     )
     supervised_result, supervised_timing = time_callable(
-        lambda: cluster(graph, config, supervisor=RunSupervisor()),
+        lambda: cluster(
+            graph, config, RunOptions(supervisor=RunSupervisor())
+        ),
         repeats=repeats,
         warmup=1,
     )

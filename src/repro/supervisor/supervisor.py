@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import List, Optional, Tuple
 
 from repro.core.config import ClusteringConfig
+from repro.core.options import RunOptions
 from repro.core.result import ClusterResult
 from repro.errors import (
     BudgetExhausted,
@@ -303,8 +304,11 @@ class RunSupervisor:
                 )
                 try:
                     result = cluster(
-                        graph, run_config, resilience=policy,
-                        instrumentation=instr, engine=run_engine,
+                        graph, run_config,
+                        RunOptions(
+                            resilience=policy, instrumentation=instr,
+                            engine=run_engine,
+                        ),
                     )
                 except CheckpointError as exc:
                     rotation.end_attempt()
@@ -445,8 +449,10 @@ class RunSupervisor:
         )
         try:
             result = cluster(
-                graph, config, resilience=policy,
-                instrumentation=instr, engine=engine,
+                graph, config,
+                RunOptions(
+                    resilience=policy, instrumentation=instr, engine=engine,
+                ),
             )
         except CheckpointError:
             # Even the salvage checkpoint is bad: last resort, cold.
@@ -454,8 +460,11 @@ class RunSupervisor:
             policy = replace(policy, resume_from=None)
             try:
                 result = cluster(
-                    graph, config, resilience=policy,
-                    instrumentation=instr, engine=engine,
+                    graph, config,
+                    RunOptions(
+                        resilience=policy, instrumentation=instr,
+                        engine=engine,
+                    ),
                 )
             except ReproError as exc:
                 raise SupervisorExhausted(

@@ -1,0 +1,121 @@
+"""The frozen public surface and the deprecated-kwarg shims.
+
+Two gates:
+
+* the live ``repro.api`` surface must match the committed
+  ``benchmarks/api_surface.json`` snapshot (regenerate deliberately with
+  ``python -m repro.api --write``);
+* the deprecated per-subsystem ``cluster()`` keywords must warn *and*
+  forward bit-identically to the ``options=RunOptions(...)`` spelling.
+"""
+
+import json
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+import repro.api as api
+from repro import (
+    ClusteringConfig,
+    RunOptions,
+    cluster,
+    karate_club_graph,
+)
+from repro.errors import ConfigError
+from repro.obs.instrument import Instrumentation
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SNAPSHOT = REPO_ROOT / "benchmarks" / "api_surface.json"
+
+
+class TestSurfaceSnapshot:
+    def test_live_surface_matches_committed_snapshot(self):
+        snapshot = json.loads(SNAPSHOT.read_text())["surface"]
+        issues = api.diff_surface(snapshot)
+        assert issues == [], (
+            "public API drifted; if intentional run "
+            "`python -m repro.api --write` and commit the diff:\n"
+            + "\n".join(issues)
+        )
+
+    def test_every_facade_name_importable(self):
+        for name in api.__all__:
+            assert getattr(api, name, None) is not None, name
+
+    def test_top_level_all_is_sorted_and_exact(self):
+        public = sorted(n for n in repro.__all__ if n != "__version__")
+        assert public == sorted(set(public))
+        for name in public:
+            assert hasattr(repro, name), name
+
+    def test_facade_covers_top_level(self):
+        """repro.api must export at least everything repro does."""
+        assert set(repro.__all__) <= set(api.__all__)
+
+    def test_surface_entries_have_stable_signatures(self):
+        # No memory addresses (default object reprs) may leak into the
+        # snapshot — they would differ per process and flap CI.
+        live = api.surface()
+        for name, entry in live.items():
+            assert " at 0x" not in entry["signature"], name
+
+
+class TestDeprecatedKwargShims:
+    def run_modern(self, **option_kwargs):
+        graph = karate_club_graph()
+        config = ClusteringConfig(resolution=0.05, seed=3)
+        return cluster(graph, config, options=RunOptions(**option_kwargs))
+
+    def test_engine_kwarg_warns_and_is_bit_identical(self):
+        graph = karate_club_graph()
+        config = ClusteringConfig(resolution=0.05, seed=3)
+        with pytest.warns(DeprecationWarning, match="cluster\\(\\) keyword"):
+            legacy = cluster(graph, config, engine="sequential")
+        modern = self.run_modern(engine="sequential")
+        assert np.array_equal(legacy.assignments, modern.assignments)
+        assert legacy.objective == modern.objective
+
+    def test_instrumentation_kwarg_warns_and_is_bit_identical(self):
+        graph = karate_club_graph()
+        config = ClusteringConfig(resolution=0.05, seed=3)
+        with pytest.warns(DeprecationWarning, match="cluster\\(\\) keyword"):
+            legacy = cluster(
+                graph, config, instrumentation=Instrumentation(enabled=True)
+            )
+        modern = self.run_modern(
+            instrumentation=Instrumentation(enabled=True)
+        )
+        assert np.array_equal(legacy.assignments, modern.assignments)
+
+    def test_positional_resilience_policy_warns(self):
+        from repro.resilience.context import ResiliencePolicy
+
+        graph = karate_club_graph()
+        config = ClusteringConfig(resolution=0.05, seed=3)
+        with pytest.warns(
+            DeprecationWarning, match="ResiliencePolicy positionally"
+        ):
+            legacy = cluster(graph, config, ResiliencePolicy())
+        modern = self.run_modern(resilience=None)
+        assert np.array_equal(legacy.assignments, modern.assignments)
+
+    def test_both_spellings_conflict(self):
+        graph = karate_club_graph()
+        config = ClusteringConfig(resolution=0.05, seed=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ConfigError, match="deprecated keyword"):
+                cluster(
+                    graph,
+                    config,
+                    options=RunOptions(engine="sequential"),
+                    engine="sequential",
+                )
+
+    def test_no_warning_on_modern_spelling(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            self.run_modern(engine="sequential")

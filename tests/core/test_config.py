@@ -84,3 +84,63 @@ class TestWithOptions:
     def test_validation_applies_to_copy(self):
         with pytest.raises(ConfigError):
             ClusteringConfig().with_options(num_workers=-1)
+
+
+class TestArgparseRoundTrip:
+    """add_args/from_args is the single canonical CLI flag block."""
+
+    def parser(self, **kwargs):
+        import argparse
+
+        parser = argparse.ArgumentParser()
+        ClusteringConfig.add_args(parser, **kwargs)
+        return parser
+
+    def test_defaults_round_trip(self):
+        args = self.parser().parse_args([])
+        assert ClusteringConfig.from_args(args) == ClusteringConfig()
+
+    def test_every_flag_lands_on_its_field(self):
+        args = self.parser().parse_args(
+            [
+                "--objective", "modularity",
+                "--resolution", "0.7",
+                "--sequential",
+                "--mode", "sync",
+                "--frontier", "all",
+                "--no-refine",
+                "--converge",
+                "--workers", "4",
+                "--kernel", "reference",
+                "--backend", "process",
+                "--seed", "9",
+            ]
+        )
+        config = ClusteringConfig.from_args(args)
+        assert config == ClusteringConfig(
+            objective=Objective.MODULARITY,
+            resolution=0.7,
+            parallel=False,
+            mode=Mode.SYNC,
+            frontier=Frontier.ALL,
+            refine=False,
+            num_iter=None,
+            num_workers=4,
+            kernel="reference",
+            backend="process",
+            seed=9,
+        )
+
+    def test_objective_pin_for_correlation_only_subcommands(self):
+        parser = self.parser(include_objective=False)
+        args = parser.parse_args(["--resolution", "0.05"])
+        assert not hasattr(args, "objective")
+        config = ClusteringConfig.from_args(
+            args, objective=Objective.CORRELATION
+        )
+        assert config.objective is Objective.CORRELATION
+        assert config.resolution == 0.05
+
+    def test_converge_wins_over_num_iter(self):
+        args = self.parser().parse_args(["--num-iter", "3", "--converge"])
+        assert ClusteringConfig.from_args(args).num_iter is None

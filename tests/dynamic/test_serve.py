@@ -199,3 +199,43 @@ class TestServingTelemetry:
         out = run_session(server, ["save"], SnapshotStore(tmp_path))
         assert out == ["saved snap-a.npz"]
         assert server.store is not None
+
+
+class TestLifecycle:
+    """close() is idempotent; ops on a closed server raise typed errors."""
+
+    def test_double_close_is_noop(self):
+        server = ClusterServer(make_clusterer())
+        server.close()
+        server.close()  # must not raise
+        assert server.closed
+
+    def test_exit_after_explicit_close(self):
+        with ClusterServer(make_clusterer()) as server:
+            server.close()
+        assert server.closed  # __exit__ re-close was a no-op
+
+    def test_ops_after_close_raise_typed_error(self):
+        from repro.errors import ServerClosedError
+
+        server = ClusterServer(make_clusterer())
+        server.stage(EdgeUpdate("insert", 0, 9))
+        server.close()
+        for op in (
+            lambda: server.cluster_of(0),
+            lambda: server.same(0, 1),
+            lambda: server.members(0),
+            lambda: server.stats(),
+            lambda: server.stage(EdgeUpdate("insert", 0, 10)),
+            lambda: server.commit(),
+            lambda: server.apply(UpdateBatch([EdgeUpdate("insert", 0, 10)])),
+            lambda: server.audit(),
+            lambda: server.save(),
+        ):
+            with pytest.raises(ServerClosedError):
+                op()
+
+    def test_server_closed_error_is_repro_error(self):
+        from repro.errors import ReproError, ServerClosedError
+
+        assert issubclass(ServerClosedError, ReproError)

@@ -1,0 +1,53 @@
+"""CLI: ``repro serve`` — the workload-driver front to the gateway."""
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.serving
+
+
+def serve(*extra):
+    return [
+        "serve", "--karate", "--resolution", "0.1", "--seed", "3",
+        "--requests", "80", "--workload-seed", "5", *extra,
+    ]
+
+
+class TestServeCommand:
+    def test_sim_driver_with_replay_gate(self, capsys):
+        assert main(serve("--verify-replay")) == 0
+        out = capsys.readouterr().out
+        assert "driver=sim" in out
+        assert "bit-identical" in out
+        assert "no silent drops" in out
+
+    def test_serial_baseline(self, capsys):
+        assert main(serve("--serial-baseline")) == 0
+        assert "driver=serial-sim" in capsys.readouterr().out
+
+    def test_threaded_driver(self, capsys):
+        assert main(serve("--driver", "threads", "--threads", "2",
+                          "--verify-replay")) == 0
+        out = capsys.readouterr().out
+        assert "driver=threads" in out
+        assert "bit-identical" in out
+
+    def test_doctor_reports_gateway_facts(self, capsys):
+        assert main(serve("--doctor")) == 0
+        out = capsys.readouterr().out
+        assert "gateway-read-shed-rate" in out
+
+    def test_metrics_include_gateway_series(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.jsonl"
+        assert main(serve("--metrics", str(metrics))) == 0
+        text = metrics.read_text()
+        assert "repro_gateway_requests_total" in text
+        assert "repro_gateway_epoch" in text
+
+    def test_identical_runs_identical_summaries(self, capsys):
+        assert main(serve()) == 0
+        first = capsys.readouterr().out
+        assert main(serve()) == 0
+        second = capsys.readouterr().out
+        assert first == second
